@@ -1,0 +1,389 @@
+package gsketch_test
+
+// One benchmark per reproduced paper artifact (DESIGN.md §5). Each bench
+// runs the corresponding experiment on the Small profile and reports the
+// headline metrics (average relative error for both methods, effective
+// queries) via b.ReportMetric, so `go test -bench=.` regenerates every
+// table and figure series in miniature. cmd/gsketch-bench runs the full
+// repro profile.
+//
+// Micro-benchmarks for the hot paths (update/estimate on both estimators
+// and the partitioning step itself) follow the figure benches.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/experiments"
+	"github.com/graphstream/gsketch/internal/query"
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+var (
+	benchOnce    sync.Once
+	benchHarness *experiments.Harness
+)
+
+func harness() *experiments.Harness {
+	benchOnce.Do(func() {
+		benchHarness = experiments.NewHarness(experiments.NewRegistry(experiments.Small))
+	})
+	return benchHarness
+}
+
+// runExperiment executes one registered experiment per benchmark
+// iteration; dataset generation is cached in the harness so the first
+// iteration pays it and later ones measure the experiment itself.
+func runExperiment(b *testing.B, id string) {
+	e, ok := experiments.FindExperiment(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	h := harness()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVarianceRatio(b *testing.B) { runExperiment(b, "varratio") }
+func BenchmarkFig4(b *testing.B)          { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)          { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)          { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)         { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)         { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)         { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)         { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)         { runExperiment(b, "fig14") }
+func BenchmarkTable1(b *testing.B)        { runExperiment(b, "table1") }
+
+// BenchmarkFig4HeadlineMetrics runs one memory point of the Figure-4
+// experiment and reports the accuracy numbers as benchmark metrics so the
+// who-wins shape is visible straight from `go test -bench`.
+func BenchmarkFig4HeadlineMetrics(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last []experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunEdgeSweep(ds, experiments.EdgeSweepOptions{
+			MemoryGrid: []int{ds.FixedMemory},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts
+	}
+	if len(last) > 0 {
+		b.ReportMetric(last[0].Global.AvgRelErr, "global-ARE")
+		b.ReportMetric(last[0].GSketch.AvgRelErr, "gsketch-ARE")
+		b.ReportMetric(float64(last[0].Global.Effective), "global-effective")
+		b.ReportMetric(float64(last[0].GSketch.Effective), "gsketch-effective")
+		b.ReportMetric(float64(last[0].Partitions), "partitions")
+	}
+}
+
+// --- Micro-benchmarks: hot paths -----------------------------------------
+
+func benchStream(n int) []stream.Edge {
+	cfg := experiments.Small
+	_ = cfg
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		edges[i] = stream.Edge{Src: uint64(i % 4096), Dst: uint64(i % 65536), Weight: 1}
+	}
+	return edges
+}
+
+func BenchmarkGlobalSketchUpdate(b *testing.B) {
+	g, err := core.BuildGlobalSketch(core.Config{TotalBytes: 1 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := benchStream(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Update(edges[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkGSketchUpdate(b *testing.B) {
+	edges := benchStream(1 << 16)
+	g, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 1}, edges[:8192], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Update(edges[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkGlobalSketchEstimate(b *testing.B) {
+	g, err := core.BuildGlobalSketch(core.Config{TotalBytes: 1 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := benchStream(1 << 16)
+	core.Populate(g, edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		e := edges[i&(1<<16-1)]
+		sink += g.EstimateEdge(e.Src, e.Dst)
+	}
+	_ = sink
+}
+
+func BenchmarkGSketchEstimate(b *testing.B) {
+	edges := benchStream(1 << 16)
+	g, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 1}, edges[:8192], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.Populate(g, edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		e := edges[i&(1<<16-1)]
+		sink += g.EstimateEdge(e.Src, e.Dst)
+	}
+	_ = sink
+}
+
+func BenchmarkPartitioning(b *testing.B) {
+	edges := benchStream(1 << 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: uint64(i)}, edges[:8192], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	cm, err := sketch.NewCountMin(1<<16, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkCountMinEstimate(b *testing.B) {
+	cm, err := sketch.NewCountMin(1<<16, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<20; i++ {
+		cm.Update(uint64(i%65536), 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += cm.Estimate(uint64(i % 65536))
+	}
+	_ = sink
+}
+
+// --- Ablation benches (DESIGN.md §6) --------------------------------------
+
+// BenchmarkAblationRedistribution compares the trimmed-width reallocation
+// policies on the RMAT stand-in at fixed memory.
+func BenchmarkAblationRedistribution(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := query.UniformEdgeQueries(ds.Exact, 2000, ds.Seed+12)
+	for _, policy := range []core.Redistribution{
+		core.RedistributeProportional, core.RedistributeEven, core.RedistributeNone,
+	} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var are float64
+			for i := 0; i < b.N; i++ {
+				g, err := core.BuildGSketch(core.Config{
+					TotalBytes: ds.FixedMemory, Seed: ds.Seed, Redistribute: policy,
+				}, ds.DataSample, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Populate(g, ds.Edges)
+				are = query.EvaluateEdgeQueries(g, ds.Exact, queries, query.DefaultG0).AvgRelErr
+			}
+			b.ReportMetric(are, "ARE")
+		})
+	}
+}
+
+// BenchmarkAblationOutlierFraction sweeps the outlier width reservation.
+func BenchmarkAblationOutlierFraction(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := query.UniformEdgeQueries(ds.Exact, 2000, ds.Seed+12)
+	for _, frac := range []float64{0.05, 0.10, 0.20} {
+		b.Run(fmtFrac(frac), func(b *testing.B) {
+			var are float64
+			for i := 0; i < b.N; i++ {
+				g, err := core.BuildGSketch(core.Config{
+					TotalBytes: ds.FixedMemory, Seed: ds.Seed, OutlierFraction: frac,
+				}, ds.DataSample, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Populate(g, ds.Edges)
+				are = query.EvaluateEdgeQueries(g, ds.Exact, queries, query.DefaultG0).AvgRelErr
+			}
+			b.ReportMetric(are, "ARE")
+		})
+	}
+}
+
+// BenchmarkAblationBaseSynopsis runs gSketch over CountMin (plain and
+// conservative) and CountSketch.
+func BenchmarkAblationBaseSynopsis(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := query.UniformEdgeQueries(ds.Exact, 2000, ds.Seed+12)
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"countmin", core.Config{TotalBytes: ds.FixedMemory, Seed: ds.Seed}},
+		{"countmin-conservative", core.Config{TotalBytes: ds.FixedMemory, Seed: ds.Seed, Conservative: true}},
+		{"countsketch", core.Config{TotalBytes: ds.FixedMemory, Seed: ds.Seed,
+			Factory: func(w, d int, seed uint64) (sketch.Synopsis, error) {
+				return sketch.NewCountSketch(w, d, seed)
+			}}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var are float64
+			for i := 0; i < b.N; i++ {
+				g, err := core.BuildGSketch(c.cfg, ds.DataSample, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Populate(g, ds.Edges)
+				are = query.EvaluateEdgeQueries(g, ds.Exact, queries, query.DefaultG0).AvgRelErr
+			}
+			b.ReportMetric(are, "ARE")
+		})
+	}
+}
+
+// BenchmarkAblationTermination sweeps the partitioning-tree termination
+// constants: the minimum width w0 (criterion 1) and the Theorem-1 constant
+// C (criterion 2).
+func BenchmarkAblationTermination(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := query.UniformEdgeQueries(ds.Exact, 2000, ds.Seed+12)
+	cases := []struct {
+		name string
+		w0   int
+		c    float64
+	}{
+		{"w0-16-C-0.5", 16, 0.5},
+		{"w0-64-C-0.5", 64, 0.5},
+		{"w0-256-C-0.5", 256, 0.5},
+		{"w0-64-C-0.1", 64, 0.1},
+		{"w0-64-C-0.9", 64, 0.9},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var are float64
+			var parts int
+			for i := 0; i < b.N; i++ {
+				g, err := core.BuildGSketch(core.Config{
+					TotalBytes: ds.FixedMemory, Seed: ds.Seed,
+					MinWidth: c.w0, CollisionC: c.c,
+				}, ds.DataSample, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Populate(g, ds.Edges)
+				are = query.EvaluateEdgeQueries(g, ds.Exact, queries, query.DefaultG0).AvgRelErr
+				parts = g.NumPartitions()
+			}
+			b.ReportMetric(are, "ARE")
+			b.ReportMetric(float64(parts), "partitions")
+		})
+	}
+}
+
+// BenchmarkAblationMaxPartitions caps the number of localized sketches.
+func BenchmarkAblationMaxPartitions(b *testing.B) {
+	reg := harness().Reg
+	ds, err := reg.RMAT()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := query.UniformEdgeQueries(ds.Exact, 2000, ds.Seed+12)
+	for _, cap := range []int{2, 4, 8, 0} {
+		name := "unbounded"
+		switch cap {
+		case 2:
+			name = "max-2"
+		case 4:
+			name = "max-4"
+		case 8:
+			name = "max-8"
+		}
+		b.Run(name, func(b *testing.B) {
+			var are float64
+			for i := 0; i < b.N; i++ {
+				g, err := core.BuildGSketch(core.Config{
+					TotalBytes: ds.FixedMemory, Seed: ds.Seed, MaxPartitions: cap,
+				}, ds.DataSample, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Populate(g, ds.Edges)
+				are = query.EvaluateEdgeQueries(g, ds.Exact, queries, query.DefaultG0).AvgRelErr
+			}
+			b.ReportMetric(are, "ARE")
+		})
+	}
+}
+
+func fmtFrac(f float64) string {
+	switch f {
+	case 0.05:
+		return "outlier-5pct"
+	case 0.10:
+		return "outlier-10pct"
+	case 0.20:
+		return "outlier-20pct"
+	default:
+		return "outlier-other"
+	}
+}

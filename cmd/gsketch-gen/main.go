@@ -1,0 +1,92 @@
+// Command gsketch-gen generates the synthetic graph-stream datasets used
+// by the reproduction (DBLP-like co-authorship, IP-attack network, R-MAT)
+// and writes them as text or binary edge files.
+//
+// Usage:
+//
+//	gsketch-gen -dataset dblp|ipattack|rmat [-out FILE] [-format text|binary]
+//	            [-scale small|repro] [-seed N]
+//
+// Examples:
+//
+//	gsketch-gen -dataset rmat -scale small -out rmat.bin -format binary
+//	gsketch-gen -dataset dblp -out - | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/graphstream/gsketch/internal/experiments"
+	"github.com/graphstream/gsketch/internal/graphgen"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "rmat", "dataset: dblp, ipattack or rmat")
+		out     = flag.String("out", "-", "output file ('-' = stdout)")
+		format  = flag.String("format", "text", "output format: text or binary")
+		scale   = flag.String("scale", "small", "scale profile: small or repro")
+		seed    = flag.Uint64("seed", 20111130, "generator seed")
+	)
+	flag.Parse()
+
+	var profile experiments.Profile
+	switch *scale {
+	case "small":
+		profile = experiments.Small
+	case "repro":
+		profile = experiments.Repro
+	default:
+		fatal("unknown scale %q", *scale)
+	}
+
+	var edges []stream.Edge
+	var err error
+	switch *dataset {
+	case "dblp":
+		cfg := graphgen.DBLPConfig{Authors: profile.DBLPAuthors, Papers: profile.DBLPPairs / 3, Seed: *seed}
+		edges, err = cfg.Generate()
+	case "ipattack":
+		cfg := graphgen.DefaultIPAttack(profile.IPAttackers, profile.IPTargets, profile.IPPackets, *seed)
+		edges, err = cfg.Generate()
+	case "rmat":
+		cfg := graphgen.DefaultRMAT(profile.RMATScale, profile.RMATEdges, *seed)
+		edges, err = cfg.Generate()
+	default:
+		fatal("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fatal("generate: %v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = stream.WriteTextEdges(w, edges)
+	case "binary":
+		err = stream.WriteBinaryEdges(w, edges)
+	default:
+		fatal("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "gsketch-gen: wrote %d edges (%s, %s scale)\n", len(edges), *dataset, *scale)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsketch-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

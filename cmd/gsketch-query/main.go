@@ -1,0 +1,155 @@
+// Command gsketch-query builds a gSketch (or Global Sketch) over an edge
+// file and answers edge queries from a query file or the command line.
+//
+// Usage:
+//
+//	gsketch-query -stream FILE [-queries FILE] [-edge "src dst"]
+//	              [-memory BYTES] [-sample FRAC] [-global] [-save FILE]
+//	              [-load FILE]
+//
+// The stream file may be text ("src dst [weight [time]]") or the binary
+// format produced by gsketch-gen -format binary (auto-detected by
+// extension .bin).
+//
+// Examples:
+//
+//	gsketch-gen -dataset rmat -out rmat.txt
+//	gsketch-query -stream rmat.txt -edge "5 17" -memory 262144
+//	gsketch-query -stream rmat.txt -queries q.txt -save sketch.gsk
+//	gsketch-query -load sketch.gsk -edge "5 17"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func main() {
+	var (
+		streamPath  = flag.String("stream", "", "edge file to summarize")
+		queriesPath = flag.String("queries", "", "file of 'src dst' queries (text)")
+		edge        = flag.String("edge", "", "single query: 'src dst'")
+		memory      = flag.Int("memory", 1<<20, "sketch memory budget in bytes")
+		sampleFrac  = flag.Float64("sample", 0.1, "data-sample fraction for partitioning")
+		global      = flag.Bool("global", false, "use the Global Sketch baseline instead of gSketch")
+		save        = flag.String("save", "", "save the populated gSketch to this file")
+		load        = flag.String("load", "", "load a previously saved gSketch instead of building")
+		seed        = flag.Uint64("seed", 42, "hash seed")
+	)
+	flag.Parse()
+
+	var est gsketch.Estimator
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal("open: %v", err)
+		}
+		g, err := gsketch.Load(f)
+		f.Close()
+		if err != nil {
+			fatal("load: %v", err)
+		}
+		est = g
+	case *streamPath != "":
+		edges := readEdges(*streamPath)
+		cfg := gsketch.Config{TotalBytes: *memory, Seed: *seed}
+		if *global {
+			g, err := gsketch.NewGlobal(cfg)
+			if err != nil {
+				fatal("build: %v", err)
+			}
+			gsketch.Populate(g, edges)
+			est = g
+		} else {
+			n := int(float64(len(edges)) * *sampleFrac)
+			if n < 1 {
+				n = 1
+			}
+			res := gsketch.NewReservoir(n, *seed+1)
+			for _, e := range edges {
+				res.Observe(e)
+			}
+			g, err := gsketch.New(cfg, res.Sample(), nil)
+			if err != nil {
+				fatal("build: %v", err)
+			}
+			gsketch.Populate(g, edges)
+			fmt.Fprintf(os.Stderr, "gsketch-query: %d partitions over %d sampled vertices, %d bytes\n",
+				g.NumPartitions(), len(res.Sample()), g.MemoryBytes())
+			if *save != "" {
+				f, err := os.Create(*save)
+				if err != nil {
+					fatal("create: %v", err)
+				}
+				if _, err := g.WriteTo(f); err != nil {
+					fatal("save: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					fatal("save: %v", err)
+				}
+			}
+			est = g
+		}
+	default:
+		fatal("need -stream or -load (see -h)")
+	}
+
+	answer := func(src, dst uint64) {
+		fmt.Printf("%d %d %d\n", src, dst, est.EstimateEdge(src, dst))
+	}
+	if *edge != "" {
+		src, dst := parsePair(*edge)
+		answer(src, dst)
+	}
+	if *queriesPath != "" {
+		data, err := os.ReadFile(*queriesPath)
+		if err != nil {
+			fatal("queries: %v", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			src, dst := parsePair(line)
+			answer(src, dst)
+		}
+	}
+}
+
+func readEdges(path string) []gsketch.Edge {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	defer f.Close()
+	var edges []gsketch.Edge
+	if strings.HasSuffix(path, ".bin") {
+		edges, err = stream.ReadBinaryEdges(f)
+	} else {
+		edges, err = stream.ReadTextEdges(f)
+	}
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	return edges
+}
+
+func parsePair(s string) (uint64, uint64) {
+	var src, dst uint64
+	if _, err := fmt.Sscanf(s, "%d %d", &src, &dst); err != nil {
+		fatal("bad query %q: want 'src dst'", s)
+	}
+	return src, dst
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gsketch-query: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Package gsketch is a Go implementation of gSketch (Zhao, Aggarwal, Wang;
+// PVLDB 5(3), 2011): partitioned CountMin sketches for edge-frequency and
+// aggregate-subgraph query estimation over massive graph streams.
+//
+// # Model
+//
+// A graph stream is a sequence of directed edges (x, y; t), optionally
+// weighted. Exact per-edge counting is infeasible — the distinct-edge
+// universe is quadratic in the vertex count — so the stream is summarized
+// in sub-linear space and queries are answered approximately:
+//
+//   - edge queries estimate the accumulated frequency of one edge;
+//   - aggregate subgraph queries fold an aggregate Γ (SUM, MIN, MAX,
+//     AVERAGE, COUNT) over the estimated frequencies of a bag of edges.
+//
+// # Why partitioning
+//
+// A single global CountMin sketch has additive error e·N/w for stream
+// volume N and width w — crushing for the low-frequency edges real
+// workloads care about. Real graph streams are globally skewed but locally
+// similar: edges leaving the same vertex have correlated frequencies.
+// gSketch exploits this by partitioning the sketch width across localized
+// sketches chosen so each holds edges of similar expected frequency. The
+// partitioning needs only compact per-vertex statistics estimated from a
+// small stream sample (and, optionally, a query-workload sample), and is
+// computed by a recursive pivot-scan over the paper's expected relative
+// error objective.
+//
+// # Usage
+//
+// Build an estimator from a sample, stream edges through it, query any
+// time:
+//
+//	sample := edges[:100_000] // or a stream.Reservoir sample
+//	g, err := gsketch.New(gsketch.Config{TotalBytes: 1 << 20, Seed: 42}, sample, nil)
+//	if err != nil { ... }
+//	for _, e := range edges {
+//		g.Update(e)
+//	}
+//	fmt.Println(g.EstimateEdge(alice, bob))
+//
+// Passing a workload sample as the third argument of New switches the
+// partitioner to the workload-aware objective (§4.2 of the paper), which
+// improves accuracy when query popularity is skewed.
+//
+// The package front-loads the most common operations; the full machinery
+// (partitioning internals, synopses, generators, the experiment harness)
+// lives in the internal packages and is documented in DESIGN.md.
+package gsketch

@@ -1,0 +1,94 @@
+// Social-network example (the paper's application 1): estimate
+// communication frequencies between friends and within communities on a
+// co-authorship-style interaction stream, comparing gSketch against the
+// Global Sketch baseline at the same memory budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/graphgen"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func main() {
+	cfg := graphgen.DBLPConfig{Authors: 6000, Papers: 60000, Seed: 42}
+	edges, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth for the demo report (a real deployment cannot afford
+	// this; that is the point of sketching).
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+	fmt.Printf("stream: %d interactions, %d distinct pairs, %d members\n",
+		exact.Total(), exact.DistinctEdges(), exact.DistinctSources())
+
+	const budget = 16 << 10 // deliberately tight: 16 KiB
+	sample := reservoirSample(edges, 0.2, 7)
+
+	g, err := gsketch.New(gsketch.Config{TotalBytes: budget, Seed: 1}, sample, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	global, err := gsketch.NewGlobal(gsketch.Config{TotalBytes: budget, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsketch.Populate(g, edges)
+	gsketch.Populate(global, edges)
+
+	// "How often do these two friends interact?" — evaluate both
+	// estimators over a spread of true frequencies.
+	fmt.Println("\npair-frequency estimates (16 KiB budget):")
+	fmt.Println("true   gSketch  GlobalSketch")
+	printed := 0
+	lastF := int64(-1)
+	exact.RangeEdges(func(src, dst uint64, f int64) bool {
+		if f == lastF || printed >= 8 {
+			return printed < 8
+		}
+		lastF = f
+		printed++
+		fmt.Printf("%5d  %7d  %12d\n", f, g.EstimateEdge(src, dst), global.EstimateEdge(src, dst))
+		return true
+	})
+
+	// "What is the overall communication volume within a community?" —
+	// an aggregate subgraph query over one member's neighbourhood.
+	var hub uint64
+	var best int64
+	exact.RangeEdges(func(src, dst uint64, f int64) bool {
+		if exact.VertexFrequency(src) > best {
+			best = exact.VertexFrequency(src)
+			hub = src
+		}
+		return true
+	})
+	var community gsketch.SubgraphQuery
+	community.Agg = gsketch.Sum
+	var truth float64
+	exact.RangeEdges(func(src, dst uint64, f int64) bool {
+		if src == hub {
+			community.Edges = append(community.Edges, gsketch.EdgeQuery{Src: src, Dst: dst})
+			truth += float64(f)
+		}
+		return true
+	})
+	fmt.Printf("\ncommunity of member %d (%d edges): true volume %.0f\n", hub, len(community.Edges), truth)
+	fmt.Printf("  gSketch estimate:      %.0f\n", gsketch.EstimateSubgraph(g, community))
+	fmt.Printf("  GlobalSketch estimate: %.0f\n", gsketch.EstimateSubgraph(global, community))
+}
+
+func reservoirSample(edges []gsketch.Edge, frac float64, seed uint64) []gsketch.Edge {
+	res := gsketch.NewReservoir(int(float64(len(edges))*frac), seed)
+	for _, e := range edges {
+		res.Observe(e)
+	}
+	out := make([]gsketch.Edge, len(res.Sample()))
+	copy(out, res.Sample())
+	return out
+}

@@ -1,0 +1,139 @@
+package gsketch
+
+import (
+	"io"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/query"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/window"
+)
+
+// Edge is one graph-stream element (x, y; t) with an optional frequency
+// weight (0 counts as 1, the paper's default).
+type Edge = stream.Edge
+
+// Config parameterizes estimator construction. The zero value is not
+// usable: set TotalBytes (or TotalWidth) and, for reproducibility, Seed.
+// All other fields have sensible defaults.
+type Config = core.Config
+
+// Defaults re-exported from the core package.
+const (
+	// DefaultDepth is the sketch depth d used when Config.Depth is zero.
+	DefaultDepth = core.DefaultDepth
+	// DefaultOutlierFraction is the share of width reserved for the
+	// outlier sketch when Config.OutlierFraction is zero.
+	DefaultOutlierFraction = core.DefaultOutlierFraction
+	// DefaultMinWidth is the partitioning threshold w0 used when
+	// Config.MinWidth is zero.
+	DefaultMinWidth = core.DefaultMinWidth
+	// DefaultCollisionC is the Theorem-1 constant C used when
+	// Config.CollisionC is zero.
+	DefaultCollisionC = core.DefaultCollisionC
+)
+
+// Redistribution selects the policy for reallocating width freed by
+// Theorem-1 leaf trimming.
+type Redistribution = core.Redistribution
+
+// Redistribution policies.
+const (
+	RedistributeProportional = core.RedistributeProportional
+	RedistributeEven         = core.RedistributeEven
+	RedistributeNone         = core.RedistributeNone
+)
+
+// Estimator is the common query surface of GSketch and GlobalSketch.
+type Estimator = core.Estimator
+
+// GSketch is the partitioned estimator — the paper's contribution.
+type GSketch = core.GSketch
+
+// GlobalSketch is the single-sketch baseline of §3.2.
+type GlobalSketch = core.GlobalSketch
+
+// Concurrent is a mutex-guarded estimator wrapper for one writer and many
+// readers.
+type Concurrent = core.Concurrent
+
+// Leaf describes one localized sketch of a partitioning.
+type Leaf = core.Leaf
+
+// New builds a gSketch from a data sample and an optional workload sample
+// (nil selects the data-only objective of §4.1, non-nil the workload-aware
+// objective of §4.2). The samples steer partitioning only; populate the
+// estimator afterwards with Update.
+func New(cfg Config, dataSample, workloadSample []Edge) (*GSketch, error) {
+	return core.BuildGSketch(cfg, dataSample, workloadSample)
+}
+
+// NewGlobal builds the Global Sketch baseline with the same budget
+// semantics as New.
+func NewGlobal(cfg Config) (*GlobalSketch, error) {
+	return core.BuildGlobalSketch(cfg)
+}
+
+// NewConcurrent wraps an estimator for concurrent use.
+func NewConcurrent(est Estimator) *Concurrent { return core.NewConcurrent(est) }
+
+// Populate streams a slice of edges into an estimator.
+func Populate(est Estimator, edges []Edge) { core.Populate(est, edges) }
+
+// Load deserializes a gSketch previously saved with (*GSketch).WriteTo.
+func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }
+
+// EdgeQuery asks for the accumulated frequency of one directed edge.
+type EdgeQuery = query.EdgeQuery
+
+// SubgraphQuery asks for the aggregate frequency behaviour of a bag of
+// edges.
+type SubgraphQuery = query.SubgraphQuery
+
+// Aggregate is the Γ(·) of an aggregate subgraph query.
+type Aggregate = query.Aggregate
+
+// Supported aggregates.
+const (
+	Sum     = query.Sum
+	Min     = query.Min
+	Max     = query.Max
+	Average = query.Average
+	Count   = query.Count
+)
+
+// EstimateSubgraph resolves a subgraph query against an estimator by
+// decomposing it into constituent edge queries and folding with Γ.
+func EstimateSubgraph(est Estimator, q SubgraphQuery) float64 {
+	return query.EstimateSubgraph(est, q)
+}
+
+// Reservoir maintains a uniform fixed-capacity sample of an unbounded
+// stream (Vitter's Algorithm R) — the standard way to obtain the data
+// sample New needs.
+type Reservoir = stream.Reservoir
+
+// NewReservoir returns a reservoir of the given capacity, deterministic
+// under seed.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	return stream.NewReservoir(capacity, seed)
+}
+
+// Interner maps string vertex labels to dense uint64 ids and back.
+type Interner = stream.Interner
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return stream.NewInterner() }
+
+// WindowStore summarizes a stream in fixed time windows, each with its own
+// partitioned sketch built from the previous window's reservoir sample
+// (§5 of the paper).
+type WindowStore = window.Store
+
+// WindowConfig parameterizes a WindowStore.
+type WindowConfig = window.StoreConfig
+
+// NewWindowStore builds an empty windowed store.
+func NewWindowStore(cfg WindowConfig) (*WindowStore, error) {
+	return window.NewStore(cfg)
+}

@@ -1,0 +1,172 @@
+package gsketch_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	gsketch "github.com/graphstream/gsketch"
+)
+
+// synthetic builds a small two-band stream: hub vertices with repeated
+// heavy edges plus a tail of one-off edges.
+func synthetic(n int) []gsketch.Edge {
+	var edges []gsketch.Edge
+	for i := 0; i < n; i++ {
+		switch {
+		case i%4 != 0:
+			// Heavy band: few hub pairs repeated.
+			hub := uint64(i % 8)
+			edges = append(edges, gsketch.Edge{Src: hub, Dst: hub + 100, Weight: 1, Time: int64(i)})
+		default:
+			// Light band: fresh pair each time.
+			edges = append(edges, gsketch.Edge{Src: uint64(1000 + i), Dst: uint64(2000 + i), Weight: 1, Time: int64(i)})
+		}
+	}
+	return edges
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	edges := synthetic(20000)
+
+	res := gsketch.NewReservoir(2000, 1)
+	for _, e := range edges {
+		res.Observe(e)
+	}
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 64 << 10, Seed: 42}, res.Sample(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsketch.Populate(g, edges)
+
+	// Hub pair (1, 101): i%8 == 1 implies i%4 != 0, so it recurs
+	// n/8 = 2500 times.
+	est := g.EstimateEdge(1, 101)
+	if est < 2500 {
+		t.Errorf("hub estimate = %d, want ≥ 2500", est)
+	}
+
+	// Aggregate subgraph query over three hub pairs.
+	q := gsketch.SubgraphQuery{
+		Edges: []gsketch.EdgeQuery{{Src: 1, Dst: 101}, {Src: 2, Dst: 102}, {Src: 3, Dst: 103}},
+		Agg:   gsketch.Sum,
+	}
+	if got := gsketch.EstimateSubgraph(g, q); got < 7000 {
+		t.Errorf("subgraph SUM = %v, want ≥ 7000", got)
+	}
+
+	// Serialization round-trip through the facade.
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gsketch.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.EstimateEdge(1, 101) != est {
+		t.Error("loaded sketch disagrees")
+	}
+}
+
+func TestPublicGlobalBaseline(t *testing.T) {
+	edges := synthetic(5000)
+	g, err := gsketch.NewGlobal(gsketch.Config{TotalBytes: 32 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsketch.Populate(g, edges)
+	if g.Count() != int64(len(edges)) {
+		t.Errorf("count = %d", g.Count())
+	}
+}
+
+func TestPublicConcurrent(t *testing.T) {
+	edges := synthetic(5000)
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 32 << 10, Seed: 1}, edges[:500], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gsketch.NewConcurrent(g)
+	done := make(chan struct{})
+	go func() { defer close(done); gsketch.Populate(c, edges) }()
+	for i := 0; i < 100; i++ {
+		_ = c.EstimateEdge(1, 101)
+	}
+	<-done
+	if c.Count() != int64(len(edges)) {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestPublicWindowStore(t *testing.T) {
+	s, err := gsketch.NewWindowStore(gsketch.WindowConfig{
+		Span:       1000,
+		SampleSize: 100,
+		Sketch:     gsketch.Config{TotalBytes: 16 << 10},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := s.Observe(gsketch.Edge{Src: 1, Dst: 2, Weight: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.EstimateEdgeAll(1, 2); got < 3000 {
+		t.Errorf("windowed estimate = %v, want ≥ 3000", got)
+	}
+}
+
+func TestPublicInterner(t *testing.T) {
+	in := gsketch.NewInterner()
+	alice := in.Intern("10.0.0.1")
+	bob := in.Intern("10.0.0.2")
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 16 << 10, Seed: 1},
+		[]gsketch.Edge{{Src: alice, Dst: bob, Weight: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Update(gsketch.Edge{Src: alice, Dst: bob, Weight: 7})
+	if est := g.EstimateEdge(alice, bob); est < 7 {
+		t.Errorf("estimate = %d", est)
+	}
+}
+
+// ExampleNew demonstrates the quickstart flow: sample, build, stream,
+// query.
+func ExampleNew() {
+	// A toy stream: the pair (1, 2) appears 6 times, (3, 4) once.
+	stream := []gsketch.Edge{
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 2}, {Src: 1, Dst: 2},
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 2}, {Src: 1, Dst: 2},
+		{Src: 3, Dst: 4},
+	}
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 1 << 16, Seed: 7}, stream, nil)
+	if err != nil {
+		panic(err)
+	}
+	gsketch.Populate(g, stream)
+	fmt.Println(g.EstimateEdge(1, 2))
+	// Output: 6
+}
+
+// ExampleEstimateSubgraph demonstrates an aggregate subgraph query.
+func ExampleEstimateSubgraph() {
+	stream := []gsketch.Edge{
+		{Src: 1, Dst: 2, Weight: 5},
+		{Src: 2, Dst: 3, Weight: 7},
+	}
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 1 << 16, Seed: 7}, stream, nil)
+	if err != nil {
+		panic(err)
+	}
+	gsketch.Populate(g, stream)
+	total := gsketch.EstimateSubgraph(g, gsketch.SubgraphQuery{
+		Edges: []gsketch.EdgeQuery{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}},
+		Agg:   gsketch.Sum,
+	})
+	fmt.Println(total)
+	// Output: 12
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// Concurrent wraps an Estimator with a read-write mutex so one writer
+// (the stream ingester) and many readers (query threads) can share it. The
+// router inside GSketch is immutable after construction, so a single lock
+// around counter mutation is sufficient; per-partition locks would only
+// help under multiple concurrent writers, which the single-pass stream
+// model of the paper does not have.
+type Concurrent struct {
+	mu  sync.RWMutex
+	est Estimator
+}
+
+// NewConcurrent wraps est. The wrapper owns synchronization; callers must
+// not use est directly afterwards.
+func NewConcurrent(est Estimator) *Concurrent {
+	return &Concurrent{est: est}
+}
+
+// Update folds one edge arrival in under the write lock.
+func (c *Concurrent) Update(e stream.Edge) {
+	c.mu.Lock()
+	c.est.Update(e)
+	c.mu.Unlock()
+}
+
+// UpdateBatch folds a batch in under one lock acquisition, amortizing the
+// lock cost for high-rate streams.
+func (c *Concurrent) UpdateBatch(edges []stream.Edge) {
+	c.mu.Lock()
+	for _, e := range edges {
+		c.est.Update(e)
+	}
+	c.mu.Unlock()
+}
+
+// EstimateEdge answers an edge query under the read lock.
+func (c *Concurrent) EstimateEdge(src, dst uint64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.est.EstimateEdge(src, dst)
+}
+
+// Count returns the stream volume under the read lock.
+func (c *Concurrent) Count() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.est.Count()
+}
+
+// MemoryBytes reports the wrapped estimator's footprint.
+func (c *Concurrent) MemoryBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.est.MemoryBytes()
+}
+
+// Unwrap returns the wrapped estimator. Callers must hold no concurrent
+// operations while using it directly.
+func (c *Concurrent) Unwrap() Estimator { return c.est }
+
+var _ Estimator = (*Concurrent)(nil)

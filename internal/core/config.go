@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution: gSketch, a
+// partitioned CountMin estimator for graph streams. A partitioning tree
+// splits the width of a virtual global sketch into localized sketches by
+// source vertex, minimizing the expected relative-error objective of Eq. 9
+// (data sample only) or Eq. 11 (data + workload samples); a router maps
+// vertices to their localized sketch; vertices unseen in the sample fall
+// through to an outlier sketch. The GlobalSketch baseline of §3.2 is also
+// provided for comparison.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+)
+
+// Defaults used when Config fields are zero.
+const (
+	// DefaultDepth is the number of sketch rows d. d = 5 gives the
+	// per-query guarantee probability 1 - e^-5 ≈ 0.993 (δ ≈ 0.007).
+	DefaultDepth = 5
+	// DefaultOutlierFraction is the share of total width reserved for the
+	// outlier sketch (§5: "a fixed portion of the original space").
+	DefaultOutlierFraction = 0.10
+	// DefaultMinWidth is w0, the minimum width below which a node is
+	// materialized rather than split (§4.1, termination criterion 1).
+	DefaultMinWidth = 64
+	// DefaultCollisionC is C in (0,1): a node with Σd̃(m) ≤ C·width is
+	// materialized because its per-cell collision probability is bounded
+	// by C (Theorem 1; termination criterion 2).
+	DefaultCollisionC = 0.5
+)
+
+// ErrConfig reports an unusable estimator configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// ErrEmptySample reports that gSketch construction was attempted without
+// any usable data sample.
+var ErrEmptySample = errors.New("core: data sample is empty")
+
+// Redistribution selects what happens to the width saved when Theorem-1
+// trimming shrinks a leaf sketch ("It helps save extra space which can be
+// allocated to other sketches", §4.1). The paper does not prescribe a
+// policy; ProportionalLoad is the default and the alternatives exist for
+// the ablation benches.
+type Redistribution int
+
+const (
+	// RedistributeProportional gives saved width to untrimmed leaves in
+	// proportion to their estimated load F̃(S_i).
+	RedistributeProportional Redistribution = iota
+	// RedistributeEven splits saved width equally among untrimmed leaves.
+	RedistributeEven
+	// RedistributeNone leaves the saved width unused (pure paper-text
+	// baseline for ablation).
+	RedistributeNone
+)
+
+// String implements fmt.Stringer.
+func (r Redistribution) String() string {
+	switch r {
+	case RedistributeProportional:
+		return "proportional"
+	case RedistributeEven:
+		return "even"
+	case RedistributeNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Redistribution(%d)", int(r))
+	}
+}
+
+// SynopsisFactory constructs the base synopsis for one partition. It
+// exists so gSketch can run over CountMin (default), conservative-update
+// CountMin, or CountSketch — the paper notes any sketch method can serve
+// as the base (§3.2).
+type SynopsisFactory func(width, depth int, seed uint64) (sketch.Synopsis, error)
+
+// Config parameterizes construction of both GSketch and GlobalSketch.
+type Config struct {
+	// TotalBytes is the memory budget for counter cells. Exactly one of
+	// TotalBytes and TotalWidth must be positive.
+	TotalBytes int
+	// TotalWidth is the explicit total column budget (cells per row).
+	TotalWidth int
+	// Depth is the number of rows d shared by every sketch (default
+	// DefaultDepth). The per-partition guarantee 1-e^-d is uniform because
+	// partitioning divides width only (§4.1).
+	Depth int
+	// OutlierFraction is the share of width reserved for the outlier
+	// sketch (default DefaultOutlierFraction). Set negative to disable the
+	// outlier partition entirely (unseen vertices then share partition 0,
+	// only sensible for closed vertex universes).
+	OutlierFraction float64
+	// MinWidth is the w0 termination threshold (default DefaultMinWidth).
+	MinWidth int
+	// CollisionC is the Theorem-1 constant C in (0,1) (default
+	// DefaultCollisionC).
+	CollisionC float64
+	// MaxPartitions caps the number of localized sketches; 0 means
+	// unbounded (the tree then stops only via w0 / Theorem 1).
+	MaxPartitions int
+	// Conservative enables conservative update on CountMin partitions.
+	Conservative bool
+	// Redistribute selects the trimmed-width reallocation policy.
+	Redistribute Redistribution
+	// Factory overrides the base synopsis (default: CountMin honoring
+	// Conservative).
+	Factory SynopsisFactory
+	// Seed fixes all hash families and makes construction deterministic.
+	Seed uint64
+}
+
+// withDefaults returns a copy with defaults applied.
+func (c Config) withDefaults() Config {
+	if c.Depth == 0 {
+		c.Depth = DefaultDepth
+	}
+	if c.OutlierFraction == 0 {
+		c.OutlierFraction = DefaultOutlierFraction
+	}
+	if c.MinWidth == 0 {
+		c.MinWidth = DefaultMinWidth
+	}
+	if c.CollisionC == 0 {
+		c.CollisionC = DefaultCollisionC
+	}
+	if c.Factory == nil {
+		conservative := c.Conservative
+		c.Factory = func(width, depth int, seed uint64) (sketch.Synopsis, error) {
+			cm, err := sketch.NewCountMin(width, depth, seed)
+			if err != nil {
+				return nil, err
+			}
+			cm.SetConservative(conservative)
+			return cm, nil
+		}
+	}
+	return c
+}
+
+// totalWidth resolves the column budget from the configuration.
+func (c Config) totalWidth() (int, error) {
+	switch {
+	case c.TotalWidth > 0 && c.TotalBytes > 0:
+		return 0, fmt.Errorf("%w: set TotalBytes or TotalWidth, not both", ErrConfig)
+	case c.TotalWidth > 0:
+		return c.TotalWidth, nil
+	case c.TotalBytes > 0:
+		return sketch.WidthFromMemory(c.TotalBytes, c.Depth)
+	default:
+		return 0, fmt.Errorf("%w: no memory budget (TotalBytes or TotalWidth)", ErrConfig)
+	}
+}
+
+// Validate checks the configuration after defaulting.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Depth < 1 {
+		return fmt.Errorf("%w: depth %d", ErrConfig, c.Depth)
+	}
+	if _, err := c.totalWidth(); err != nil {
+		return err
+	}
+	if c.OutlierFraction >= 1 {
+		return fmt.Errorf("%w: outlier fraction %v must be < 1", ErrConfig, c.OutlierFraction)
+	}
+	if c.MinWidth < 2 {
+		return fmt.Errorf("%w: min width %d must be ≥ 2", ErrConfig, c.MinWidth)
+	}
+	if !(c.CollisionC > 0 && c.CollisionC < 1) {
+		return fmt.Errorf("%w: collision constant %v must be in (0,1)", ErrConfig, c.CollisionC)
+	}
+	if c.MaxPartitions < 0 {
+		return fmt.Errorf("%w: negative partition cap", ErrConfig)
+	}
+	return nil
+}
+
+// DimsFromError mirrors the CountMin sizing of §3.2 for callers that think
+// in (ε, δ) rather than bytes: w = ⌈e/ε⌉ columns, d = ⌈ln(1/δ)⌉ rows.
+func DimsFromError(epsilon, delta float64) (width, depth int, err error) {
+	return sketch.DimsFromError(epsilon, delta)
+}
+
+// errorBound returns the additive CountMin bound e·N/w.
+func errorBound(n int64, width int) float64 {
+	if width <= 0 {
+		return math.Inf(1)
+	}
+	return math.E * float64(n) / float64(width)
+}

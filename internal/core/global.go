@@ -1,0 +1,69 @@
+package core
+
+import (
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// GlobalSketch is the baseline of §3.2: a single CountMin sketch (or any
+// Synopsis via Config.Factory) over the entire graph stream, blind to
+// structure. Every edge hashes by its edge key l(x)⊕l(y); the relative
+// error of a frequency-f edge is proportional to N/(w·f), which is what
+// gSketch's partitioning attacks.
+type GlobalSketch struct {
+	syn   sketch.Synopsis
+	depth int
+	width int
+	total int64
+}
+
+// BuildGlobalSketch constructs the baseline with the same memory budget
+// semantics as BuildGSketch (the whole width goes to one sketch; the
+// outlier fraction is ignored).
+func BuildGlobalSketch(cfg Config) (*GlobalSketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	width, err := cfg.totalWidth()
+	if err != nil {
+		return nil, err
+	}
+	syn, err := cfg.Factory(width, cfg.Depth, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalSketch{syn: syn, depth: cfg.Depth, width: width}, nil
+}
+
+// Update folds one edge arrival into the sketch.
+func (g *GlobalSketch) Update(e stream.Edge) {
+	w := e.Weight
+	if w == 0 {
+		w = 1
+	}
+	g.total += w
+	g.syn.Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+// EstimateEdge answers an edge query.
+func (g *GlobalSketch) EstimateEdge(src, dst uint64) int64 {
+	return g.syn.Estimate(stream.EdgeKey(src, dst))
+}
+
+// Count returns the total stream volume folded in.
+func (g *GlobalSketch) Count() int64 { return g.total }
+
+// MemoryBytes reports the counter storage footprint.
+func (g *GlobalSketch) MemoryBytes() int { return g.syn.MemoryBytes() }
+
+// Width returns the sketch's column count.
+func (g *GlobalSketch) Width() int { return g.width }
+
+// Depth returns the sketch's row count.
+func (g *GlobalSketch) Depth() int { return g.depth }
+
+// ErrorBound returns the additive CountMin bound e·N/w of Equation (1).
+func (g *GlobalSketch) ErrorBound() float64 { return errorBound(g.total, g.width) }
+
+var _ Estimator = (*GlobalSketch)(nil)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/vstats"
+)
+
+// Estimator is the query surface shared by GSketch and GlobalSketch: a
+// frequency summary of a graph stream answering edge-frequency point
+// queries.
+type Estimator interface {
+	// Update folds one edge arrival into the summary. A zero Weight counts
+	// as 1 (the paper's default frequency).
+	Update(e stream.Edge)
+	// EstimateEdge returns the estimated accumulated frequency of the
+	// directed edge (src, dst).
+	EstimateEdge(src, dst uint64) int64
+	// Count returns the total stream volume N folded in so far.
+	Count() int64
+	// MemoryBytes reports the counter storage footprint.
+	MemoryBytes() int
+}
+
+// Populate streams every edge of a slice into an estimator.
+func Populate(est Estimator, edges []stream.Edge) {
+	for _, e := range edges {
+		est.Update(e)
+	}
+}
+
+// GSketch is the partitioned estimator of the paper: localized sketches
+// per vertex-population partition, a router H : V → S_i, and an outlier
+// sketch for vertices outside the sample. Build it with BuildGSketch; it is
+// not safe for concurrent mutation (see Concurrent for a locking wrapper).
+type GSketch struct {
+	cfg     Config
+	parts   []sketch.Synopsis
+	outlier sketch.Synopsis
+	router  map[uint64]int32
+	leaves  []Leaf
+	order   vstats.SortOrder
+	total   int64
+
+	outlierWidth int
+	totalWidth   int
+}
+
+// BuildGSketch constructs a gSketch from a data sample and, optionally, a
+// query-workload sample (nil selects the scenario-A objective of §4.1;
+// non-nil selects §4.2). The samples steer partitioning only — stream
+// population happens afterwards via Update.
+func BuildGSketch(cfg Config, dataSample, workloadSample []stream.Edge) (*GSketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(dataSample) == 0 {
+		return nil, ErrEmptySample
+	}
+
+	stats := vstats.FromSample(dataSample)
+	order := vstats.ByAvgFreq
+	if len(workloadSample) > 0 {
+		stats.ApplyWorkload(workloadSample)
+		order = vstats.ByFreqPerWeight
+	}
+	return buildFromStats(cfg, stats, order)
+}
+
+// BuildGSketchFromStats constructs a gSketch from precomputed vertex
+// statistics, for callers that maintain their own sampling pipeline (the
+// window store does).
+func BuildGSketchFromStats(cfg Config, stats *vstats.Stats, order vstats.SortOrder) (*GSketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return buildFromStats(cfg.withDefaults(), stats, order)
+}
+
+func buildFromStats(cfg Config, stats *vstats.Stats, order vstats.SortOrder) (*GSketch, error) {
+	totalWidth, err := cfg.totalWidth()
+	if err != nil {
+		return nil, err
+	}
+
+	outlierWidth := 0
+	if cfg.OutlierFraction > 0 {
+		outlierWidth = int(math.Round(cfg.OutlierFraction * float64(totalWidth)))
+		if outlierWidth < 1 {
+			outlierWidth = 1
+		}
+	}
+	partWidth := totalWidth - outlierWidth
+	if partWidth < 1 {
+		return nil, fmt.Errorf("%w: width %d leaves no room for partitions after outlier reservation", ErrConfig, totalWidth)
+	}
+
+	part, err := BuildPartitioning(stats, PartitionParams{
+		Width:         partWidth,
+		MinWidth:      cfg.MinWidth,
+		CollisionC:    cfg.CollisionC,
+		MaxPartitions: cfg.MaxPartitions,
+		Order:         order,
+		Redistribute:  cfg.Redistribute,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	g := &GSketch{
+		cfg:          cfg,
+		router:       part.Assign,
+		leaves:       part.Leaves,
+		order:        order,
+		outlierWidth: outlierWidth,
+		totalWidth:   totalWidth,
+	}
+	g.parts = make([]sketch.Synopsis, len(part.Leaves))
+	for i, leaf := range part.Leaves {
+		// Each partition gets an independent hash family derived from the
+		// master seed so cross-partition collisions are uncorrelated.
+		s, err := cfg.Factory(leaf.Width, cfg.Depth, hashutil.Mix64(cfg.Seed+uint64(i)+1))
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		g.parts[i] = s
+	}
+	if outlierWidth > 0 {
+		s, err := cfg.Factory(outlierWidth, cfg.Depth, hashutil.Mix64(cfg.Seed^0xa11ce5))
+		if err != nil {
+			return nil, fmt.Errorf("core: outlier sketch: %w", err)
+		}
+		g.outlier = s
+	}
+	return g, nil
+}
+
+// synopsisFor routes a source vertex to its localized sketch, falling back
+// to the outlier sketch (or partition 0 when the outlier is disabled).
+func (g *GSketch) synopsisFor(src uint64) sketch.Synopsis {
+	if i, ok := g.router[src]; ok {
+		return g.parts[i]
+	}
+	if g.outlier != nil {
+		return g.outlier
+	}
+	return g.parts[0]
+}
+
+// Update folds one edge arrival into its localized sketch.
+func (g *GSketch) Update(e stream.Edge) {
+	w := e.Weight
+	if w == 0 {
+		w = 1
+	}
+	g.total += w
+	g.synopsisFor(e.Src).Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+// EstimateEdge answers an edge query from the localized sketch the edge's
+// source routes to.
+func (g *GSketch) EstimateEdge(src, dst uint64) int64 {
+	return g.synopsisFor(src).Estimate(stream.EdgeKey(src, dst))
+}
+
+// Count returns the total stream volume folded in.
+func (g *GSketch) Count() int64 { return g.total }
+
+// MemoryBytes reports the summed counter footprint of all partitions and
+// the outlier sketch. The router is reported separately by RouterBytes.
+func (g *GSketch) MemoryBytes() int {
+	total := 0
+	for _, p := range g.parts {
+		total += p.MemoryBytes()
+	}
+	if g.outlier != nil {
+		total += g.outlier.MemoryBytes()
+	}
+	return total
+}
+
+// RouterBytes approximates the footprint of the vertex→partition hash
+// structure H (~16 bytes per entry: 8-byte key, 4-byte value, load-factor
+// overhead). The paper treats this as marginal overhead (§5).
+func (g *GSketch) RouterBytes() int { return len(g.router) * 16 }
+
+// NumPartitions returns the number of localized sketches (excluding the
+// outlier sketch).
+func (g *GSketch) NumPartitions() int { return len(g.parts) }
+
+// Leaves returns the partition layout (copy; safe to retain).
+func (g *GSketch) Leaves() []Leaf {
+	out := make([]Leaf, len(g.leaves))
+	copy(out, g.leaves)
+	return out
+}
+
+// Order reports which scenario objective built the partitioning.
+func (g *GSketch) Order() vstats.SortOrder { return g.order }
+
+// PartitionOf returns the partition index a source vertex routes to, and
+// whether it was present in the sample (false ⇒ outlier sketch).
+func (g *GSketch) PartitionOf(src uint64) (int, bool) {
+	i, ok := g.router[src]
+	return int(i), ok
+}
+
+// OutlierCount returns the stream volume absorbed by the outlier sketch.
+func (g *GSketch) OutlierCount() int64 {
+	if g.outlier == nil {
+		return 0
+	}
+	return g.outlier.Count()
+}
+
+// OutlierWidth returns the column count of the outlier sketch (0 when
+// disabled).
+func (g *GSketch) OutlierWidth() int { return g.outlierWidth }
+
+// ErrorBound returns the per-query additive CountMin bound e·N_i/w_i of
+// the sketch the source vertex routes to — the per-partition confidence
+// interval discussed in §5 ("the number of edges assigned to each of the
+// partitions is known in advance of query processing").
+func (g *GSketch) ErrorBound(src uint64) float64 {
+	if i, ok := g.router[src]; ok {
+		return errorBound(g.parts[i].Count(), g.leaves[i].Width)
+	}
+	if g.outlier != nil {
+		return errorBound(g.outlier.Count(), g.outlierWidth)
+	}
+	return errorBound(g.parts[0].Count(), g.leaves[0].Width)
+}
+
+// Depth returns the shared sketch depth d.
+func (g *GSketch) Depth() int { return g.cfg.Depth }
+
+// TotalWidth returns the resolved total column budget (partitions +
+// outlier).
+func (g *GSketch) TotalWidth() int { return g.totalWidth }
+
+var _ Estimator = (*GSketch)(nil)

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/vstats"
+)
+
+// GSketch persistence. Layout (little-endian):
+//
+//	magic      uint32 'GSKP'
+//	version    uint32
+//	depth      uint64
+//	order      uint64
+//	total      uint64 (stream volume)
+//	totalWidth uint64
+//	outlierW   uint64 (0 = no outlier sketch)
+//	numLeaves  uint64
+//	leaves     numLeaves × {width u64, vertices u64, sumF f64, sumD f64, trimmed u8}
+//	numRoutes  uint64
+//	routes     numRoutes × {vertex u64, partition u32}
+//	partitions numLeaves × CountMin (self-delimiting, own checksum)
+//	outlier    CountMin if outlierW > 0
+//
+// Only CountMin-backed estimators serialize; alternative synopses are
+// rejected with an error.
+
+const (
+	gskMagic   = 0x47534b50 // "GSKP"
+	gskVersion = 1
+)
+
+// WriteTo serializes the gSketch: layout, router and all counter state.
+func (g *GSketch) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	wr := func(v any) error {
+		err := binary.Write(bw, binary.LittleEndian, v)
+		if err == nil {
+			n += int64(binary.Size(v))
+		}
+		return err
+	}
+
+	// Reject non-CountMin synopses up front.
+	cms := make([]*sketch.CountMin, len(g.parts))
+	for i, p := range g.parts {
+		cm, ok := p.(*sketch.CountMin)
+		if !ok {
+			return 0, fmt.Errorf("core: only CountMin-backed gSketch serializes (partition %d is %T)", i, p)
+		}
+		cms[i] = cm
+	}
+	var outlierCM *sketch.CountMin
+	if g.outlier != nil {
+		cm, ok := g.outlier.(*sketch.CountMin)
+		if !ok {
+			return 0, fmt.Errorf("core: only CountMin-backed gSketch serializes (outlier is %T)", g.outlier)
+		}
+		outlierCM = cm
+	}
+
+	hdr := []any{
+		uint32(gskMagic), uint32(gskVersion),
+		uint64(g.cfg.Depth), uint64(g.order), uint64(g.total),
+		uint64(g.totalWidth), uint64(g.outlierWidth), uint64(len(g.leaves)),
+	}
+	for _, v := range hdr {
+		if err := wr(v); err != nil {
+			return n, err
+		}
+	}
+	for _, l := range g.leaves {
+		t := uint8(0)
+		if l.Trimmed {
+			t = 1
+		}
+		for _, v := range []any{uint64(l.Width), uint64(l.Vertices),
+			math.Float64bits(l.SumF), math.Float64bits(l.SumD), t} {
+			if err := wr(v); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := wr(uint64(len(g.router))); err != nil {
+		return n, err
+	}
+	for vertex, part := range g.router {
+		if err := wr(vertex); err != nil {
+			return n, err
+		}
+		if err := wr(uint32(part)); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	for _, cm := range cms {
+		k, err := cm.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	if outlierCM != nil {
+		k, err := outlierCM.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadGSketch deserializes a gSketch written by WriteTo.
+func ReadGSketch(r io.Reader) (*GSketch, error) {
+	br := bufio.NewReader(r)
+	rd := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic, version uint32
+	if err := rd(&magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+	}
+	if magic != gskMagic {
+		return nil, fmt.Errorf("%w: bad gSketch magic %#x", sketch.ErrCorrupt, magic)
+	}
+	if err := rd(&version); err != nil {
+		return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+	}
+	if version != gskVersion {
+		return nil, fmt.Errorf("%w: unsupported gSketch version %d", sketch.ErrCorrupt, version)
+	}
+	var depth, order, total, totalWidth, outlierW, numLeaves uint64
+	for _, p := range []*uint64{&depth, &order, &total, &totalWidth, &outlierW, &numLeaves} {
+		if err := rd(p); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", sketch.ErrCorrupt, err)
+		}
+	}
+	const maxLeaves = 1 << 24
+	if numLeaves == 0 || numLeaves > maxLeaves {
+		return nil, fmt.Errorf("%w: implausible leaf count %d", sketch.ErrCorrupt, numLeaves)
+	}
+	g := &GSketch{
+		cfg:          Config{Depth: int(depth)}.withDefaults(),
+		order:        vstats.SortOrder(order),
+		total:        int64(total),
+		totalWidth:   int(totalWidth),
+		outlierWidth: int(outlierW),
+		leaves:       make([]Leaf, numLeaves),
+		router:       make(map[uint64]int32),
+	}
+	g.cfg.TotalWidth = int(totalWidth)
+	for i := range g.leaves {
+		var width, vertices, fBits, dBits uint64
+		var trimmed uint8
+		for _, p := range []*uint64{&width, &vertices, &fBits, &dBits} {
+			if err := rd(p); err != nil {
+				return nil, fmt.Errorf("%w: leaf %d: %v", sketch.ErrCorrupt, i, err)
+			}
+		}
+		if err := rd(&trimmed); err != nil {
+			return nil, fmt.Errorf("%w: leaf %d: %v", sketch.ErrCorrupt, i, err)
+		}
+		g.leaves[i] = Leaf{
+			Width:    int(width),
+			Vertices: int(vertices),
+			SumF:     math.Float64frombits(fBits),
+			SumD:     math.Float64frombits(dBits),
+			Trimmed:  trimmed != 0,
+		}
+	}
+	var numRoutes uint64
+	if err := rd(&numRoutes); err != nil {
+		return nil, fmt.Errorf("%w: routes: %v", sketch.ErrCorrupt, err)
+	}
+	const maxRoutes = 1 << 32
+	if numRoutes > maxRoutes {
+		return nil, fmt.Errorf("%w: implausible route count %d", sketch.ErrCorrupt, numRoutes)
+	}
+	for i := uint64(0); i < numRoutes; i++ {
+		var vertex uint64
+		var part uint32
+		if err := rd(&vertex); err != nil {
+			return nil, fmt.Errorf("%w: route %d: %v", sketch.ErrCorrupt, i, err)
+		}
+		if err := rd(&part); err != nil {
+			return nil, fmt.Errorf("%w: route %d: %v", sketch.ErrCorrupt, i, err)
+		}
+		if uint64(part) >= numLeaves {
+			return nil, fmt.Errorf("%w: route %d targets nonexistent partition %d", sketch.ErrCorrupt, i, part)
+		}
+		g.router[vertex] = int32(part)
+	}
+	g.parts = make([]sketch.Synopsis, numLeaves)
+	for i := range g.parts {
+		cm, err := sketch.ReadCountMin(br)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", i, err)
+		}
+		if cm.Width() != g.leaves[i].Width {
+			return nil, fmt.Errorf("%w: partition %d width %d does not match leaf %d", sketch.ErrCorrupt, i, cm.Width(), g.leaves[i].Width)
+		}
+		g.parts[i] = cm
+	}
+	if outlierW > 0 {
+		cm, err := sketch.ReadCountMin(br)
+		if err != nil {
+			return nil, fmt.Errorf("outlier: %w", err)
+		}
+		g.outlier = cm
+	}
+	return g, nil
+}

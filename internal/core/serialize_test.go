@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func TestGSketchSerializeRoundTrip(t *testing.T) {
+	edges := testStream(10000, 20)
+	g, err := BuildGSketch(Config{TotalBytes: 64 << 10, Seed: 9}, edges[:1000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Populate(g, edges)
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Count() != g.Count() {
+		t.Errorf("count %d != %d", got.Count(), g.Count())
+	}
+	if got.NumPartitions() != g.NumPartitions() {
+		t.Errorf("partitions %d != %d", got.NumPartitions(), g.NumPartitions())
+	}
+	if got.OutlierWidth() != g.OutlierWidth() {
+		t.Errorf("outlier width %d != %d", got.OutlierWidth(), g.OutlierWidth())
+	}
+	if got.Order() != g.Order() {
+		t.Errorf("order %v != %v", got.Order(), g.Order())
+	}
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+	exact.RangeEdges(func(src, dst uint64, _ int64) bool {
+		if got.EstimateEdge(src, dst) != g.EstimateEdge(src, dst) {
+			t.Fatalf("estimate mismatch on (%d,%d)", src, dst)
+		}
+		return true
+	})
+	// The loaded sketch keeps working for updates.
+	got.Update(stream.Edge{Src: 1, Dst: 2, Weight: 5})
+	if got.Count() != g.Count()+5 {
+		t.Error("loaded sketch does not accept updates")
+	}
+}
+
+func TestGSketchSerializeCorruption(t *testing.T) {
+	g, err := BuildGSketch(Config{TotalBytes: 16 << 10, Seed: 9}, testStream(500, 21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := ReadGSketch(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncation not detected")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := ReadGSketch(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic not detected")
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-10] ^= 0xFF // inside the last CountMin's checksummed region
+	if _, err := ReadGSketch(bytes.NewReader(flip)); err == nil {
+		t.Error("cell corruption not detected")
+	}
+	if _, err := ReadGSketch(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestGSketchSerializeRejectsNonCountMin(t *testing.T) {
+	cfg := Config{
+		TotalBytes: 16 << 10,
+		Seed:       9,
+		Factory: func(w, d int, seed uint64) (sketch.Synopsis, error) {
+			return sketch.NewCountSketch(w, d, seed)
+		},
+	}
+	g, err := BuildGSketch(cfg, testStream(500, 22), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err == nil {
+		t.Error("CountSketch-backed gSketch serialized; only CountMin is supported")
+	}
+}
+
+func TestConcurrentWrapper(t *testing.T) {
+	edges := testStream(5000, 23)
+	g, err := BuildGSketch(Config{TotalBytes: 32 << 10, Seed: 9}, edges[:500], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.UpdateBatch(edges[:2500])
+		for _, e := range edges[2500:] {
+			c.Update(e)
+		}
+	}()
+	// Concurrent readers while the writer runs.
+	for i := 0; i < 1000; i++ {
+		_ = c.EstimateEdge(uint64(i%128), uint64(i%512))
+		_ = c.Count()
+	}
+	<-done
+	if c.Count() != int64(len(edges)) {
+		t.Errorf("count = %d, want %d", c.Count(), len(edges))
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Error("memory unreported")
+	}
+	if c.Unwrap() != g {
+		t.Error("unwrap identity lost")
+	}
+}

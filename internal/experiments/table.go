@@ -1,0 +1,113 @@
+// Package experiments is the reproduction harness: it regenerates every
+// table and figure of the paper's evaluation (§6) as printable tables.
+// Each experiment id (fig4 … fig14, table1, varratio) maps to a runner;
+// DESIGN.md §5 is the index. Dataset scale is controlled by a Profile so
+// the same harness drives quick CI runs and full reproductions.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one printable experiment artifact: a titled grid of rows, the
+// in-code analogue of one paper plot panel or table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries caveats (scale profile, substitutions) printed under
+	// the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table in aligned text form.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the table as CSV (header + rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatting helpers shared by the runners.
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%d", b)
+	}
+}
+
+func fmtF(v float64) string   { return fmt.Sprintf("%.4g", v) }
+func fmtMs(ms float64) string { return fmt.Sprintf("%.2f", ms) }

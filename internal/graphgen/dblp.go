@@ -1,0 +1,311 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// DBLPConfig parameterizes the co-authorship stream generator that stands
+// in for the paper's DBLP dataset (595,406 authors; 1,954,776 ordered
+// author pairs from papers in chronological order).
+//
+// The generative model preserves the two properties gSketch exploits
+// (§3.3):
+//
+//   - Global heterogeneity and skewness: authors belong to persistent
+//     teams that co-publish repeatedly, so team author-pairs accumulate
+//     large frequencies while ad-hoc collaborations stay at frequency ~1 —
+//     the cross-vertex spread of average edge frequency is wide;
+//   - Local similarity: a given author's pairs are dominated by their
+//     team, so frequencies of edges sharing a source are correlated.
+//
+// Papers arrive chronologically; each emits all ordered author pairs
+// (a_i, a_j), i < j, exactly as the paper constructs its stream.
+type DBLPConfig struct {
+	// Authors is the size of the author universe.
+	Authors int
+	// Papers is the number of papers to generate.
+	Papers int
+	// Communities is the number of author communities. 0 selects
+	// sqrt(Authors).
+	Communities int
+	// TeamSizeMax caps persistent-team sizes (teams are 2..TeamSizeMax
+	// authors). Default 4.
+	TeamSizeMax int
+	// TeamFraction is the share of each community's authors organized
+	// into persistent teams; the rest are "networkers" who only appear in
+	// ad-hoc papers and as guests. Keeping the two populations disjoint
+	// preserves per-source local similarity: a team author's pairs are
+	// uniformly heavy, a networker's uniformly light. Default 0.65.
+	TeamFraction float64
+	// TeamZipf is the Zipf exponent of paper counts across teams within a
+	// community: a few prolific teams publish most papers. Default 1.2.
+	TeamZipf float64
+	// CohesionMin/CohesionMax bound each team's cohesion — the
+	// probability that a team paper is written by exactly the team
+	// (otherwise the paper is an ad-hoc collaboration). Drawn uniformly
+	// per team. Defaults 0.85 and 0.98.
+	CohesionMin, CohesionMax float64
+	// GuestProb is the chance a team paper carries one extra guest
+	// networker, listed first. Default 0.12.
+	GuestProb float64
+	// ParticipationProb is the chance each team member appears on a given
+	// team paper (at least two always do). Values below 1 vary pair
+	// frequencies within a team, giving per-source frequency variance a
+	// realistic (small but nonzero) level. Default 0.9.
+	ParticipationProb float64
+	// AdhocAuthorsMax caps ad-hoc author-list length (2..AdhocAuthorsMax).
+	// Default 4.
+	AdhocAuthorsMax int
+	// AdhocAlpha is the Zipf exponent of author popularity for ad-hoc
+	// papers; larger values concentrate ad-hoc pairs on popular (and thus
+	// well-sampled) authors. Default 1.4.
+	AdhocAlpha float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// DefaultDBLP returns a configuration producing roughly pairsTarget
+// ordered author pairs over the given author universe.
+func DefaultDBLP(authors, pairsTarget int, seed uint64) DBLPConfig {
+	// A team paper of 3 authors emits 3 pairs; ad-hoc up to 10. The blend
+	// averages ≈ 3.5 pairs per paper.
+	papers := int(float64(pairsTarget) / 3.5)
+	if papers < 1 {
+		papers = 1
+	}
+	return DBLPConfig{
+		Authors: authors,
+		Papers:  papers,
+		Seed:    seed,
+	}
+}
+
+func (c DBLPConfig) withDefaults() DBLPConfig {
+	if c.Communities == 0 {
+		c.Communities = isqrt(c.Authors)
+	}
+	if c.TeamSizeMax == 0 {
+		c.TeamSizeMax = 4
+	}
+	if c.TeamFraction == 0 {
+		c.TeamFraction = 0.65
+	}
+	if c.TeamZipf == 0 {
+		c.TeamZipf = 1.3
+	}
+	if c.CohesionMin == 0 {
+		c.CohesionMin = 0.92
+	}
+	if c.CohesionMax == 0 {
+		c.CohesionMax = 0.99
+	}
+	if c.GuestProb == 0 {
+		c.GuestProb = 0.12
+	}
+	if c.ParticipationProb == 0 {
+		c.ParticipationProb = 0.9
+	}
+	if c.AdhocAuthorsMax == 0 {
+		c.AdhocAuthorsMax = 3
+	}
+	if c.AdhocAlpha == 0 {
+		c.AdhocAlpha = 1.2
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c DBLPConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Authors < 4 {
+		return fmt.Errorf("graphgen: dblp needs at least 4 authors")
+	}
+	if c.Papers <= 0 {
+		return fmt.Errorf("graphgen: dblp paper count must be positive")
+	}
+	if c.Communities < 1 || c.Communities > c.Authors {
+		return fmt.Errorf("graphgen: dblp communities %d out of range [1,%d]", c.Communities, c.Authors)
+	}
+	if c.TeamSizeMax < 2 {
+		return fmt.Errorf("graphgen: dblp team size max must be ≥ 2")
+	}
+	if c.AdhocAuthorsMax < 2 {
+		return fmt.Errorf("graphgen: dblp ad-hoc author max must be ≥ 2")
+	}
+	if c.CohesionMin < 0 || c.CohesionMax > 1 || c.CohesionMin > c.CohesionMax {
+		return fmt.Errorf("graphgen: dblp cohesion range [%v,%v] invalid", c.CohesionMin, c.CohesionMax)
+	}
+	if c.TeamFraction <= 0 || c.TeamFraction > 1 {
+		return fmt.Errorf("graphgen: dblp team fraction %v out of (0,1]", c.TeamFraction)
+	}
+	if c.GuestProb < 0 || c.GuestProb > 1 {
+		return fmt.Errorf("graphgen: dblp guest probability out of [0,1]")
+	}
+	return nil
+}
+
+// dblpTeam is one persistent collaboration group.
+type dblpTeam struct {
+	members  []uint64 // stable order ⇒ repeated papers emit identical pairs
+	cohesion float64
+}
+
+// Generate produces the ordered author-pair stream. Timestamps are paper
+// indices (papers are "published" in order).
+func (c DBLPConfig) Generate() ([]stream.Edge, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	rng := hashutil.NewRNG(c.Seed)
+
+	// Contiguous communities of near-equal size.
+	commMembers := make([][]uint64, c.Communities)
+	for a := 0; a < c.Authors; a++ {
+		cm := a * c.Communities / c.Authors
+		commMembers[cm] = append(commMembers[cm], uint64(a))
+	}
+
+	// Persistent teams from the first TeamFraction of each (shuffled)
+	// community, grouped into consecutive runs of 2..TeamSizeMax; the
+	// remaining members are the community's networkers.
+	teams := make([][]dblpTeam, c.Communities)
+	networkers := make([][]uint64, c.Communities)
+	for cm, members := range commMembers {
+		shuffle(rng, members)
+		teamAuthors := int(c.TeamFraction * float64(len(members)))
+		if teamAuthors < 2 {
+			teamAuthors = min(2, len(members))
+		}
+		for i := 0; i+1 < teamAuthors; {
+			size := 2 + uniform(rng, c.TeamSizeMax-1)
+			if i+size > teamAuthors {
+				size = teamAuthors - i
+			}
+			if size < 2 {
+				break
+			}
+			team := dblpTeam{
+				members:  members[i : i+size],
+				cohesion: c.CohesionMin + (c.CohesionMax-c.CohesionMin)*float01(rng),
+			}
+			teams[cm] = append(teams[cm], team)
+			i += size
+		}
+		if len(teams[cm]) == 0 {
+			// Tiny community: one team of whatever is there.
+			teams[cm] = append(teams[cm], dblpTeam{members: members, cohesion: c.CohesionMax})
+		}
+		networkers[cm] = members[teamAuthors:]
+		if len(networkers[cm]) < 2 {
+			// Degenerate community: networkers fall back to everyone.
+			networkers[cm] = members
+		}
+	}
+
+	// Per-community Zipf samplers over teams (prolific teams) and over
+	// members (ad-hoc popularity), cached by size.
+	teamZipf := make(map[int]*Zipf)
+	zipfTeams := func(n int) *Zipf {
+		z, ok := teamZipf[n]
+		if !ok {
+			z = NewZipf(n, c.TeamZipf, rng.Split())
+			teamZipf[n] = z
+		}
+		return z
+	}
+	memberZipf := make(map[int]*Zipf)
+	zipfMembers := func(n int) *Zipf {
+		z, ok := memberZipf[n]
+		if !ok {
+			z = NewZipf(n, c.AdhocAlpha, rng.Split())
+			memberZipf[n] = z
+		}
+		return z
+	}
+
+	var edges []stream.Edge
+	listBuf := make([]uint64, 0, c.AdhocAuthorsMax+1)
+	for p := 0; p < c.Papers; p++ {
+		cm := uniform(rng, c.Communities)
+		ct := teams[cm]
+		team := ct[zipfTeams(len(ct)).Draw()]
+
+		listBuf = listBuf[:0]
+		if float01(rng) < team.cohesion {
+			// Team paper: the persistent members in stable order, so the
+			// same ordered pairs recur paper after paper. An occasional
+			// guest networker is listed FIRST (a visiting first author),
+			// so the guest's one-off pairs have the guest as source and
+			// do not pollute the team members' otherwise-uniform edge
+			// frequencies (preserving per-source local similarity).
+			if float01(rng) < c.GuestProb {
+				nw := networkers[cm]
+				guest := nw[zipfMembers(len(nw)).Draw()]
+				if !containsU64(team.members, guest) {
+					listBuf = append(listBuf, guest)
+				}
+			}
+			// Each member joins this paper with ParticipationProb; the
+			// first two always do, keeping at least one pair per paper.
+			for mi, m := range team.members {
+				if mi < 2 || float01(rng) < c.ParticipationProb {
+					listBuf = append(listBuf, m)
+				}
+			}
+		} else {
+			// Ad-hoc collaboration among the community's networkers,
+			// popularity-weighted.
+			k := 2 + uniform(rng, c.AdhocAuthorsMax-1)
+			nw := networkers[cm]
+			z := zipfMembers(len(nw))
+			for len(listBuf) < k && len(listBuf) < len(nw) {
+				a := nw[z.Draw()]
+				if !containsU64(listBuf, a) {
+					listBuf = append(listBuf, a)
+				}
+			}
+		}
+		// Emit ordered pairs (a_i, a_j) for i < j in list order, exactly
+		// as the paper constructs the stream from author lists.
+		for i := 0; i < len(listBuf); i++ {
+			for j := i + 1; j < len(listBuf); j++ {
+				edges = append(edges, stream.Edge{
+					Src: listBuf[i], Dst: listBuf[j],
+					Weight: 1, Time: int64(p),
+				})
+			}
+		}
+	}
+	return edges, nil
+}
+
+func isqrt(n int) int {
+	if n < 1 {
+		return 1
+	}
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}
+
+func shuffle(rng *hashutil.RNG, s []uint64) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := uniform(rng, i+1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func containsU64(s []uint64, v uint64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

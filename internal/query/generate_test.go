@@ -1,0 +1,144 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func populatedCounter() *stream.ExactCounter {
+	c := stream.NewExactCounter()
+	for i := uint64(0); i < 200; i++ {
+		c.Observe(stream.Edge{Src: i % 20, Dst: i, Weight: int64(i%7) + 1})
+	}
+	return c
+}
+
+func TestUniformEdgeQueries(t *testing.T) {
+	c := populatedCounter()
+	qs := UniformEdgeQueries(c, 1000, 5)
+	if len(qs) != 1000 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if c.EdgeFrequency(q.Src, q.Dst) == 0 {
+			t.Fatalf("query (%d,%d) not drawn from the stream", q.Src, q.Dst)
+		}
+	}
+	// Determinism.
+	qs2 := UniformEdgeQueries(c, 1000, 5)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("same seed produced different query sets")
+		}
+	}
+	if UniformEdgeQueries(stream.NewExactCounter(), 10, 1) != nil {
+		t.Error("empty counter should yield nil queries")
+	}
+}
+
+func TestZipfEdgeQueriesSkew(t *testing.T) {
+	c := populatedCounter()
+	qs := ZipfEdgeQueries(c, 5000, 1.5, 7, 8)
+	if len(qs) != 5000 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	counts := make(map[EdgeQuery]int)
+	for _, q := range qs {
+		counts[q]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	// 200 distinct edges, α = 1.5: top edge should own far more than the
+	// uniform share (25).
+	if max < 100 {
+		t.Errorf("top query repeated %d times; Zipf skew too weak", max)
+	}
+}
+
+func TestZipfSharedPermutation(t *testing.T) {
+	c := populatedCounter()
+	// Same permSeed: the workload sample is predictive of the query set
+	// (both favor the same popular edges).
+	workload := ZipfWorkloadSample(c, 3000, 1.5, 7, 100)
+	queries := ZipfEdgeQueries(c, 3000, 1.5, 7, 200)
+
+	wCount := make(map[EdgeQuery]int)
+	for _, e := range workload {
+		wCount[EdgeQuery{e.Src, e.Dst}]++
+	}
+	qCount := make(map[EdgeQuery]int)
+	for _, q := range queries {
+		qCount[q]++
+	}
+	// Top workload edge should be heavily queried too.
+	var top EdgeQuery
+	max := 0
+	for q, n := range wCount {
+		if n > max {
+			max = n
+			top = q
+		}
+	}
+	if qCount[top] < max/4 {
+		t.Errorf("top workload edge (%d times) queried only %d times: permutation not shared", max, qCount[top])
+	}
+	// Different permSeed: correlation should collapse.
+	queriesOther := ZipfEdgeQueries(c, 3000, 1.5, 9999, 200)
+	oCount := make(map[EdgeQuery]int)
+	for _, q := range queriesOther {
+		oCount[q]++
+	}
+	if oCount[top] > qCount[top]/2 {
+		t.Logf("warning: independent permutation still correlates (%d vs %d)", oCount[top], qCount[top])
+	}
+}
+
+func TestBFSSubgraphQueries(t *testing.T) {
+	c := stream.NewExactCounter()
+	// A connected-ish graph: chain plus fan-outs.
+	for i := uint64(0); i < 100; i++ {
+		c.Observe(stream.Edge{Src: i, Dst: i + 1, Weight: 1})
+		c.Observe(stream.Edge{Src: i, Dst: i + 50, Weight: 1})
+	}
+	qs := BFSSubgraphQueries(c, SubgraphConfig{Count: 50, EdgesPer: 10, Agg: Sum, Seed: 1})
+	if len(qs) != 50 {
+		t.Fatalf("got %d subgraphs, want 50", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Edges) != 10 {
+			t.Fatalf("subgraph has %d edges, want 10", len(q.Edges))
+		}
+		if q.Agg != Sum {
+			t.Fatal("aggregate not propagated")
+		}
+		seen := make(map[EdgeQuery]bool)
+		for _, e := range q.Edges {
+			if c.EdgeFrequency(e.Src, e.Dst) == 0 {
+				t.Fatalf("subgraph edge (%d,%d) not in graph", e.Src, e.Dst)
+			}
+			if seen[e] {
+				t.Fatal("duplicate edge within subgraph")
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestBFSSubgraphZipfSeeds(t *testing.T) {
+	c := populatedCounter()
+	qs := BFSSubgraphQueries(c, SubgraphConfig{Count: 30, EdgesPer: 5, Agg: Sum, Seed: 2, ZipfAlpha: 1.5})
+	if len(qs) != 30 {
+		t.Fatalf("got %d subgraphs", len(qs))
+	}
+}
+
+func TestBFSSubgraphEmptyGraph(t *testing.T) {
+	if qs := BFSSubgraphQueries(stream.NewExactCounter(), SubgraphConfig{Count: 5, EdgesPer: 3, Seed: 1}); qs != nil {
+		t.Error("empty graph should yield nil")
+	}
+}

@@ -1,0 +1,104 @@
+package query
+
+import (
+	"math"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// DefaultG0 is the effectiveness threshold of §6.2: a query estimate is
+// "effective" when its relative error is at most G0.
+const DefaultG0 = 5.0
+
+// Accuracy aggregates the two §6.2 metrics over a query set.
+type Accuracy struct {
+	// AvgRelErr is e(Q): the mean relative error over all queries
+	// (Eq. 13). Queries with zero true frequency are excluded (they cannot
+	// occur when queries are drawn from the stream, but defensive callers
+	// may pass arbitrary sets); Skipped counts them.
+	AvgRelErr float64
+	// Effective is g(Q): the number of queries with relative error ≤ G0
+	// (Eq. 14).
+	Effective int
+	// Total is the number of evaluated queries.
+	Total int
+	// Skipped counts queries excluded for zero true frequency.
+	Skipped int
+	// MaxRelErr is the worst relative error observed.
+	MaxRelErr float64
+}
+
+// EvaluateEdgeQueries runs every edge query against the estimator,
+// compares with exact truth, and folds the §6.2 metrics with threshold g0
+// (use DefaultG0 for the paper's setting).
+func EvaluateEdgeQueries(est core.Estimator, exact *stream.ExactCounter, queries []EdgeQuery, g0 float64) Accuracy {
+	var acc Accuracy
+	var sum float64
+	for _, q := range queries {
+		truth := exact.EdgeFrequency(q.Src, q.Dst)
+		if truth == 0 {
+			acc.Skipped++
+			continue
+		}
+		estv := est.EstimateEdge(q.Src, q.Dst)
+		er := RelativeError(float64(estv), float64(truth))
+		sum += er
+		if er <= g0 {
+			acc.Effective++
+		}
+		if er > acc.MaxRelErr {
+			acc.MaxRelErr = er
+		}
+		acc.Total++
+	}
+	if acc.Total > 0 {
+		acc.AvgRelErr = sum / float64(acc.Total)
+	}
+	return acc
+}
+
+// EvaluateSubgraphQueries is the subgraph analogue of EvaluateEdgeQueries
+// (Eq. 15 relative error, same two metrics).
+func EvaluateSubgraphQueries(est core.Estimator, exact *stream.ExactCounter, queries []SubgraphQuery, g0 float64) Accuracy {
+	var acc Accuracy
+	var sum float64
+	lookup := exact.EdgeFrequency
+	for _, q := range queries {
+		truth := ExactSubgraph(lookup, q)
+		if truth == 0 {
+			acc.Skipped++
+			continue
+		}
+		estv := EstimateSubgraph(est, q)
+		er := RelativeError(estv, truth)
+		if math.IsInf(er, 1) {
+			acc.Skipped++
+			continue
+		}
+		sum += er
+		if er <= g0 {
+			acc.Effective++
+		}
+		if er > acc.MaxRelErr {
+			acc.MaxRelErr = er
+		}
+		acc.Total++
+	}
+	if acc.Total > 0 {
+		acc.AvgRelErr = sum / float64(acc.Total)
+	}
+	return acc
+}
+
+// EvaluateEdgeQueriesFiltered evaluates only the queries selected by keep,
+// used by the Table-1 experiment to isolate outlier-sketch queries.
+func EvaluateEdgeQueriesFiltered(est core.Estimator, exact *stream.ExactCounter, queries []EdgeQuery, g0 float64, keep func(EdgeQuery) bool) Accuracy {
+	sel := make([]EdgeQuery, 0, len(queries))
+	for _, q := range queries {
+		if keep(q) {
+			sel = append(sel, q)
+		}
+	}
+	return EvaluateEdgeQueries(est, exact, sel, g0)
+}

@@ -1,0 +1,130 @@
+// Package query implements the paper's query model (§3.1) and evaluation
+// methodology (§6.2): edge queries, aggregate subgraph queries with a
+// pluggable aggregate Γ, generators for uniform query sets, Zipf-skewed
+// workload samples and BFS-grown subgraph queries, and the two accuracy
+// metrics — average relative error (Eq. 12–13) and number of effective
+// queries (Eq. 14).
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/graphstream/gsketch/internal/core"
+)
+
+// EdgeQuery asks for the accumulated frequency of one directed edge.
+type EdgeQuery struct {
+	Src, Dst uint64
+}
+
+// Aggregate is the Γ(·) of an aggregate subgraph query.
+type Aggregate int
+
+// Supported aggregates. SUM is the paper's experimental default.
+const (
+	Sum Aggregate = iota
+	Min
+	Max
+	Average
+	Count
+)
+
+// String implements fmt.Stringer.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Average:
+		return "AVERAGE"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Apply folds a slice of edge frequencies with the aggregate. An empty
+// input yields 0.
+func (a Aggregate) Apply(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	switch a {
+	case Sum:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s
+	case Min:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case Max:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case Average:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s / float64(len(values))
+	case Count:
+		return float64(len(values))
+	default:
+		panic(fmt.Sprintf("query: unknown aggregate %d", int(a)))
+	}
+}
+
+// SubgraphQuery asks for the aggregate frequency behaviour of the
+// constituent edges of a subgraph (a bag of edges, per §3.1).
+type SubgraphQuery struct {
+	Edges []EdgeQuery
+	Agg   Aggregate
+}
+
+// EstimateSubgraph resolves a subgraph query against an estimator by
+// decomposing it into constituent edge queries and folding with Γ (§5).
+func EstimateSubgraph(est core.Estimator, q SubgraphQuery) float64 {
+	vals := make([]float64, len(q.Edges))
+	for i, e := range q.Edges {
+		vals[i] = float64(est.EstimateEdge(e.Src, e.Dst))
+	}
+	return q.Agg.Apply(vals)
+}
+
+// ExactSubgraph resolves a subgraph query against exact frequencies
+// provided by lookup.
+func ExactSubgraph(lookup func(src, dst uint64) int64, q SubgraphQuery) float64 {
+	vals := make([]float64, len(q.Edges))
+	for i, e := range q.Edges {
+		vals[i] = float64(lookup(e.Src, e.Dst))
+	}
+	return q.Agg.Apply(vals)
+}
+
+// RelativeError is e_r(q) = f̃(q)/f(q) - 1 (Eq. 12 / Eq. 15). A zero true
+// value with a nonzero estimate yields +Inf; zero/zero yields 0.
+func RelativeError(estimate, truth float64) float64 {
+	if truth == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return estimate/truth - 1
+}

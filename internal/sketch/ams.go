@@ -1,0 +1,106 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+// AMS is the tug-of-war sketch of Alon, Matias & Szegedy (STOC 1996),
+// cited by the paper (§2) among the synopses a global sketch could build
+// on. Each of rows × cols counters accumulates Σ s(k)·count over the
+// stream with a ±1 hash s per counter; the square of a counter is an
+// unbiased estimate of the second frequency moment F2 = Σ f_k², and the
+// median over rows of the mean over columns gives the classic
+// (ε, δ)-estimate. F2 is the self-join size of the stream — the quantity
+// that governs CountSketch variance and join-size estimation, which is
+// how sketch partitioning was used in the prior work the paper contrasts
+// with (Dobra et al., SIGMOD 2002).
+type AMS struct {
+	rows, cols int
+	seed       uint64
+	signs      []hashutil.SignHash // one per counter, row-major
+	counters   []int64
+	total      int64
+}
+
+// NewAMS builds a tug-of-war sketch with rows × cols counters. Estimation
+// error shrinks like 1/sqrt(cols); confidence grows with rows.
+func NewAMS(rows, cols int, seed uint64) (*AMS, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d", ErrInvalidParams, rows, cols)
+	}
+	return &AMS{
+		rows:     rows,
+		cols:     cols,
+		seed:     seed,
+		signs:    hashutil.NewSignFamily(rows*cols, seed),
+		counters: make([]int64, rows*cols),
+	}, nil
+}
+
+// Rows returns the number of independent estimator rows.
+func (a *AMS) Rows() int { return a.rows }
+
+// Cols returns the number of averaged counters per row.
+func (a *AMS) Cols() int { return a.cols }
+
+// Update adds count occurrences of key (counts may be negative; AMS works
+// in the turnstile model).
+func (a *AMS) Update(key uint64, count int64) {
+	if count == 0 {
+		return
+	}
+	a.total += count
+	for i := range a.counters {
+		a.counters[i] += a.signs[i].Sign(key) * count
+	}
+}
+
+// EstimateF2 returns the tug-of-war estimate of the second frequency
+// moment Σ f_k²: median over rows of the mean over columns of squared
+// counters.
+func (a *AMS) EstimateF2() float64 {
+	rowMeans := make([]float64, a.rows)
+	for r := 0; r < a.rows; r++ {
+		var sum float64
+		for c := 0; c < a.cols; c++ {
+			v := float64(a.counters[r*a.cols+c])
+			sum += v * v
+		}
+		rowMeans[r] = sum / float64(a.cols)
+	}
+	sort.Float64s(rowMeans)
+	if a.rows%2 == 1 {
+		return rowMeans[a.rows/2]
+	}
+	return (rowMeans[a.rows/2-1] + rowMeans[a.rows/2]) / 2
+}
+
+// Count returns the total of all updates applied.
+func (a *AMS) Count() int64 { return a.total }
+
+// MemoryBytes reports the counter storage footprint.
+func (a *AMS) MemoryBytes() int { return len(a.counters) * 8 }
+
+// Reset clears the sketch.
+func (a *AMS) Reset() {
+	for i := range a.counters {
+		a.counters[i] = 0
+	}
+	a.total = 0
+}
+
+// Merge adds another AMS sketch built with identical dimensions and seed;
+// the merged sketch estimates the F2 of the concatenated streams.
+func (a *AMS) Merge(other *AMS) error {
+	if a.rows != other.rows || a.cols != other.cols || a.seed != other.seed {
+		return fmt.Errorf("%w: merge of incompatible AMS sketches", ErrInvalidParams)
+	}
+	for i, v := range other.counters {
+		a.counters[i] += v
+	}
+	a.total += other.total
+	return nil
+}

@@ -1,0 +1,110 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+func TestAMSExactOnSingleKey(t *testing.T) {
+	a, err := NewAMS(5, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Update(42, 10)
+	// One key of frequency 10: F2 = 100, and every counter is ±10, so the
+	// estimate is exact.
+	if got := a.EstimateF2(); got != 100 {
+		t.Errorf("F2 = %v, want 100", got)
+	}
+	if a.Count() != 10 {
+		t.Errorf("count = %d", a.Count())
+	}
+}
+
+func TestAMSEstimatesF2(t *testing.T) {
+	a, err := NewAMS(7, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[uint64]int64)
+	rng := hashutil.NewRNG(9)
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 500
+		a.Update(k, 1)
+		truth[k]++
+	}
+	var f2 float64
+	for _, f := range truth {
+		f2 += float64(f) * float64(f)
+	}
+	got := a.EstimateF2()
+	// 64 columns ⇒ relative std ≈ sqrt(2/64) ≈ 18%; allow 3σ.
+	if math.Abs(got-f2) > 0.6*f2 {
+		t.Errorf("F2 estimate %v too far from truth %v", got, f2)
+	}
+}
+
+func TestAMSTurnstile(t *testing.T) {
+	a, _ := NewAMS(5, 32, 2)
+	a.Update(1, 100)
+	a.Update(1, -100) // full cancellation
+	if got := a.EstimateF2(); got != 0 {
+		t.Errorf("F2 after cancellation = %v, want 0", got)
+	}
+}
+
+func TestAMSMerge(t *testing.T) {
+	x, _ := NewAMS(5, 32, 4)
+	y, _ := NewAMS(5, 32, 4)
+	whole, _ := NewAMS(5, 32, 4)
+	for i := uint64(0); i < 100; i++ {
+		x.Update(i, 3)
+		y.Update(i, 4)
+		whole.Update(i, 7)
+	}
+	if err := x.Merge(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.EstimateF2() != whole.EstimateF2() {
+		t.Errorf("merged F2 %v != whole %v", x.EstimateF2(), whole.EstimateF2())
+	}
+	z, _ := NewAMS(5, 16, 4)
+	if err := x.Merge(z); err == nil {
+		t.Error("merge of mismatched AMS accepted")
+	}
+}
+
+func TestAMSResetAndValidation(t *testing.T) {
+	a, _ := NewAMS(3, 8, 1)
+	a.Update(5, 5)
+	a.Reset()
+	if a.EstimateF2() != 0 || a.Count() != 0 {
+		t.Error("reset did not clear")
+	}
+	if a.MemoryBytes() != 3*8*8 {
+		t.Errorf("memory = %d", a.MemoryBytes())
+	}
+	if _, err := NewAMS(0, 8, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewAMS(3, 0, 1); err == nil {
+		t.Error("zero cols accepted")
+	}
+}
+
+func TestAMSSelfJoinInterpretation(t *testing.T) {
+	// F2 of a uniform stream vs a skewed stream with the same volume: the
+	// skewed one must have much larger F2 — the property that makes F2 a
+	// skew diagnostic for graph streams.
+	uniform, _ := NewAMS(7, 64, 5)
+	skewed, _ := NewAMS(7, 64, 5)
+	for i := 0; i < 10000; i++ {
+		uniform.Update(uint64(i%1000), 1) // 1000 keys × 10
+		skewed.Update(uint64(i%10), 1)    // 10 keys × 1000
+	}
+	if u, s := uniform.EstimateF2(), skewed.EstimateF2(); s < 10*u {
+		t.Errorf("skewed F2 %v not ≫ uniform F2 %v", s, u)
+	}
+}

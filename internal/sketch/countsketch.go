@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+// CountSketch is the AMS-style sketch of Charikar, Chen and Farach-Colton:
+// each row adds a ±1-signed count and the point estimate is the median of
+// the signed row reads. Unlike CountMin it is unbiased and supports signed
+// updates, at the cost of two-sided error. gsketch can run over it as an
+// alternative base synopsis (the paper notes any sketch method can serve).
+//
+// Cells are int64 (CountSketch needs signed counters); MemoryBytes accounts
+// for the wider cells so byte-budget comparisons against CountMin are fair.
+type CountSketch struct {
+	width int
+	depth int
+	seed  uint64
+
+	hashes []hashutil.PairwiseHash
+	signs  []hashutil.SignHash
+	cells  []int64
+	total  int64
+}
+
+// countSketchCellSize is the per-cell footprint of CountSketch in bytes.
+const countSketchCellSize = 8
+
+// NewCountSketch builds a CountSketch with explicit dimensions.
+func NewCountSketch(width, depth int, seed uint64) (*CountSketch, error) {
+	if width <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("%w: width=%d depth=%d", ErrInvalidParams, width, depth)
+	}
+	return &CountSketch{
+		width:  width,
+		depth:  depth,
+		seed:   seed,
+		hashes: hashutil.NewPairwiseFamily(depth, width, seed),
+		signs:  hashutil.NewSignFamily(depth, seed),
+		cells:  make([]int64, width*depth),
+	}, nil
+}
+
+// NewCountSketchFromMemory builds the widest CountSketch of the given depth
+// fitting the byte budget.
+func NewCountSketchFromMemory(bytes, depth int, seed uint64) (*CountSketch, error) {
+	if bytes <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("%w: bytes=%d depth=%d", ErrInvalidParams, bytes, depth)
+	}
+	w := bytes / (depth * countSketchCellSize)
+	if w < 1 {
+		return nil, fmt.Errorf("%w: budget of %d bytes cannot fit depth %d", ErrInvalidParams, bytes, depth)
+	}
+	return NewCountSketch(w, depth, seed)
+}
+
+// Width returns the number of counters per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Depth returns the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// Update adds count (which may be negative) occurrences of key.
+func (cs *CountSketch) Update(key uint64, count int64) {
+	if count == 0 {
+		return
+	}
+	cs.total += count
+	for r := 0; r < cs.depth; r++ {
+		i := r*cs.width + cs.hashes[r].Hash(key)
+		cs.cells[i] += cs.signs[r].Sign(key) * count
+	}
+}
+
+// Estimate returns the median of the signed row reads. For the non-negative
+// streams used in this module the result is clamped at zero.
+func (cs *CountSketch) Estimate(key uint64) int64 {
+	reads := make([]int64, cs.depth)
+	for r := 0; r < cs.depth; r++ {
+		v := cs.cells[r*cs.width+cs.hashes[r].Hash(key)]
+		reads[r] = cs.signs[r].Sign(key) * v
+	}
+	sort.Slice(reads, func(i, j int) bool { return reads[i] < reads[j] })
+	var med int64
+	if cs.depth%2 == 1 {
+		med = reads[cs.depth/2]
+	} else {
+		med = (reads[cs.depth/2-1] + reads[cs.depth/2]) / 2
+	}
+	if med < 0 {
+		med = 0
+	}
+	return med
+}
+
+// Count returns the total stream volume added.
+func (cs *CountSketch) Count() int64 { return cs.total }
+
+// MemoryBytes reports the counter storage footprint.
+func (cs *CountSketch) MemoryBytes() int { return len(cs.cells) * countSketchCellSize }
+
+// Reset zeroes all counters.
+func (cs *CountSketch) Reset() {
+	for i := range cs.cells {
+		cs.cells[i] = 0
+	}
+	cs.total = 0
+}
+
+// Merge adds other's counters into cs; dimensions and seed must match.
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if cs.width != other.width || cs.depth != other.depth || cs.seed != other.seed {
+		return fmt.Errorf("%w: merge of incompatible count sketches", ErrInvalidParams)
+	}
+	for i, v := range other.cells {
+		cs.cells[i] += v
+	}
+	cs.total += other.total
+	return nil
+}
+
+var _ Synopsis = (*CountSketch)(nil)

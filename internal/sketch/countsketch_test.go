@@ -1,0 +1,128 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+func TestCountSketchBasic(t *testing.T) {
+	cs, err := NewCountSketch(512, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Update(10, 100)
+	cs.Update(20, 50)
+	if got := cs.Estimate(10); got < 90 || got > 160 {
+		t.Errorf("estimate(10) = %d, want ≈ 100", got)
+	}
+	if cs.Count() != 150 {
+		t.Errorf("count = %d, want 150", cs.Count())
+	}
+}
+
+func TestCountSketchConcentration(t *testing.T) {
+	// The CountSketch guarantee: |est − f| ≤ 3·sqrt(F2/w) with high
+	// probability per query (the median estimator concentrates; with
+	// pairwise-independent signs it is NOT exactly unbiased, only
+	// concentrated). Check both the per-key bound for ≥95% of keys and
+	// that the realization's mean error stays small relative to the noise
+	// scale.
+	const width = 256
+	cs, _ := NewCountSketch(width, 5, 2)
+	truth := make(map[uint64]int64)
+	rng := hashutil.NewRNG(3)
+	for i := 0; i < 30000; i++ {
+		k := rng.Uint64() % 2000
+		cs.Update(k, 10)
+		truth[k] += 10
+	}
+	var f2 float64
+	for _, v := range truth {
+		f2 += float64(v) * float64(v)
+	}
+	noise := math.Sqrt(f2 / width)
+
+	var sumErr float64
+	outside := 0
+	for k, v := range truth {
+		e := float64(cs.Estimate(k) - v)
+		sumErr += e
+		if e < -3*noise || e > 3*noise {
+			outside++
+		}
+	}
+	if frac := float64(outside) / float64(len(truth)); frac > 0.05 {
+		t.Errorf("%.1f%% of keys outside 3·sqrt(F2/w)=%.0f, want ≤ 5%%", frac*100, 3*noise)
+	}
+	if mean := sumErr / float64(len(truth)); math.Abs(mean) > 0.25*noise {
+		t.Errorf("mean error %.1f exceeds a quarter of the noise scale %.1f", mean, noise)
+	}
+}
+
+func TestCountSketchSignedUpdates(t *testing.T) {
+	cs, _ := NewCountSketch(128, 5, 4)
+	cs.Update(7, 100)
+	cs.Update(7, -40)
+	if got := cs.Estimate(7); got < 40 || got > 80 {
+		t.Errorf("estimate after signed updates = %d, want ≈ 60", got)
+	}
+}
+
+func TestCountSketchMerge(t *testing.T) {
+	a, _ := NewCountSketch(128, 5, 9)
+	b, _ := NewCountSketch(128, 5, 9)
+	whole, _ := NewCountSketch(128, 5, 9)
+	for i := uint64(0); i < 500; i++ {
+		a.Update(i, 2)
+		b.Update(i, 3)
+		whole.Update(i, 5)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if a.Estimate(i) != whole.Estimate(i) {
+			t.Fatalf("key %d: merged %d != whole %d", i, a.Estimate(i), whole.Estimate(i))
+		}
+	}
+	c, _ := NewCountSketch(64, 5, 9)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge of mismatched sketches should fail")
+	}
+}
+
+func TestCountSketchResetAndMemory(t *testing.T) {
+	cs, _ := NewCountSketch(64, 3, 1)
+	cs.Update(1, 5)
+	cs.Reset()
+	if cs.Estimate(1) != 0 || cs.Count() != 0 {
+		t.Error("reset did not clear")
+	}
+	if cs.MemoryBytes() != 64*3*8 {
+		t.Errorf("memory = %d, want %d", cs.MemoryBytes(), 64*3*8)
+	}
+}
+
+func TestCountSketchFromMemory(t *testing.T) {
+	cs, err := NewCountSketchFromMemory(1<<16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Width() != (1<<16)/(4*8) {
+		t.Errorf("width = %d", cs.Width())
+	}
+	if _, err := NewCountSketchFromMemory(4, 4, 1); err == nil {
+		t.Error("tiny budget accepted")
+	}
+}
+
+func TestCountSketchInvalid(t *testing.T) {
+	if _, err := NewCountSketch(0, 1, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewCountSketch(1, 0, 1); err == nil {
+		t.Error("zero depth accepted")
+	}
+}

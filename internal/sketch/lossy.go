@@ -1,0 +1,185 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossyCounting implements the deterministic heavy-hitter synopsis of Manku
+// & Motwani (VLDB 2002). The stream is processed in buckets of width
+// ceil(1/epsilon); at each bucket boundary, entries whose count plus error
+// bound falls below the bucket id are evicted. Estimates have one-sided
+// error at most epsilon*N (underestimation — the dual of CountMin's
+// overestimation), and only items with frequency above epsilon*N are
+// guaranteed to be retained.
+//
+// It is included as an alternative base synopsis and as a comparison point
+// in the ablation benches; the paper cites it among the applicable sketch
+// methods.
+type LossyCounting struct {
+	epsilon     float64
+	bucketWidth int64
+
+	entries map[uint64]*lossyEntry
+	total   int64
+	bucket  int64 // current bucket id b = ceil(N / bucketWidth)
+}
+
+type lossyEntry struct {
+	count int64
+	delta int64 // maximum undercount when the entry was (re-)inserted
+}
+
+// lossyEntryBytes approximates the per-entry footprint: key + count + delta
+// plus map overhead.
+const lossyEntryBytes = 48
+
+// NewLossyCounting builds a Lossy Counting synopsis with error bound
+// epsilon in (0, 1).
+func NewLossyCounting(epsilon float64) (*LossyCounting, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return nil, fmt.Errorf("%w: epsilon=%v", ErrInvalidParams, epsilon)
+	}
+	return &LossyCounting{
+		epsilon:     epsilon,
+		bucketWidth: int64(math.Ceil(1 / epsilon)),
+		entries:     make(map[uint64]*lossyEntry),
+		bucket:      1,
+	}, nil
+}
+
+// Epsilon returns the configured error bound.
+func (lc *LossyCounting) Epsilon() float64 { return lc.epsilon }
+
+// Update adds count occurrences of key.
+func (lc *LossyCounting) Update(key uint64, count int64) {
+	if count < 0 {
+		panic("sketch: negative update in cash-register model")
+	}
+	if count == 0 {
+		return
+	}
+	for count > 0 {
+		// Consume the stream one bucket boundary at a time so that bulk
+		// updates behave identically to the same sequence of unit updates.
+		remaining := lc.bucket*lc.bucketWidth - lc.total
+		step := count
+		if step > remaining {
+			step = remaining
+		}
+		lc.add(key, step)
+		count -= step
+		if lc.total == lc.bucket*lc.bucketWidth {
+			lc.compress()
+			lc.bucket++
+		}
+	}
+}
+
+func (lc *LossyCounting) add(key uint64, count int64) {
+	lc.total += count
+	if e, ok := lc.entries[key]; ok {
+		e.count += count
+		return
+	}
+	lc.entries[key] = &lossyEntry{count: count, delta: lc.bucket - 1}
+}
+
+func (lc *LossyCounting) compress() {
+	for k, e := range lc.entries {
+		if e.count+e.delta <= lc.bucket {
+			delete(lc.entries, k)
+		}
+	}
+}
+
+// Estimate returns the retained count of key (0 if evicted). The true
+// frequency lies in [estimate, estimate + epsilon*N].
+func (lc *LossyCounting) Estimate(key uint64) int64 {
+	if e, ok := lc.entries[key]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// EstimateUpper returns the upper bound estimate count+delta, which some
+// applications prefer for one-sided guarantees symmetrical with CountMin.
+func (lc *LossyCounting) EstimateUpper(key uint64) int64 {
+	if e, ok := lc.entries[key]; ok {
+		return e.count + e.delta
+	}
+	return lc.bucket - 1
+}
+
+// Count returns the total stream volume added.
+func (lc *LossyCounting) Count() int64 { return lc.total }
+
+// Entries returns the number of retained items.
+func (lc *LossyCounting) Entries() int { return len(lc.entries) }
+
+// MemoryBytes approximates the current footprint of the entry table.
+func (lc *LossyCounting) MemoryBytes() int { return len(lc.entries) * lossyEntryBytes }
+
+// Reset clears the synopsis.
+func (lc *LossyCounting) Reset() {
+	lc.entries = make(map[uint64]*lossyEntry)
+	lc.total = 0
+	lc.bucket = 1
+}
+
+var _ Synopsis = (*LossyCounting)(nil)
+
+// Exact is a map-backed exact counter implementing Synopsis. It is the
+// ground-truth oracle for tests and experiment harnesses, and a degenerate
+// "sketch" for tiny streams.
+type Exact struct {
+	counts map[uint64]int64
+	total  int64
+}
+
+// NewExact returns an empty exact counter.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[uint64]int64)}
+}
+
+// Update adds count occurrences of key.
+func (e *Exact) Update(key uint64, count int64) {
+	if count < 0 {
+		panic("sketch: negative update in cash-register model")
+	}
+	if count == 0 {
+		return
+	}
+	e.counts[key] += count
+	e.total += count
+}
+
+// Estimate returns the exact accumulated count of key.
+func (e *Exact) Estimate(key uint64) int64 { return e.counts[key] }
+
+// Count returns the total stream volume added.
+func (e *Exact) Count() int64 { return e.total }
+
+// Distinct returns the number of distinct keys observed.
+func (e *Exact) Distinct() int { return len(e.counts) }
+
+// MemoryBytes approximates the footprint of the counter table.
+func (e *Exact) MemoryBytes() int { return len(e.counts) * 40 }
+
+// Reset clears the counter.
+func (e *Exact) Reset() {
+	e.counts = make(map[uint64]int64)
+	e.total = 0
+}
+
+// Range calls fn for every (key, count) pair; iteration order is undefined.
+// Returning false from fn stops the iteration.
+func (e *Exact) Range(fn func(key uint64, count int64) bool) {
+	for k, v := range e.counts {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+var _ Synopsis = (*Exact)(nil)

@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+func TestLossyCountingGuarantee(t *testing.T) {
+	// est ≤ f and f - est ≤ ε·N: the one-sided undercount bound.
+	const eps = 0.01
+	lc, err := NewLossyCounting(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[uint64]int64)
+	rng := hashutil.NewRNG(2)
+	var n int64
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint64() % 3000
+		lc.Update(k, 1)
+		truth[k]++
+		n++
+	}
+	bound := int64(eps*float64(n)) + 1
+	for k, f := range truth {
+		est := lc.Estimate(k)
+		if est > f {
+			t.Fatalf("key %d: estimate %d exceeds truth %d", k, est, f)
+		}
+		if f-est > bound {
+			t.Fatalf("key %d: undercount %d exceeds bound %d", k, f-est, bound)
+		}
+		if upper := lc.EstimateUpper(k); upper < f-bound || est > upper+bound {
+			t.Fatalf("key %d: upper estimate %d inconsistent (f=%d est=%d)", k, upper, f, est)
+		}
+	}
+}
+
+func TestLossyCountingEvictsRareItems(t *testing.T) {
+	lc, _ := NewLossyCounting(0.1) // bucket width 10
+	// One heavy item and a parade of singletons.
+	for i := 0; i < 1000; i++ {
+		lc.Update(1, 1)
+		lc.Update(uint64(1000+i), 1)
+	}
+	if lc.Estimate(1) == 0 {
+		t.Error("heavy hitter evicted")
+	}
+	if lc.Entries() > 200 {
+		t.Errorf("%d entries retained; singletons should be evicted", lc.Entries())
+	}
+}
+
+func TestLossyCountingBulkEquivalence(t *testing.T) {
+	// Update(k, n) must behave exactly like n unit updates.
+	f := func(keys []uint8, bulk uint8) bool {
+		a, _ := NewLossyCounting(0.05)
+		b, _ := NewLossyCounting(0.05)
+		n := int64(bulk%7) + 1
+		for _, k8 := range keys {
+			k := uint64(k8 % 16)
+			a.Update(k, n)
+			for j := int64(0); j < n; j++ {
+				b.Update(k, 1)
+			}
+		}
+		if a.Count() != b.Count() {
+			return false
+		}
+		for k := uint64(0); k < 16; k++ {
+			if a.Estimate(k) != b.Estimate(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossyCountingReset(t *testing.T) {
+	lc, _ := NewLossyCounting(0.1)
+	lc.Update(1, 100)
+	lc.Reset()
+	if lc.Estimate(1) != 0 || lc.Count() != 0 || lc.Entries() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestLossyCountingInvalid(t *testing.T) {
+	if _, err := NewLossyCounting(0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewLossyCounting(1); err == nil {
+		t.Error("epsilon = 1 accepted")
+	}
+	lc, _ := NewLossyCounting(0.1)
+	assertPanics(t, "negative update", func() { lc.Update(1, -5) })
+}
+
+func TestExactCounterSynopsis(t *testing.T) {
+	e := NewExact()
+	e.Update(1, 5)
+	e.Update(1, 3)
+	e.Update(2, 1)
+	if e.Estimate(1) != 8 || e.Estimate(2) != 1 || e.Estimate(3) != 0 {
+		t.Error("exact estimates wrong")
+	}
+	if e.Count() != 9 || e.Distinct() != 2 {
+		t.Errorf("count=%d distinct=%d", e.Count(), e.Distinct())
+	}
+	seen := 0
+	e.Range(func(k uint64, v int64) bool { seen++; return true })
+	if seen != 2 {
+		t.Errorf("range visited %d keys", seen)
+	}
+	// Early-stop contract.
+	seen = 0
+	e.Range(func(k uint64, v int64) bool { seen++; return false })
+	if seen != 1 {
+		t.Errorf("range ignored early stop, visited %d", seen)
+	}
+	e.Reset()
+	if e.Count() != 0 || e.Distinct() != 0 {
+		t.Error("reset did not clear")
+	}
+}

@@ -1,0 +1,197 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary serialization for CountMin sketches. The format is
+// little-endian and self-describing:
+//
+//	magic    uint32  'GSCM'
+//	version  uint32
+//	width    uint64
+//	depth    uint64
+//	seed     uint64
+//	flags    uint64  (bit 0: conservative update)
+//	total    uint64
+//	cells    width*depth * uint32
+//	crc32    uint32  (IEEE, over everything above)
+//
+// The hash family is reconstructed from the seed, so the stored state is
+// complete.
+
+const (
+	cmMagic   = 0x4753434d // "GSCM"
+	cmVersion = 1
+
+	flagConservative = 1 << 0
+)
+
+// ErrCorrupt reports a malformed or truncated serialized sketch.
+var ErrCorrupt = fmt.Errorf("sketch: corrupt serialized data")
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (cm *CountMin) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	var n int64
+
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		k, err := cw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		k, err := cw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+
+	var flags uint64
+	if cm.conservative {
+		flags |= flagConservative
+	}
+	if err := writeU32(cmMagic); err != nil {
+		return n, err
+	}
+	if err := writeU32(cmVersion); err != nil {
+		return n, err
+	}
+	for _, v := range []uint64{uint64(cm.width), uint64(cm.depth), cm.seed, flags, uint64(cm.total)} {
+		if err := writeU64(v); err != nil {
+			return n, err
+		}
+	}
+	// Cells in bulk, 4 bytes each.
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(cm.cells); {
+		chunk := len(cm.cells) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], cm.cells[off+i])
+		}
+		k, err := cw.Write(buf[:chunk*4])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		off += chunk
+	}
+	// Trailing CRC (not itself CRC'd).
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	k, err := bw.Write(crcBuf[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadCountMin deserializes a sketch written by WriteTo, verifying the
+// checksum and reconstructing the hash family from the stored seed.
+func ReadCountMin(r io.Reader) (*CountMin, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if magic != cmMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if version != cmVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	var hdr [5]uint64
+	for i := range hdr {
+		if hdr[i], err = readU64(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	width, depth, seed, flags, total := int(hdr[0]), int(hdr[1]), hdr[2], hdr[3], int64(hdr[4])
+	const maxCells = 1 << 31 // 8 GiB of cells; anything larger is corrupt
+	if width <= 0 || depth <= 0 || int64(width)*int64(depth) > maxCells {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrCorrupt, depth, width)
+	}
+	cm, err := NewCountMin(width, depth, seed)
+	if err != nil {
+		return nil, err
+	}
+	cm.conservative = flags&flagConservative != 0
+	cm.total = total
+
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(cm.cells); {
+		chunk := len(cm.cells) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		if _, err := io.ReadFull(cr, buf[:chunk*4]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		for i := 0; i < chunk; i++ {
+			cm.cells[off+i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		off += chunk
+	}
+	want := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, got, want)
+	}
+	return cm, nil
+}

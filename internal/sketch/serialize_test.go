@@ -1,0 +1,98 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+func buildPopulated(t *testing.T, conservative bool) *CountMin {
+	t.Helper()
+	cm, err := NewCountMin(300, 4, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.SetConservative(conservative)
+	rng := hashutil.NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		cm.Update(rng.Uint64()%700, int64(i%5)+1)
+	}
+	return cm
+}
+
+func TestCountMinSerializeRoundTrip(t *testing.T) {
+	for _, conservative := range []bool{false, true} {
+		cm := buildPopulated(t, conservative)
+		var buf bytes.Buffer
+		if _, err := cm.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCountMin(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Width() != cm.Width() || got.Depth() != cm.Depth() || got.Seed() != cm.Seed() {
+			t.Fatal("dimensions not preserved")
+		}
+		if got.Count() != cm.Count() {
+			t.Fatalf("count %d != %d", got.Count(), cm.Count())
+		}
+		for k := uint64(0); k < 700; k++ {
+			if got.Estimate(k) != cm.Estimate(k) {
+				t.Fatalf("key %d: %d != %d", k, got.Estimate(k), cm.Estimate(k))
+			}
+		}
+	}
+}
+
+func TestCountMinSerializeDetectsCorruption(t *testing.T) {
+	cm := buildPopulated(t, false)
+	var buf bytes.Buffer
+	if _, err := cm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one byte in the cell region.
+	corrupted := append([]byte(nil), pristine...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := ReadCountMin(bytes.NewReader(corrupted)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip not detected: %v", err)
+	}
+
+	// Truncate.
+	if _, err := ReadCountMin(bytes.NewReader(pristine[:len(pristine)/3])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation not detected: %v", err)
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), pristine...)
+	bad[0] ^= 0xFF
+	if _, err := ReadCountMin(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic not detected: %v", err)
+	}
+
+	// Empty input.
+	if _, err := ReadCountMin(bytes.NewReader(nil)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty input not detected: %v", err)
+	}
+}
+
+func TestCountMinSerializeRejectsImplausibleDims(t *testing.T) {
+	cm := buildPopulated(t, false)
+	var buf bytes.Buffer
+	if _, err := cm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the width field (offset 8: after magic+version) with a
+	// huge value; the reader must reject before allocating.
+	for i := 8; i < 16; i++ {
+		data[i] = 0xFF
+	}
+	if _, err := ReadCountMin(bytes.NewReader(data)); err == nil {
+		t.Error("implausible dimensions accepted")
+	}
+}

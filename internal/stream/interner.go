@@ -1,0 +1,46 @@
+package stream
+
+// Interner maps string vertex labels to dense uint64 ids and back. Graph
+// streams with labeled vertices (author names, IP addresses) intern labels
+// once and carry uint64 ids through the hot path, mirroring the paper's
+// l(x)⊕l(y) keying without re-hashing strings per arrival.
+//
+// Ids are assigned densely from 0 in first-seen order, so they double as
+// indices into per-vertex statistic arrays. Not safe for concurrent use.
+type Interner struct {
+	ids    map[string]uint64
+	labels []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint64)}
+}
+
+// Intern returns the id for label, assigning the next dense id on first use.
+func (in *Interner) Intern(label string) uint64 {
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := uint64(len(in.labels))
+	in.ids[label] = id
+	in.labels = append(in.labels, label)
+	return id
+}
+
+// Lookup returns the id for label without interning.
+func (in *Interner) Lookup(label string) (uint64, bool) {
+	id, ok := in.ids[label]
+	return id, ok
+}
+
+// Label returns the label for id, or "" if id was never assigned.
+func (in *Interner) Label(id uint64) string {
+	if id >= uint64(len(in.labels)) {
+		return ""
+	}
+	return in.labels[id]
+}
+
+// Len returns the number of interned labels.
+func (in *Interner) Len() int { return len(in.labels) }

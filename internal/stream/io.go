@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-file formats.
+//
+// Text: one edge per line, "src dst [weight [time]]", '#' comments and
+// blank lines skipped — the common exchange format for graph datasets.
+//
+// Binary: "GSED" magic, version, count, then count fixed 32-byte records
+// (src, dst, weight, time as little-endian uint64/int64). Dense, seekable,
+// and ~6x faster to load than text.
+
+const (
+	edgeMagic   = 0x47534544 // "GSED"
+	edgeVersion = 1
+)
+
+// ErrBadFormat reports an unparsable edge file.
+var ErrBadFormat = errors.New("stream: bad edge file format")
+
+// WriteTextEdges writes edges in text form: "src dst weight time".
+func WriteTextEdges(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", e.Src, e.Dst, e.Weight, e.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTextEdges parses a text edge file. Missing weight defaults to 1,
+// missing time to 0.
+func ReadTextEdges(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: need at least src and dst", ErrBadFormat, lineNo)
+		}
+		var e Edge
+		var err error
+		if e.Src, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("%w: line %d: src: %v", ErrBadFormat, lineNo, err)
+		}
+		if e.Dst, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("%w: line %d: dst: %v", ErrBadFormat, lineNo, err)
+		}
+		e.Weight = 1
+		if len(fields) >= 3 {
+			if e.Weight, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("%w: line %d: weight: %v", ErrBadFormat, lineNo, err)
+			}
+		}
+		if len(fields) >= 4 {
+			if e.Time, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("%w: line %d: time: %v", ErrBadFormat, lineNo, err)
+			}
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// WriteBinaryEdges writes edges in the dense binary format.
+func WriteBinaryEdges(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], edgeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], edgeVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [32]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(rec[0:], e.Src)
+		binary.LittleEndian.PutUint64(rec[8:], e.Dst)
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.Weight))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(e.Time))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryEdges parses the dense binary format.
+func ReadBinaryEdges(r io.Reader) ([]Edge, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != edgeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != edgeVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxEdges = 1 << 33
+	if count > maxEdges {
+		return nil, fmt.Errorf("%w: implausible edge count %d", ErrBadFormat, count)
+	}
+	edges := make([]Edge, count)
+	var rec [32]byte
+	for i := range edges {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		edges[i] = Edge{
+			Src:    binary.LittleEndian.Uint64(rec[0:]),
+			Dst:    binary.LittleEndian.Uint64(rec[8:]),
+			Weight: int64(binary.LittleEndian.Uint64(rec[16:])),
+			Time:   int64(binary.LittleEndian.Uint64(rec[24:])),
+		}
+	}
+	return edges, nil
+}

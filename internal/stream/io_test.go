@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEdges() []Edge {
+	return []Edge{
+		{Src: 1, Dst: 2, Weight: 3, Time: 100},
+		{Src: 0, Dst: 0, Weight: 1, Time: 0},
+		{Src: 1<<63 + 5, Dst: 42, Weight: 1 << 40, Time: -1},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTextEdges(&buf, sampleEdges()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTextEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEdges()
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextDefaultsAndComments(t *testing.T) {
+	in := `# comment line
+1 2
+
+3 4 9
+5 6 7 8
+`
+	got, err := ReadTextEdges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 3, Dst: 4, Weight: 9},
+		{Src: 5, Dst: 6, Weight: 7, Time: 8},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	cases := []string{
+		"1\n",
+		"a b\n",
+		"1 b\n",
+		"1 2 x\n",
+		"1 2 3 y\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadTextEdges(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q: error = %v, want ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, sampleEdges()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEdges()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(srcs, dsts []uint64) bool {
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		edges := make([]Edge, n)
+		for i := 0; i < n; i++ {
+			edges[i] = Edge{Src: srcs[i], Dst: dsts[i], Weight: int64(i), Time: int64(i * 3)}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryEdges(&buf, edges); err != nil {
+			return false
+		}
+		got, err := ReadBinaryEdges(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinaryEdges(&buf, sampleEdges()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := ReadBinaryEdges(bytes.NewReader(data[:10])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated header: %v", err)
+	}
+	if _, err := ReadBinaryEdges(bytes.NewReader(data[:20])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated records: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := ReadBinaryEdges(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Implausible count.
+	huge := append([]byte(nil), data[:16]...)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xFF
+	}
+	if _, err := ReadBinaryEdges(bytes.NewReader(huge)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("implausible count: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+// Reservoir maintains a uniform random sample of fixed capacity over an
+// unbounded edge stream using Vitter's Algorithm R: the i-th arrival
+// replaces a uniformly random slot with probability capacity/i. The paper
+// uses reservoir sampling to draw the data samples that drive sketch
+// partitioning (§6.3) and the per-window samples of §5.
+type Reservoir struct {
+	capacity int
+	seen     int64
+	sample   []Edge
+	rng      *hashutil.RNG
+}
+
+// NewReservoir returns a reservoir holding at most capacity edges,
+// deterministic under seed. capacity must be positive.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		panic("stream: reservoir capacity must be positive")
+	}
+	return &Reservoir{
+		capacity: capacity,
+		sample:   make([]Edge, 0, capacity),
+		rng:      hashutil.NewRNG(seed),
+	}
+}
+
+// Observe offers one edge to the reservoir.
+func (r *Reservoir) Observe(e Edge) {
+	r.seen++
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, e)
+		return
+	}
+	// Replace a random slot with probability capacity/seen.
+	j := r.rng.Uint64() % uint64(r.seen)
+	if j < uint64(r.capacity) {
+		r.sample[j] = e
+	}
+}
+
+// ObserveAll offers every edge of a slice.
+func (r *Reservoir) ObserveAll(edges []Edge) {
+	for _, e := range edges {
+		r.Observe(e)
+	}
+}
+
+// Sample returns the current sample. The returned slice aliases internal
+// state; callers that keep it across further Observe calls must copy it.
+func (r *Reservoir) Sample() []Edge { return r.sample }
+
+// Seen returns the number of edges observed so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Capacity returns the maximum sample size.
+func (r *Reservoir) Capacity() int { return r.capacity }
+
+// Reset clears the reservoir, keeping its RNG stream position.
+func (r *Reservoir) Reset() {
+	r.sample = r.sample[:0]
+	r.seen = 0
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestReservoirCapacity(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := 0; i < 1000; i++ {
+		r.Observe(Edge{Src: uint64(i)})
+	}
+	if len(r.Sample()) != 10 {
+		t.Errorf("sample size = %d, want 10", len(r.Sample()))
+	}
+	if r.Seen() != 1000 {
+		t.Errorf("seen = %d, want 1000", r.Seen())
+	}
+	if r.Capacity() != 10 {
+		t.Errorf("capacity = %d", r.Capacity())
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 5; i++ {
+		r.Observe(Edge{Src: uint64(i)})
+	}
+	if len(r.Sample()) != 5 {
+		t.Errorf("sample size = %d, want 5 (short stream keeps everything)", len(r.Sample()))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 1000 stream positions should land in a 100-slot reservoir
+	// with probability ~0.1; accumulate inclusion counts over many runs
+	// and check first/last-half balance.
+	const streamLen, capacity, runs = 1000, 100, 300
+	counts := make([]int, streamLen)
+	for run := 0; run < runs; run++ {
+		r := NewReservoir(capacity, uint64(run))
+		for i := 0; i < streamLen; i++ {
+			r.Observe(Edge{Src: uint64(i)})
+		}
+		for _, e := range r.Sample() {
+			counts[e.Src]++
+		}
+	}
+	firstHalf, secondHalf := 0, 0
+	for i, c := range counts {
+		if i < streamLen/2 {
+			firstHalf += c
+		} else {
+			secondHalf += c
+		}
+	}
+	total := firstHalf + secondHalf
+	if total != capacity*runs {
+		t.Fatalf("total inclusions = %d, want %d", total, capacity*runs)
+	}
+	ratio := float64(firstHalf) / float64(total)
+	if ratio < 0.46 || ratio > 0.54 {
+		t.Errorf("first-half inclusion share = %.3f, want ≈ 0.5 (Algorithm R uniformity)", ratio)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(50, 7), NewReservoir(50, 7)
+	for i := 0; i < 5000; i++ {
+		e := Edge{Src: uint64(i), Dst: uint64(i * 2)}
+		a.Observe(e)
+		b.Observe(e)
+	}
+	sa, sb := a.Sample(), b.Sample()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(5, 1)
+	r.ObserveAll([]Edge{{Src: 1}, {Src: 2}})
+	r.Reset()
+	if len(r.Sample()) != 0 || r.Seen() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive capacity")
+		}
+	}()
+	NewReservoir(0, 1)
+}

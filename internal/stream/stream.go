@@ -1,0 +1,78 @@
+// Package stream defines the graph-stream data model of the paper: a
+// sequence of directed, timestamped, weighted edges over a vertex universe
+// identified by 64-bit ids (with optional string labels via Interner).
+//
+// It also provides the stream-side substrates the experiments need:
+// reservoir sampling (Vitter's Algorithm R), an exact ground-truth edge
+// counter, the global/local variance statistics of §6.1, and text/binary
+// edge-file readers and writers.
+package stream
+
+import (
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+// Edge is one graph-stream element (x, y; t) with an optional frequency
+// weight (default 1 in the paper's model).
+type Edge struct {
+	Src uint64 // source vertex id
+	Dst uint64 // destination vertex id
+	// Weight is the frequency increment carried by this arrival, e.g. call
+	// seconds in a telecom stream. The paper's default is 1.
+	Weight int64
+	// Time is an application timestamp (opaque to the sketches; the window
+	// store segments on it).
+	Time int64
+}
+
+// Key returns the 64-bit sketch key of the directed edge.
+func (e Edge) Key() uint64 { return hashutil.EdgeKey(e.Src, e.Dst) }
+
+// EdgeKey returns the sketch key for the directed pair (src, dst) without
+// materializing an Edge.
+func EdgeKey(src, dst uint64) uint64 { return hashutil.EdgeKey(src, dst) }
+
+// Source is a pull-based stream of edges. Next returns false when the
+// stream is exhausted; Err reports a terminal error, if any.
+type Source interface {
+	Next() (Edge, bool)
+	Err() error
+}
+
+// SliceSource adapts an in-memory edge slice to Source.
+type SliceSource struct {
+	edges []Edge
+	pos   int
+}
+
+// NewSliceSource returns a Source over edges. The slice is not copied.
+func NewSliceSource(edges []Edge) *SliceSource { return &SliceSource{edges: edges} }
+
+// Next returns the next edge.
+func (s *SliceSource) Next() (Edge, bool) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Err always returns nil for a slice source.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Drain reads a source to exhaustion and returns the collected edges.
+func Drain(src Source) ([]Edge, error) {
+	var out []Edge
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, src.Err()
+}

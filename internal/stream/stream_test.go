@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestSliceSource(t *testing.T) {
+	edges := []Edge{{Src: 1, Dst: 2, Weight: 1}, {Src: 3, Dst: 4, Weight: 2}}
+	src := NewSliceSource(edges)
+	got, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != edges[0] || got[1] != edges[1] {
+		t.Errorf("drain = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source yielded an edge")
+	}
+	src.Reset()
+	if e, ok := src.Next(); !ok || e != edges[0] {
+		t.Error("reset did not rewind")
+	}
+}
+
+func TestEdgeKeyConsistent(t *testing.T) {
+	e := Edge{Src: 10, Dst: 20}
+	if e.Key() != EdgeKey(10, 20) {
+		t.Error("Edge.Key disagrees with EdgeKey")
+	}
+	if EdgeKey(10, 20) == EdgeKey(20, 10) {
+		t.Error("directed edge keys must differ")
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alice")
+	b := in.Intern("bob")
+	if a == b {
+		t.Error("distinct labels share an id")
+	}
+	if got := in.Intern("alice"); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Errorf("len = %d, want 2", in.Len())
+	}
+	if in.Label(a) != "alice" || in.Label(b) != "bob" {
+		t.Error("label lookup failed")
+	}
+	if in.Label(99) != "" {
+		t.Error("unknown id should yield empty label")
+	}
+	if id, ok := in.Lookup("bob"); !ok || id != b {
+		t.Error("lookup failed")
+	}
+	if _, ok := in.Lookup("carol"); ok {
+		t.Error("lookup of unknown label succeeded")
+	}
+	// Dense ids in first-seen order.
+	if a != 0 || b != 1 {
+		t.Errorf("ids not dense: a=%d b=%d", a, b)
+	}
+}

@@ -1,0 +1,169 @@
+// Package vstats derives the per-vertex statistics that drive sketch
+// partitioning (§4 of the paper) from a data sample and, optionally, a
+// query-workload sample:
+//
+//   - f̃v(m): the estimated relative vertex frequency — the summed weight of
+//     sampled edges emanating from m (Eq. 2, estimated on the sample);
+//   - d̃(m): the estimated out-degree — distinct out-edges of m in the
+//     sample (Eq. 3);
+//   - w̃(n): the relative query weight of n in the workload sample, with
+//     Laplace (add-one) smoothing so vertices never seen in the workload
+//     keep a nonzero weight (§6.4).
+//
+// The paper's key insight is that these vertex-level statistics are cheap,
+// compact and — by local similarity — a reliable proxy for the unknowable
+// per-edge frequencies.
+package vstats
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// VertexStat aggregates the partitioning statistics of one source vertex.
+type VertexStat struct {
+	ID uint64
+	// F is f̃v: summed sampled out-edge weight. Always > 0 for a vertex
+	// present in the sample.
+	F float64
+	// D is d̃: distinct sampled out-edges. Always ≥ 1 for a present vertex.
+	D float64
+	// W is w̃: the (smoothed) relative workload weight. 1 until a workload
+	// sample is applied.
+	W float64
+}
+
+// AvgEdgeFreq returns f̃v(m)/d̃(m), the estimated average frequency of the
+// edges emanating from the vertex — the scenario-A sort key.
+func (v VertexStat) AvgEdgeFreq() float64 { return v.F / v.D }
+
+// Stats holds per-vertex statistics for every distinct source vertex of a
+// data sample.
+type Stats struct {
+	vertices []VertexStat
+	index    map[uint64]int
+	totalF   float64
+	hasWork  bool
+}
+
+// FromSample computes vertex statistics from a data sample. Zero-weight
+// sample edges count as weight 1, matching the paper's default frequency.
+func FromSample(sample []stream.Edge) *Stats {
+	s := &Stats{index: make(map[uint64]int)}
+	seen := make(map[[2]uint64]struct{}, len(sample))
+	for _, e := range sample {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		i, ok := s.index[e.Src]
+		if !ok {
+			i = len(s.vertices)
+			s.index[e.Src] = i
+			s.vertices = append(s.vertices, VertexStat{ID: e.Src, W: 1})
+		}
+		s.vertices[i].F += float64(w)
+		s.totalF += float64(w)
+		k := [2]uint64{e.Src, e.Dst}
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			s.vertices[i].D++
+		}
+	}
+	return s
+}
+
+// ApplyWorkload folds a query-workload sample into the statistics. Each
+// workload edge contributes one query occurrence to its source vertex;
+// weights are Laplace-smoothed over the data-sample vertex set:
+//
+//	w̃(n) = (count(n) + 1) / (|W| + |V|)
+//
+// so vertices absent from the workload sample keep weight 1/(|W|+|V|) > 0.
+// Workload sources that never occur in the data sample are ignored here;
+// at query time such vertices route to the outlier sketch anyway.
+func (s *Stats) ApplyWorkload(workload []stream.Edge) {
+	counts := make(map[uint64]int64, len(s.vertices))
+	var total int64
+	for _, q := range workload {
+		if _, ok := s.index[q.Src]; ok {
+			counts[q.Src]++
+		}
+		total++
+	}
+	denom := float64(total) + float64(len(s.vertices))
+	if denom == 0 {
+		return
+	}
+	for i := range s.vertices {
+		s.vertices[i].W = (float64(counts[s.vertices[i].ID]) + 1) / denom
+	}
+	s.hasWork = true
+}
+
+// HasWorkload reports whether ApplyWorkload has been called.
+func (s *Stats) HasWorkload() bool { return s.hasWork }
+
+// Len returns the number of distinct source vertices in the sample.
+func (s *Stats) Len() int { return len(s.vertices) }
+
+// TotalF returns Σ f̃v over all vertices.
+func (s *Stats) TotalF() float64 { return s.totalF }
+
+// Get returns the statistics of one vertex.
+func (s *Stats) Get(id uint64) (VertexStat, bool) {
+	i, ok := s.index[id]
+	if !ok {
+		return VertexStat{}, false
+	}
+	return s.vertices[i], true
+}
+
+// SortOrder selects the partitioning scenario's vertex ordering.
+type SortOrder int
+
+const (
+	// ByAvgFreq sorts by f̃v(m)/d̃(m) — scenario A (data sample only, §4.1).
+	ByAvgFreq SortOrder = iota
+	// ByFreqPerWeight sorts by f̃v(n)/w̃(n) — scenario B (data + workload
+	// samples, §4.2).
+	ByFreqPerWeight
+)
+
+// String implements fmt.Stringer.
+func (o SortOrder) String() string {
+	switch o {
+	case ByAvgFreq:
+		return "avg-frequency (data sample)"
+	case ByFreqPerWeight:
+		return "frequency-per-weight (data+workload)"
+	default:
+		return fmt.Sprintf("SortOrder(%d)", int(o))
+	}
+}
+
+// Sorted returns the vertices ordered for the given scenario. The result is
+// a fresh slice; Stats is unchanged.
+func (s *Stats) Sorted(order SortOrder) []VertexStat {
+	out := make([]VertexStat, len(s.vertices))
+	copy(out, s.vertices)
+	var key func(VertexStat) float64
+	switch order {
+	case ByAvgFreq:
+		key = func(v VertexStat) float64 { return v.F / v.D }
+	case ByFreqPerWeight:
+		key = func(v VertexStat) float64 { return v.F / v.W }
+	default:
+		panic(fmt.Sprintf("vstats: unknown sort order %d", order))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := key(out[i]), key(out[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].ID < out[j].ID // deterministic tiebreak
+	})
+	return out
+}

@@ -1,0 +1,166 @@
+package vstats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func sample() []stream.Edge {
+	return []stream.Edge{
+		{Src: 1, Dst: 10, Weight: 5},
+		{Src: 1, Dst: 11, Weight: 5},
+		{Src: 1, Dst: 10, Weight: 5}, // duplicate edge: degree counted once
+		{Src: 2, Dst: 10},            // zero weight counts as 1
+		{Src: 3, Dst: 20, Weight: 2},
+		{Src: 3, Dst: 21, Weight: 2},
+		{Src: 3, Dst: 22, Weight: 2},
+	}
+}
+
+func TestFromSample(t *testing.T) {
+	s := FromSample(sample())
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	v1, ok := s.Get(1)
+	if !ok || v1.F != 15 || v1.D != 2 {
+		t.Errorf("vertex 1 = %+v, want F=15 D=2", v1)
+	}
+	v2, _ := s.Get(2)
+	if v2.F != 1 || v2.D != 1 {
+		t.Errorf("vertex 2 = %+v, want F=1 D=1", v2)
+	}
+	v3, _ := s.Get(3)
+	if v3.F != 6 || v3.D != 3 {
+		t.Errorf("vertex 3 = %+v, want F=6 D=3", v3)
+	}
+	if s.TotalF() != 22 {
+		t.Errorf("totalF = %v, want 22", s.TotalF())
+	}
+	if _, ok := s.Get(99); ok {
+		t.Error("unknown vertex found")
+	}
+	if v1.AvgEdgeFreq() != 7.5 {
+		t.Errorf("avg edge freq = %v, want 7.5", v1.AvgEdgeFreq())
+	}
+	if s.HasWorkload() {
+		t.Error("workload flagged before ApplyWorkload")
+	}
+}
+
+func TestSortedByAvgFreq(t *testing.T) {
+	s := FromSample(sample())
+	sorted := s.Sorted(ByAvgFreq)
+	// Keys: v1 = 7.5, v2 = 1, v3 = 2 → order 2, 3, 1.
+	want := []uint64{2, 3, 1}
+	for i, v := range sorted {
+		if v.ID != want[i] {
+			t.Fatalf("position %d: id %d, want %d", i, v.ID, want[i])
+		}
+	}
+}
+
+func TestApplyWorkloadLaplace(t *testing.T) {
+	s := FromSample(sample())
+	// Workload hits vertex 1 twice, vertex 3 once, vertex 7 (not in data
+	// sample: ignored) once.
+	workload := []stream.Edge{
+		{Src: 1, Dst: 10}, {Src: 1, Dst: 11}, {Src: 3, Dst: 20}, {Src: 7, Dst: 1},
+	}
+	s.ApplyWorkload(workload)
+	if !s.HasWorkload() {
+		t.Error("workload not flagged")
+	}
+	denom := 4.0 + 3.0 // |W| + |V|
+	v1, _ := s.Get(1)
+	v2, _ := s.Get(2)
+	v3, _ := s.Get(3)
+	if math.Abs(v1.W-3/denom) > 1e-12 {
+		t.Errorf("w(1) = %v, want %v", v1.W, 3/denom)
+	}
+	if math.Abs(v2.W-1/denom) > 1e-12 {
+		t.Errorf("w(2) = %v, want %v (Laplace smoothing)", v2.W, 1/denom)
+	}
+	if math.Abs(v3.W-2/denom) > 1e-12 {
+		t.Errorf("w(3) = %v, want %v", v3.W, 2/denom)
+	}
+	if v2.W <= 0 {
+		t.Error("smoothed weight must stay positive")
+	}
+}
+
+func TestSortedByFreqPerWeight(t *testing.T) {
+	s := FromSample(sample())
+	s.ApplyWorkload([]stream.Edge{{Src: 2, Dst: 1}, {Src: 2, Dst: 1}, {Src: 2, Dst: 1}})
+	// Keys f̃v/w̃: heavily queried vertices sort first for equal f.
+	sorted := s.Sorted(ByFreqPerWeight)
+	// v2: F=1, W=(3+1)/6 → key 1.5; v3: F=6, W=1/6 → 36; v1: F=15, W=1/6 → 90.
+	want := []uint64{2, 3, 1}
+	for i, v := range sorted {
+		if v.ID != want[i] {
+			t.Fatalf("position %d: id %d, want %d", i, v.ID, want[i])
+		}
+	}
+}
+
+func TestSortedDeterministicTies(t *testing.T) {
+	// All vertices identical stats → sort must fall back to ID order.
+	var edges []stream.Edge
+	for i := 10; i > 0; i-- {
+		edges = append(edges, stream.Edge{Src: uint64(i), Dst: 100, Weight: 1})
+	}
+	s := FromSample(edges)
+	sorted := s.Sorted(ByAvgFreq)
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID }) {
+		t.Error("tied keys not ordered by ID")
+	}
+}
+
+func TestStatsInvariantsProperty(t *testing.T) {
+	// For any sample: Σ per-vertex F equals total weight, D ≥ 1, F ≥ D
+	// (weights ≥ 1), and Sorted is a permutation.
+	f := func(srcs, dsts []uint8) bool {
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if n == 0 {
+			return true
+		}
+		edges := make([]stream.Edge, n)
+		for i := 0; i < n; i++ {
+			edges[i] = stream.Edge{Src: uint64(srcs[i] % 16), Dst: uint64(dsts[i] % 16), Weight: 1}
+		}
+		s := FromSample(edges)
+		var sumF float64
+		ids := make(map[uint64]bool)
+		for _, v := range s.Sorted(ByAvgFreq) {
+			sumF += v.F
+			if v.D < 1 || v.F < v.D {
+				return false
+			}
+			if ids[v.ID] {
+				return false // duplicate in sort output
+			}
+			ids[v.ID] = true
+		}
+		return sumF == float64(n) && len(ids) == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyWorkloadNoop(t *testing.T) {
+	s := FromSample(sample())
+	s.ApplyWorkload(nil)
+	v1, _ := s.Get(1)
+	// Laplace smoothing over zero queries: every vertex gets 1/|V|.
+	if math.Abs(v1.W-1.0/3.0) > 1e-12 {
+		t.Errorf("w after empty workload = %v, want 1/3", v1.W)
+	}
+}

@@ -1,0 +1,207 @@
+// Package window implements the §5 extension for dynamic queries over
+// specific windows in time: the timeline is divided into fixed-span
+// intervals, each summarized by its own partitioned sketch. The
+// partitioning of window k is built from a reservoir sample collected
+// during window k-1, exactly as the paper prescribes ("The partitioning in
+// any particular window is performed by using a sample, which is
+// constructed by reservoir sampling from the previous window in time").
+// Interval queries extrapolate from the windows overlapping the requested
+// time range.
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// ErrTimeOrder reports an edge arriving with a timestamp earlier than an
+// already-sealed window; the store requires nondecreasing window indices.
+var ErrTimeOrder = errors.New("window: edge timestamp precedes the current window")
+
+// StoreConfig parameterizes a windowed sketch store.
+type StoreConfig struct {
+	// Span is the window length in stream time units; windows are
+	// [k·Span, (k+1)·Span).
+	Span int64
+	// SampleSize is the per-window reservoir capacity feeding the next
+	// window's partitioning.
+	SampleSize int
+	// Sketch is the per-window memory configuration. Each window gets its
+	// own budget (the paper stores "the sketch statistics separately for
+	// each window").
+	Sketch core.Config
+	// Seed decorrelates per-window reservoirs and hash families.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c StoreConfig) Validate() error {
+	if c.Span <= 0 {
+		return fmt.Errorf("window: span must be positive (got %d)", c.Span)
+	}
+	if c.SampleSize <= 0 {
+		return fmt.Errorf("window: sample size must be positive (got %d)", c.SampleSize)
+	}
+	return c.Sketch.Validate()
+}
+
+// Window is one sealed or active time window.
+type Window struct {
+	// Index is the window number k; the window covers
+	// [k·Span, (k+1)·Span).
+	Index int64
+	// Estimator summarizes the window's edges. Window 0 (no prior sample)
+	// falls back to a GlobalSketch; later windows carry partitioned
+	// gSketches built from the previous window's reservoir.
+	Estimator core.Estimator
+	// Partitioned records whether Estimator is a gSketch.
+	Partitioned bool
+	// Arrivals counts the edges folded into this window.
+	Arrivals int64
+}
+
+// Store is the windowed sketch store. Not safe for concurrent use.
+type Store struct {
+	cfg      StoreConfig
+	windows  []Window
+	sampler  *stream.Reservoir
+	rng      *hashutil.RNG
+	started  bool
+	curIndex int64
+}
+
+// NewStore builds an empty store.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{
+		cfg: cfg,
+		rng: hashutil.NewRNG(cfg.Seed ^ 0x5709e),
+	}, nil
+}
+
+// Observe folds one edge arrival. Edges must arrive with nondecreasing
+// window indices (stream order); an edge for an already-sealed window
+// returns ErrTimeOrder.
+func (s *Store) Observe(e stream.Edge) error {
+	idx := e.Time / s.cfg.Span
+	if e.Time < 0 {
+		return fmt.Errorf("window: negative timestamp %d", e.Time)
+	}
+	if !s.started {
+		if err := s.open(idx); err != nil {
+			return err
+		}
+		s.started = true
+	}
+	for idx > s.curIndex {
+		if err := s.open(s.curIndex + 1); err != nil {
+			return err
+		}
+	}
+	if idx < s.curIndex {
+		return fmt.Errorf("%w: edge at window %d, current %d", ErrTimeOrder, idx, s.curIndex)
+	}
+	w := &s.windows[len(s.windows)-1]
+	w.Estimator.Update(e)
+	w.Arrivals++
+	s.sampler.Observe(e)
+	return nil
+}
+
+// open seals the current window (if any) and starts window idx, building
+// its estimator from the previous window's reservoir sample.
+func (s *Store) open(idx int64) error {
+	cfg := s.cfg.Sketch
+	cfg.Seed = s.rng.Uint64()
+
+	var est core.Estimator
+	partitioned := false
+	if s.sampler != nil && len(s.sampler.Sample()) > 0 {
+		g, err := core.BuildGSketch(cfg, s.sampler.Sample(), nil)
+		if err != nil {
+			return fmt.Errorf("window %d: %w", idx, err)
+		}
+		est = g
+		partitioned = true
+	} else {
+		g, err := core.BuildGlobalSketch(cfg)
+		if err != nil {
+			return fmt.Errorf("window %d: %w", idx, err)
+		}
+		est = g
+	}
+	s.windows = append(s.windows, Window{Index: idx, Estimator: est, Partitioned: partitioned})
+	s.curIndex = idx
+	s.sampler = stream.NewReservoir(s.cfg.SampleSize, s.rng.Uint64())
+	return nil
+}
+
+// Windows returns the store's windows in time order. The slice aliases
+// internal state; callers must not mutate it.
+func (s *Store) Windows() []Window { return s.windows }
+
+// Span returns the configured window span.
+func (s *Store) Span() int64 { return s.cfg.Span }
+
+// EstimateEdge estimates the frequency of (src, dst) over the time range
+// [t1, t2] inclusive, extrapolating fractionally from partially overlapped
+// windows ("resolved approximately by extrapolating from the sketch time
+// windows which overlap most closely", §5).
+func (s *Store) EstimateEdge(src, dst uint64, t1, t2 int64) float64 {
+	if t2 < t1 {
+		return 0
+	}
+	total := 0.0
+	for i := range s.windows {
+		w := &s.windows[i]
+		lo := w.Index * s.cfg.Span
+		hi := lo + s.cfg.Span - 1
+		oLo, oHi := maxI64(lo, t1), minI64(hi, t2)
+		if oLo > oHi {
+			continue
+		}
+		frac := float64(oHi-oLo+1) / float64(s.cfg.Span)
+		total += frac * float64(w.Estimator.EstimateEdge(src, dst))
+	}
+	return total
+}
+
+// EstimateEdgeAll estimates the edge's frequency over the whole stored
+// timeline.
+func (s *Store) EstimateEdgeAll(src, dst uint64) float64 {
+	if len(s.windows) == 0 {
+		return 0
+	}
+	first := s.windows[0].Index * s.cfg.Span
+	last := s.windows[len(s.windows)-1].Index*s.cfg.Span + s.cfg.Span - 1
+	return s.EstimateEdge(src, dst, first, last)
+}
+
+// MemoryBytes sums the counter footprint across windows.
+func (s *Store) MemoryBytes() int {
+	total := 0
+	for i := range s.windows {
+		total += s.windows[i].Estimator.MemoryBytes()
+	}
+	return total
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package window
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func storeConfig() StoreConfig {
+	return StoreConfig{
+		Span:       100,
+		SampleSize: 200,
+		Sketch:     core.Config{TotalBytes: 32 << 10},
+		Seed:       1,
+	}
+}
+
+func TestStoreWindowRollover(t *testing.T) {
+	s, err := NewStore(storeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashutil.NewRNG(2)
+	for ts := int64(0); ts < 350; ts++ {
+		e := stream.Edge{Src: rng.Uint64() % 50, Dst: rng.Uint64() % 50, Weight: 1, Time: ts}
+		if err := s.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := s.Windows()
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4 (timestamps 0..349, span 100)", len(ws))
+	}
+	// Window 0 has no prior sample → global; later windows partitioned.
+	if ws[0].Partitioned {
+		t.Error("window 0 should not be partitioned (no prior sample)")
+	}
+	for i := 1; i < len(ws); i++ {
+		if !ws[i].Partitioned {
+			t.Errorf("window %d not partitioned despite prior reservoir", i)
+		}
+	}
+	var total int64
+	for _, w := range ws {
+		total += w.Arrivals
+	}
+	if total != 350 {
+		t.Errorf("arrivals across windows = %d, want 350", total)
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Error("memory unreported")
+	}
+}
+
+func TestStoreEstimates(t *testing.T) {
+	s, _ := NewStore(storeConfig())
+	// Edge (7,8) appears 10 times in window 0 and 20 times in window 1.
+	for i := 0; i < 10; i++ {
+		mustObserve(t, s, stream.Edge{Src: 7, Dst: 8, Weight: 1, Time: int64(i)})
+	}
+	for i := 0; i < 20; i++ {
+		mustObserve(t, s, stream.Edge{Src: 7, Dst: 8, Weight: 1, Time: 100 + int64(i)})
+	}
+	// Whole-lifetime estimate ≥ 30 (CountMin overestimates).
+	if got := s.EstimateEdgeAll(7, 8); got < 30 {
+		t.Errorf("lifetime estimate = %v, want ≥ 30", got)
+	}
+	// Window-0-only estimate ≈ 10.
+	if got := s.EstimateEdge(7, 8, 0, 99); got < 10 || got > 15 {
+		t.Errorf("window-0 estimate = %v, want ≈ 10", got)
+	}
+	// Half of window 1 extrapolates to ~half of its count.
+	got := s.EstimateEdge(7, 8, 100, 149)
+	if math.Abs(got-10) > 3 {
+		t.Errorf("half-window estimate = %v, want ≈ 10 (20 × 0.5)", got)
+	}
+	// Disjoint range: zero.
+	if got := s.EstimateEdge(7, 8, 500, 600); got != 0 {
+		t.Errorf("estimate outside stored windows = %v", got)
+	}
+	// Inverted range: zero.
+	if got := s.EstimateEdge(7, 8, 50, 10); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestStoreTimeOrder(t *testing.T) {
+	s, _ := NewStore(storeConfig())
+	mustObserve(t, s, stream.Edge{Src: 1, Dst: 2, Time: 250})
+	if err := s.Observe(stream.Edge{Src: 1, Dst: 2, Time: 50}); !errors.Is(err, ErrTimeOrder) {
+		t.Errorf("stale edge error = %v, want ErrTimeOrder", err)
+	}
+	if err := s.Observe(stream.Edge{Src: 1, Dst: 2, Time: -5}); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}
+
+func TestStoreSkippedWindows(t *testing.T) {
+	s, _ := NewStore(storeConfig())
+	mustObserve(t, s, stream.Edge{Src: 1, Dst: 2, Time: 10})
+	mustObserve(t, s, stream.Edge{Src: 1, Dst: 2, Time: 510}) // jumps 4 windows
+	ws := s.Windows()
+	if len(ws) != 6 {
+		t.Fatalf("got %d windows, want 6 (0..5)", len(ws))
+	}
+	if ws[5].Arrivals != 1 {
+		t.Errorf("window 5 arrivals = %d", ws[5].Arrivals)
+	}
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	bad := []StoreConfig{
+		{Span: 0, SampleSize: 10, Sketch: core.Config{TotalBytes: 1 << 20}},
+		{Span: 10, SampleSize: 0, Sketch: core.Config{TotalBytes: 1 << 20}},
+		{Span: 10, SampleSize: 10, Sketch: core.Config{}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStore(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestStoreAccuracyAgainstExact(t *testing.T) {
+	// End to end: windowed estimates should track exact per-window counts
+	// within CountMin overestimation.
+	s, _ := NewStore(StoreConfig{
+		Span:       1000,
+		SampleSize: 500,
+		Sketch:     core.Config{TotalBytes: 256 << 10},
+		Seed:       3,
+	})
+	exact := stream.NewExactCounter()
+	rng := hashutil.NewRNG(4)
+	for ts := int64(0); ts < 5000; ts++ {
+		e := stream.Edge{Src: rng.Uint64() % 100, Dst: rng.Uint64() % 100, Weight: 1, Time: ts}
+		mustObserve(t, s, e)
+		exact.Observe(e)
+	}
+	var over, n float64
+	exact.RangeEdges(func(src, dst uint64, f int64) bool {
+		est := s.EstimateEdgeAll(src, dst)
+		if est < float64(f)-0.01 {
+			t.Fatalf("windowed estimate %v below truth %d for (%d,%d)", est, f, src, dst)
+		}
+		over += est - float64(f)
+		n++
+		return true
+	})
+	if mean := over / n; mean > 5 {
+		t.Errorf("mean overestimate %v too large for this budget", mean)
+	}
+}
+
+func mustObserve(t *testing.T, s *Store, e stream.Edge) {
+	t.Helper()
+	if err := s.Observe(e); err != nil {
+		t.Fatal(err)
+	}
+}
