@@ -12,10 +12,12 @@ package gsketch_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/experiments"
+	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/sketch"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -202,6 +204,189 @@ func BenchmarkCountMinEstimate(b *testing.B) {
 		sink += cm.Estimate(uint64(i % 65536))
 	}
 	_ = sink
+}
+
+// --- Ingest-pipeline benches ----------------------------------------------
+
+// ingestBenchEdges is the 1M-edge synthetic stream the ingest benches run
+// over (skewed sources, mixed arrival order).
+func ingestBenchEdges() []stream.Edge {
+	edges := make([]stream.Edge, 1<<20)
+	for i := range edges {
+		v := uint64(i)*0x9e3779b97f4a7c15 + 0x7f4a7c15
+		edges[i] = stream.Edge{Src: (v >> 16) % 16384, Dst: v % 65536, Weight: 1}
+	}
+	return edges
+}
+
+func ingestBenchSketch(b *testing.B, edges []stream.Edge) *core.GSketch {
+	g, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 42}, edges[:1<<15], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// seedSketch replicates the seed's per-edge ingest structure exactly: a
+// map[uint64]int32 vertex router in front of per-partition CountMin
+// sketches, one interface dispatch per edge. Wrapped in NewConcurrent it
+// takes the generic single-RWMutex path (it is not a *GSketch), so the
+// pair reproduces the pre-refactor Concurrent.Update hot path that the
+// acceptance speedup is measured against.
+type seedSketch struct {
+	router  map[uint64]int32
+	parts   []sketch.Synopsis
+	outlier sketch.Synopsis
+	total   int64
+}
+
+// newSeedSketch rebuilds the seed structure from a built gSketch: same
+// partition layout and widths, same routed vertex set (recovered through
+// PartitionOf over the source universe).
+func newSeedSketch(b *testing.B, g *core.GSketch, sources int) *seedSketch {
+	s := &seedSketch{router: make(map[uint64]int32)}
+	for _, leaf := range g.Leaves() {
+		cm, err := sketch.NewCountMin(leaf.Width, g.Depth(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.parts = append(s.parts, cm)
+	}
+	out, err := sketch.NewCountMin(g.OutlierWidth(), g.Depth(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.outlier = out
+	for src := 0; src < sources; src++ {
+		if i, ok := g.PartitionOf(uint64(src)); ok {
+			s.router[uint64(src)] = int32(i)
+		}
+	}
+	return s
+}
+
+func (s *seedSketch) Update(e stream.Edge) {
+	w := e.Weight
+	if w == 0 {
+		w = 1
+	}
+	s.total += w
+	syn := s.outlier
+	if i, ok := s.router[e.Src]; ok {
+		syn = s.parts[i]
+	}
+	syn.Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+func (s *seedSketch) UpdateBatch(edges []stream.Edge) {
+	for _, e := range edges {
+		s.Update(e)
+	}
+}
+
+func (s *seedSketch) EstimateEdge(src, dst uint64) int64 {
+	syn := s.outlier
+	if i, ok := s.router[src]; ok {
+		syn = s.parts[i]
+	}
+	return syn.Estimate(stream.EdgeKey(src, dst))
+}
+
+func (s *seedSketch) Count() int64     { return s.total }
+func (s *seedSketch) MemoryBytes() int { return 0 }
+
+// ingestBenchBatch is the batch size of the batched ingest benches.
+const ingestBenchBatch = 8192
+
+// runIngestWorkers splits b.N edges across 4 goroutines, each claiming
+// ingestBenchBatch-sized ranges of the 1M-edge ring and applying them with
+// apply. Wall-clock covers all workers, so ns/op is true per-edge cost
+// under write concurrency.
+func runIngestWorkers(b *testing.B, edges []stream.Edge, apply func(chunk []stream.Edge)) {
+	const workers = 4
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(ingestBenchBatch) - ingestBenchBatch
+				if lo >= int64(b.N) {
+					return
+				}
+				n := int64(ingestBenchBatch)
+				if lo+n > int64(b.N) {
+					n = int64(b.N) - lo
+				}
+				off := int(lo) % (1<<20 - ingestBenchBatch)
+				apply(edges[off : off+int(n)])
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+}
+
+// BenchmarkConcurrentUpdatePerEdge is the seed ingest path under write
+// concurrency: 4 goroutines pushing one edge at a time through a single
+// global lock.
+func BenchmarkConcurrentUpdatePerEdge(b *testing.B) {
+	edges := ingestBenchEdges()
+	c := core.NewConcurrent(newSeedSketch(b, ingestBenchSketch(b, edges), 16384))
+	runIngestWorkers(b, edges, func(chunk []stream.Edge) {
+		for _, e := range chunk {
+			c.Update(e)
+		}
+	})
+}
+
+// BenchmarkUpdateBatch is the refactored path under the same concurrency:
+// 4 goroutines pushing batches through the partition-sharded Concurrent.
+// The acceptance bar for the ingest refactor is ≥2× the edges/sec of
+// BenchmarkConcurrentUpdatePerEdge.
+func BenchmarkUpdateBatch(b *testing.B) {
+	edges := ingestBenchEdges()
+	c := core.NewConcurrent(ingestBenchSketch(b, edges))
+	runIngestWorkers(b, edges, func(chunk []stream.Edge) {
+		c.UpdateBatch(chunk)
+	})
+}
+
+// BenchmarkIngestorPipeline drives the full Push→channel→worker pipeline.
+func BenchmarkIngestorPipeline(b *testing.B) {
+	edges := ingestBenchEdges()
+	c := core.NewConcurrent(ingestBenchSketch(b, edges))
+	ing, err := ingest.New(c, ingest.Config{Workers: 4, BatchSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for lo := 0; lo < b.N; lo += 1 << 16 {
+		hi := lo + 1<<16
+		if hi > b.N {
+			hi = b.N
+		}
+		for n := hi - lo; n > 0; {
+			chunk := n
+			if chunk > 1<<20 {
+				chunk = 1 << 20
+			}
+			if err := ing.PushBatch(edges[:chunk]); err != nil {
+				b.Fatal(err)
+			}
+			n -= chunk
+		}
+	}
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
 }
 
 // --- Ablation benches (DESIGN.md §6) --------------------------------------

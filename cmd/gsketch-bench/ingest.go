@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// ingestResult is one row of the machine-readable ingest report.
+type ingestResult struct {
+	Mode          string  `json:"mode"`
+	Goroutines    int     `json:"goroutines"`
+	Edges         int64   `json:"edges"`
+	Seconds       float64 `json:"seconds"`
+	EdgesPerSec   float64 `json:"edges_per_sec"`
+	NsPerEdge     float64 `json:"ns_per_edge"`
+	AllocsPerEdge float64 `json:"allocs_per_edge"`
+	Speedup       float64 `json:"speedup_vs_per_edge"`
+}
+
+// ingestReport is the BENCH_ingest.json payload, versioned so later PRs can
+// extend it while keeping the perf trajectory comparable.
+type ingestReport struct {
+	Schema     int            `json:"schema"`
+	Edges      int            `json:"edges"`
+	BatchSize  int            `json:"batch_size"`
+	Workers    int            `json:"workers"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Partitions int            `json:"partitions"`
+	Results    []ingestResult `json:"results"`
+}
+
+// ingestStream builds a synthetic 1M-class stream with a skewed source
+// population, the shape the router and partitions see in the paper's
+// workloads.
+func ingestStream(n int) []stream.Edge {
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		// Mix the index so sources do not arrive in sorted runs.
+		v := uint64(i)*0x9e3779b97f4a7c15 + 0x7f4a7c15
+		edges[i] = stream.Edge{
+			Src:    (v >> 16) % 16384,
+			Dst:    v % 65536,
+			Weight: 1,
+		}
+	}
+	return edges
+}
+
+func buildIngestSketch(edges []stream.Edge) (*core.GSketch, error) {
+	sample := edges
+	if len(sample) > 1<<15 {
+		sample = sample[:1<<15]
+	}
+	return core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 42}, sample, nil)
+}
+
+// measure runs fn over the edge count and reports throughput plus the
+// malloc delta per edge.
+func measure(mode string, goroutines int, edges int64, fn func()) ingestResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	fn()
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	secs := dt.Seconds()
+	return ingestResult{
+		Mode:          mode,
+		Goroutines:    goroutines,
+		Edges:         edges,
+		Seconds:       secs,
+		EdgesPerSec:   float64(edges) / secs,
+		NsPerEdge:     float64(dt.Nanoseconds()) / float64(edges),
+		AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
+	}
+}
+
+// runIngestBench compares the three ingest paths on a fresh sketch each:
+// per-edge locked Update (the seed hot path), single-threaded UpdateBatch,
+// and the sharded-parallel Ingestor pipeline.
+func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
+	if nEdges < 1 {
+		return fmt.Errorf("need at least 1 edge (got %d)", nEdges)
+	}
+	if batchSize < 1 {
+		return fmt.Errorf("batch size must be at least 1 (got %d)", batchSize)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	edges := ingestStream(nEdges)
+	n := int64(len(edges))
+
+	fresh := func() (*core.Concurrent, *core.GSketch, error) {
+		g, err := buildIngestSketch(edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewConcurrent(g), g, nil
+	}
+
+	var results []ingestResult
+
+	c, g, err := fresh()
+	if err != nil {
+		return err
+	}
+	partitions := g.NumPartitions()
+	results = append(results, measure("per-edge", 1, n, func() {
+		for _, e := range edges {
+			c.Update(e)
+		}
+	}))
+
+	c, _, err = fresh()
+	if err != nil {
+		return err
+	}
+	results = append(results, measure("batch", 1, n, func() {
+		for lo := 0; lo < len(edges); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			c.UpdateBatch(edges[lo:hi])
+		}
+	}))
+
+	c, _, err = fresh()
+	if err != nil {
+		return err
+	}
+	var ingErr error
+	results = append(results, measure("sharded-parallel", workers, n, func() {
+		ing, err := ingest.New(c, ingest.Config{Workers: workers, BatchSize: batchSize})
+		if err != nil {
+			ingErr = err
+			return
+		}
+		var wg sync.WaitGroup
+		producers := workers
+		stripe := (len(edges) + producers - 1) / producers
+		for p := 0; p < producers; p++ {
+			lo := p * stripe
+			hi := lo + stripe
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []stream.Edge) {
+				defer wg.Done()
+				_ = ing.PushBatch(part)
+			}(edges[lo:hi])
+		}
+		wg.Wait()
+		ingErr = ing.Close()
+	}))
+	if ingErr != nil {
+		return ingErr
+	}
+
+	base := results[0].EdgesPerSec
+	for i := range results {
+		results[i].Speedup = results[i].EdgesPerSec / base
+	}
+
+	fmt.Printf("# ingest throughput (%d edges, batch %d, %d workers, %d partitions)\n\n",
+		nEdges, batchSize, workers, partitions)
+	fmt.Printf("%-18s %10s %14s %12s %14s %8s\n",
+		"mode", "goroutines", "edges/sec", "ns/edge", "allocs/edge", "speedup")
+	for _, r := range results {
+		fmt.Printf("%-18s %10d %14.0f %12.1f %14.4f %7.2fx\n",
+			r.Mode, r.Goroutines, r.EdgesPerSec, r.NsPerEdge, r.AllocsPerEdge, r.Speedup)
+	}
+
+	report := ingestReport{
+		Schema:     1,
+		Edges:      nEdges,
+		BatchSize:  batchSize,
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Partitions: partitions,
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+	return nil
+}

@@ -5,12 +5,19 @@
 // Usage:
 //
 //	gsketch-bench [-profile repro|small] [-run id[,id...]] [-list] [-csv dir]
+//	gsketch-bench -ingest [-ingest-edges n] [-ingest-batch n] [-ingest-workers n] [-ingest-json path]
 //
 // Examples:
 //
 //	gsketch-bench -list
 //	gsketch-bench -run fig4,fig5
 //	gsketch-bench -profile small -run all
+//	gsketch-bench -ingest -ingest-edges 1000000
+//
+// The -ingest mode compares single-edge, batched and sharded-parallel
+// ingestion throughput (edges/sec, allocs/edge) and writes a
+// machine-readable BENCH_ingest.json so the perf trajectory is tracked
+// across PRs.
 package main
 
 import (
@@ -30,8 +37,22 @@ func main() {
 		run         = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
+
+		ingestMode    = flag.Bool("ingest", false, "run the ingest throughput benchmark instead of experiments")
+		ingestEdges   = flag.Int("ingest-edges", 1_000_000, "synthetic stream length for -ingest")
+		ingestBatch   = flag.Int("ingest-batch", 8192, "batch size for the batched and parallel ingest modes")
+		ingestWorkers = flag.Int("ingest-workers", 0, "worker count for the parallel ingest mode (0 = GOMAXPROCS)")
+		ingestJSON    = flag.String("ingest-json", "BENCH_ingest.json", "machine-readable ingest report path")
 	)
 	flag.Parse()
+
+	if *ingestMode {
+		if err := runIngestBench(*ingestEdges, *ingestBatch, *ingestWorkers, *ingestJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.AllExperiments() {

@@ -43,6 +43,35 @@
 // partitioner to the workload-aware objective (§4.2 of the paper), which
 // improves accuracy when query popularity is skewed.
 //
+// # Batched and parallel ingestion
+//
+// The ingest hot path is batched end to end. Estimator.UpdateBatch routes
+// a whole slice of edges at once — one pass over the flat vertex→partition
+// router groups the batch by destination partition, then each partition's
+// synopsis absorbs its group in a single call. Within a partition the
+// stream order is preserved, so batched counters are byte-identical to
+// per-edge Update. Populate uses this path automatically.
+//
+// For concurrent writers, wrap the sketch in NewConcurrent: because the
+// router is immutable after construction, each partition (plus the outlier
+// sketch) is an independent update domain, and the wrapper shards its
+// locks by partition instead of serializing every writer behind one mutex.
+// NewIngestor adds a full pipeline on top — a bounded multi-producer queue
+// drained by N workers:
+//
+//	shared := gsketch.NewConcurrent(g)
+//	ing, err := gsketch.NewIngestor(shared, gsketch.IngestConfig{})
+//	if err != nil { ... }
+//	_ = ing.PushBatch(edges) // from any number of goroutines; blocks when full
+//	_ = ing.Close()          // flush, drain, stop workers
+//
+// Throughput note: on a single core the batched sharded path sustains
+// roughly twice the edges/sec of per-edge updates behind a single mutex
+// (lock amortization plus partition-local cache residency); with multiple
+// cores the sharded writers scale further because batches touching
+// disjoint partitions never contend. `gsketch-bench -ingest` measures all
+// three paths and writes a machine-readable BENCH_ingest.json.
+//
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)
 // lives in the internal packages and is documented in DESIGN.md.

@@ -36,8 +36,24 @@ func main() {
 	fmt.Printf("gsketch: %d localized partitions, %d bytes of counters\n",
 		g.NumPartitions(), g.MemoryBytes())
 
-	// 3. Stream the edges through it (single pass, constant memory).
-	gsketch.Populate(g, edges)
+	// 3. Stream the edges through the parallel ingest pipeline: the
+	//    Concurrent wrapper shards the locks by partition, and the
+	//    Ingestor's workers apply batches in parallel (single pass,
+	//    constant memory). For single-threaded use, gsketch.Populate(g,
+	//    edges) does the same work inline.
+	shared := gsketch.NewConcurrent(g)
+	ing, err := gsketch.NewIngestor(shared, gsketch.IngestConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ing.PushBatch(edges); err != nil {
+		log.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d edges in %d batches across %d workers\n",
+		ing.Edges(), ing.Batches(), ing.Workers())
 
 	// 4. Edge query: how often did the most frequent pair collaborate?
 	var top gsketch.Edge

@@ -29,10 +29,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, e := range edges {
-		if err := store.Observe(e); err != nil {
-			log.Fatal(err)
-		}
+	// ObserveBatch hands each contiguous same-window run to the window
+	// estimator in one batched update (per-edge Observe remains available).
+	if err := store.ObserveBatch(edges); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("stored %d windows:\n", len(store.Windows()))

@@ -1,0 +1,3 @@
+module github.com/graphstream/gsketch
+
+go 1.22

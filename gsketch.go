@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/window"
@@ -53,8 +54,10 @@ type GSketch = core.GSketch
 // GlobalSketch is the single-sketch baseline of §3.2.
 type GlobalSketch = core.GlobalSketch
 
-// Concurrent is a mutex-guarded estimator wrapper for one writer and many
-// readers.
+// Concurrent is a thread-safe estimator wrapper. Wrapping a *GSketch
+// selects partition-sharded locking (the router is immutable, so each
+// partition is an independent update domain); any other estimator gets a
+// single read-write mutex.
 type Concurrent = core.Concurrent
 
 // Leaf describes one localized sketch of a partitioning.
@@ -77,8 +80,27 @@ func NewGlobal(cfg Config) (*GlobalSketch, error) {
 // NewConcurrent wraps an estimator for concurrent use.
 func NewConcurrent(est Estimator) *Concurrent { return core.NewConcurrent(est) }
 
-// Populate streams a slice of edges into an estimator.
+// Populate streams a slice of edges into an estimator in batches.
 func Populate(est Estimator, edges []Edge) { core.Populate(est, edges) }
+
+// Ingestor is the parallel batch-ingestion pipeline: a bounded
+// multi-producer queue of edge batches drained by N workers into a shared
+// estimator. Pair it with NewConcurrent(New(...)) so the workers write
+// through partition-sharded locks.
+type Ingestor = ingest.Ingestor
+
+// IngestConfig parameterizes an Ingestor; the zero value selects defaults
+// (GOMAXPROCS workers, 1024-edge batches, 4×Workers queue depth).
+type IngestConfig = ingest.Config
+
+// ErrIngestClosed reports a push against a closed Ingestor.
+var ErrIngestClosed = ingest.ErrClosed
+
+// NewIngestor starts a batch-ingestion pipeline feeding est. Close (or
+// Flush) it before reading final results from est.
+func NewIngestor(est Estimator, cfg IngestConfig) (*Ingestor, error) {
+	return ingest.New(est, cfg)
+}
 
 // Load deserializes a gSketch previously saved with (*GSketch).WriteTo.
 func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }

@@ -6,59 +6,170 @@ import (
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
-// Concurrent wraps an Estimator with a read-write mutex so one writer
-// (the stream ingester) and many readers (query threads) can share it. The
-// router inside GSketch is immutable after construction, so a single lock
-// around counter mutation is sufficient; per-partition locks would only
-// help under multiple concurrent writers, which the single-pass stream
-// model of the paper does not have.
+// Concurrent wraps an Estimator for shared use by multiple writers and
+// readers.
+//
+// When the wrapped estimator is a *GSketch, synchronization is sharded:
+// the vertex→partition router is immutable after construction, so each
+// partition (plus the outlier sketch) is an independent update domain. The
+// domains are guarded by up to maxLockStripes RWMutexes, with partition p
+// mapped to stripe p mod stripes — a partitioning can produce thousands of
+// tiny leaves, and striping keeps the per-batch lock traffic bounded (one
+// acquisition per touched stripe) while writers on different stripes still
+// proceed in parallel. A batch is routed and grouped lock-free; each
+// stripe's lock is held only while its partitions absorb their groups. The
+// stream-volume total is atomic inside GSketch.
+//
+// Any other estimator falls back to a single RWMutex around the whole
+// structure, the seed behaviour.
 type Concurrent struct {
-	mu  sync.RWMutex
 	est Estimator
+
+	// Sharded fast path (nil g means generic path).
+	g       *GSketch
+	stripes []sync.RWMutex
+	pool    sync.Pool // *scatter, one per in-flight batch
+
+	// Generic fallback path.
+	mu sync.RWMutex
 }
+
+// maxLockStripes bounds the lock array of the sharded path. Far above any
+// realistic worker count, far below pathological partition counts.
+const maxLockStripes = 64
 
 // NewConcurrent wraps est. The wrapper owns synchronization; callers must
 // not use est directly afterwards.
 func NewConcurrent(est Estimator) *Concurrent {
-	return &Concurrent{est: est}
-}
-
-// Update folds one edge arrival in under the write lock.
-func (c *Concurrent) Update(e stream.Edge) {
-	c.mu.Lock()
-	c.est.Update(e)
-	c.mu.Unlock()
-}
-
-// UpdateBatch folds a batch in under one lock acquisition, amortizing the
-// lock cost for high-rate streams.
-func (c *Concurrent) UpdateBatch(edges []stream.Edge) {
-	c.mu.Lock()
-	for _, e := range edges {
-		c.est.Update(e)
+	c := &Concurrent{est: est}
+	if g, ok := est.(*GSketch); ok {
+		c.g = g
+		n := g.NumShards()
+		if n > maxLockStripes {
+			n = maxLockStripes
+		}
+		c.stripes = make([]sync.RWMutex, n)
+		c.pool.New = func() any { return newScatter(g.NumShards()) }
 	}
-	c.mu.Unlock()
+	return c
 }
 
-// EstimateEdge answers an edge query under the read lock.
+// stripeOf maps a shard to its lock stripe.
+func (c *Concurrent) stripeOf(shard int) int { return shard % len(c.stripes) }
+
+// Update folds one edge arrival, locking only the destination shard on the
+// sharded path.
+func (c *Concurrent) Update(e stream.Edge) {
+	if c.g == nil {
+		c.mu.Lock()
+		c.est.Update(e)
+		c.mu.Unlock()
+		return
+	}
+	w := e.Weight
+	if w == 0 {
+		w = 1
+	}
+	shard := c.g.Route(e.Src)
+	key := stream.EdgeKey(e.Src, e.Dst)
+	st := c.stripeOf(shard)
+	c.stripes[st].Lock()
+	c.g.shardSynopsis(shard).Update(key, w)
+	c.stripes[st].Unlock()
+	c.g.addTotal(w)
+}
+
+// UpdateBatch folds a batch of edge arrivals. On the sharded path the batch
+// is routed and grouped by destination shard without any lock (the router
+// is immutable), then each shard's group is applied under that shard's
+// lock — so concurrent batches serialize only where they actually collide.
+func (c *Concurrent) UpdateBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	if c.g == nil {
+		c.mu.Lock()
+		c.est.UpdateBatch(edges)
+		c.mu.Unlock()
+		return
+	}
+	sc := c.pool.Get().(*scatter)
+	total := sc.route(c.g, edges)
+	// Walk stripe by stripe so each lock is acquired at most once per
+	// batch, covering every touched partition it guards.
+	for st := range c.stripes {
+		locked := false
+		for shard := st; shard < len(sc.keys); shard += len(c.stripes) {
+			if len(sc.keys[shard]) == 0 {
+				continue
+			}
+			if !locked {
+				c.stripes[st].Lock()
+				locked = true
+			}
+			c.g.shardSynopsis(shard).UpdateBatch(sc.keys[shard], sc.counts[shard])
+		}
+		if locked {
+			c.stripes[st].Unlock()
+		}
+	}
+	c.pool.Put(sc)
+	c.g.addTotal(total)
+}
+
+// EstimateEdge answers an edge query, read-locking only the shard the
+// source vertex routes to.
 func (c *Concurrent) EstimateEdge(src, dst uint64) int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.est.EstimateEdge(src, dst)
+	if c.g == nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.est.EstimateEdge(src, dst)
+	}
+	shard := c.g.Route(src)
+	key := stream.EdgeKey(src, dst)
+	st := c.stripeOf(shard)
+	c.stripes[st].RLock()
+	v := c.g.shardSynopsis(shard).Estimate(key)
+	c.stripes[st].RUnlock()
+	return v
 }
 
-// Count returns the stream volume under the read lock.
+// Count returns the stream volume folded in so far.
 func (c *Concurrent) Count() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.est.Count()
+	if c.g == nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.est.Count()
+	}
+	return c.g.Count()
 }
 
 // MemoryBytes reports the wrapped estimator's footprint.
 func (c *Concurrent) MemoryBytes() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.est.MemoryBytes()
+	if c.g == nil {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.est.MemoryBytes()
+	}
+	// Shard synopses may size dynamically (e.g. LossyCounting), so read
+	// each one under its stripe lock.
+	total := 0
+	for shard := 0; shard < c.g.NumShards(); shard++ {
+		st := c.stripeOf(shard)
+		c.stripes[st].RLock()
+		total += c.g.shardSynopsis(shard).MemoryBytes()
+		c.stripes[st].RUnlock()
+	}
+	return total
+}
+
+// NumShards reports the number of independent writer domains (1 on the
+// generic single-lock path).
+func (c *Concurrent) NumShards() int {
+	if c.g == nil {
+		return 1
+	}
+	return c.g.NumShards()
 }
 
 // Unwrap returns the wrapped estimator. Callers must hold no concurrent

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// TestConcurrentManyWritersExactCrossCheck drives many writer goroutines
+// (mixing per-edge and batched pushes) plus concurrent readers through the
+// sharded Concurrent, with Exact-synopsis partitions so final estimates
+// must equal ground truth exactly. Run under -race this is the primary
+// data-race test for the sharded ingest path.
+func TestConcurrentManyWritersExactCrossCheck(t *testing.T) {
+	const (
+		writers       = 8
+		edgesPerWrite = 20_000
+	)
+	sample := batchTestStream(4000, 41)
+	cfg := Config{
+		TotalWidth: 4096,
+		Seed:       41,
+		Factory: func(w, d int, seed uint64) (sketch.Synopsis, error) {
+			return sketch.NewExact(), nil
+		},
+	}
+	g, err := BuildGSketch(cfg, sample, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+	if c.NumShards() < 2 {
+		t.Fatalf("sharded path not selected (%d shards)", c.NumShards())
+	}
+
+	streams := make([][]stream.Edge, writers)
+	truth := stream.NewExactCounter()
+	for w := range streams {
+		streams[w] = batchTestStream(edgesPerWrite, uint64(1000+w))
+		truth.ObserveAll(streams[w])
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Concurrent readers: results are unasserted mid-stream (counters are
+	// in flux) but must be race-free.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed uint64) {
+			defer readers.Done()
+			probe := batchTestStream(1000, seed)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := probe[i%len(probe)]
+				_ = c.EstimateEdge(e.Src, e.Dst)
+				_ = c.Count()
+			}
+		}(uint64(77 + r))
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(edges []stream.Edge, batched bool) {
+			defer writerWG.Done()
+			if batched {
+				for lo := 0; lo < len(edges); lo += 512 {
+					hi := lo + 512
+					if hi > len(edges) {
+						hi = len(edges)
+					}
+					c.UpdateBatch(edges[lo:hi])
+				}
+			} else {
+				for _, e := range edges {
+					c.Update(e)
+				}
+			}
+		}(streams[w], w%2 == 0)
+	}
+	writerWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := c.Count(), truth.Total(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+
+	// Exact partitions ⇒ estimates equal ground truth.
+	checked := 0
+	truth.RangeEdges(func(src, dst uint64, f int64) bool {
+		if got := c.EstimateEdge(src, dst); got != f {
+			t.Errorf("estimate (%d,%d) = %d, want %d", src, dst, got, f)
+			return false
+		}
+		checked++
+		return checked < 20_000
+	})
+	if checked == 0 {
+		t.Fatal("no edges cross-checked")
+	}
+}
+
+// TestConcurrentGenericFallback checks the single-lock path still guards
+// non-GSketch estimators.
+func TestConcurrentGenericFallback(t *testing.T) {
+	g, err := BuildGlobalSketch(Config{TotalWidth: 4096, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+	if c.NumShards() != 1 {
+		t.Fatalf("generic path NumShards = %d, want 1", c.NumShards())
+	}
+	edges := batchTestStream(10_000, 43)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(part []stream.Edge) {
+			defer wg.Done()
+			c.UpdateBatch(part)
+			for _, e := range part[:100] {
+				c.Update(e)
+				_ = c.EstimateEdge(e.Src, e.Dst)
+			}
+		}(edges[w*2500 : (w+1)*2500])
+	}
+	wg.Wait()
+	var want int64
+	vol := func(e stream.Edge) int64 {
+		if e.Weight == 0 {
+			return 1
+		}
+		return e.Weight
+	}
+	for _, e := range edges {
+		want += vol(e)
+	}
+	for w := 0; w < 4; w++ {
+		for _, e := range edges[w*2500 : w*2500+100] {
+			want += vol(e)
+		}
+	}
+	if c.Count() != want {
+		t.Fatalf("Count = %d, want %d", c.Count(), want)
+	}
+	if c.MemoryBytes() != g.MemoryBytes() {
+		t.Fatal("MemoryBytes mismatch through wrapper")
+	}
+}
+
+// TestConcurrentParallelPlainCountMinDeterministic: plain CountMin updates
+// commute (saturating adds of non-negative counts), so even a racy-order
+// parallel ingest must land on the same final counters as sequential.
+func TestConcurrentParallelPlainCountMinDeterministic(t *testing.T) {
+	edges := batchTestStream(60_000, 47)
+	seq := buildBatchTestSketch(t, 47)
+	for _, e := range edges {
+		seq.Update(e)
+	}
+
+	par := buildBatchTestSketch(t, 47)
+	c := NewConcurrent(par)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(part []stream.Edge) {
+			defer wg.Done()
+			for lo := 0; lo < len(part); lo += 777 {
+				hi := lo + 777
+				if hi > len(part) {
+					hi = len(part)
+				}
+				c.UpdateBatch(part[lo:hi])
+			}
+		}(edges[w*10_000 : (w+1)*10_000])
+	}
+	wg.Wait()
+
+	if seq.Count() != par.Count() {
+		t.Fatalf("Count %d vs %d", seq.Count(), par.Count())
+	}
+	for _, e := range edges[:5000] {
+		if s, p := seq.EstimateEdge(e.Src, e.Dst), par.EstimateEdge(e.Src, e.Dst); s != p {
+			t.Fatalf("parallel estimate (%d,%d): %d vs %d", e.Src, e.Dst, s, p)
+		}
+	}
+}

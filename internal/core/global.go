@@ -15,6 +15,12 @@ type GlobalSketch struct {
 	depth int
 	width int
 	total int64
+
+	// batchKeys/batchCounts are the reusable key-materialization buffers of
+	// UpdateBatch. Like the sketch itself they are not safe for concurrent
+	// mutation.
+	batchKeys   []uint64
+	batchCounts []int64
 }
 
 // BuildGlobalSketch constructs the baseline with the same memory budget
@@ -44,6 +50,30 @@ func (g *GlobalSketch) Update(e stream.Edge) {
 	}
 	g.total += w
 	g.syn.Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+// UpdateBatch folds a batch of edge arrivals: edge keys and weights are
+// materialized once into reusable buffers, then the base synopsis absorbs
+// them in a single UpdateBatch call. State is identical to sequential
+// Update in slice order.
+func (g *GlobalSketch) UpdateBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	keys, counts := g.batchKeys[:0], g.batchCounts[:0]
+	var total int64
+	for _, e := range edges {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		keys = append(keys, stream.EdgeKey(e.Src, e.Dst))
+		counts = append(counts, w)
+	}
+	g.syn.UpdateBatch(keys, counts)
+	g.batchKeys, g.batchCounts = keys, counts
+	g.total += total
 }
 
 // EstimateEdge answers an edge query.

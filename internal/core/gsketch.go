@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/graphstream/gsketch/internal/hashutil"
 	"github.com/graphstream/gsketch/internal/sketch"
@@ -17,6 +18,10 @@ type Estimator interface {
 	// Update folds one edge arrival into the summary. A zero Weight counts
 	// as 1 (the paper's default frequency).
 	Update(e stream.Edge)
+	// UpdateBatch folds a slice of edge arrivals in slice order, producing
+	// the same state as the equivalent sequence of Update calls while
+	// amortizing routing and dispatch across the batch.
+	UpdateBatch(edges []stream.Edge)
 	// EstimateEdge returns the estimated accumulated frequency of the
 	// directed edge (src, dst).
 	EstimateEdge(src, dst uint64) int64
@@ -26,10 +31,18 @@ type Estimator interface {
 	MemoryBytes() int
 }
 
-// Populate streams every edge of a slice into an estimator.
+// populateChunk bounds the batch size Populate hands to UpdateBatch so the
+// scatter scratch stays cache-resident instead of growing with the stream.
+const populateChunk = 8192
+
+// Populate streams every edge of a slice into an estimator in batches.
 func Populate(est Estimator, edges []stream.Edge) {
-	for _, e := range edges {
-		est.Update(e)
+	for len(edges) > populateChunk {
+		est.UpdateBatch(edges[:populateChunk])
+		edges = edges[populateChunk:]
+	}
+	if len(edges) > 0 {
+		est.UpdateBatch(edges)
 	}
 }
 
@@ -41,10 +54,17 @@ type GSketch struct {
 	cfg     Config
 	parts   []sketch.Synopsis
 	outlier sketch.Synopsis
-	router  map[uint64]int32
+	router  *Router
 	leaves  []Leaf
 	order   vstats.SortOrder
-	total   int64
+	// total is atomic so the sharded concurrent writer can fold volume in
+	// from several goroutines without a lock (everything else it touches is
+	// per-shard).
+	total atomic.Int64
+	// scratch holds the route-then-scatter buffers of UpdateBatch; lazily
+	// allocated, reused across batches. Like the rest of GSketch it is not
+	// safe for concurrent mutation — Concurrent keeps its own pool.
+	scratch *scatter
 
 	outlierWidth int
 	totalWidth   int
@@ -114,7 +134,7 @@ func buildFromStats(cfg Config, stats *vstats.Stats, order vstats.SortOrder) (*G
 
 	g := &GSketch{
 		cfg:          cfg,
-		router:       part.Assign,
+		router:       buildRouter(part.Assign),
 		leaves:       part.Leaves,
 		order:        order,
 		outlierWidth: outlierWidth,
@@ -140,17 +160,46 @@ func buildFromStats(cfg Config, stats *vstats.Stats, order vstats.SortOrder) (*G
 	return g, nil
 }
 
-// synopsisFor routes a source vertex to its localized sketch, falling back
-// to the outlier sketch (or partition 0 when the outlier is disabled).
-func (g *GSketch) synopsisFor(src uint64) sketch.Synopsis {
-	if i, ok := g.router[src]; ok {
-		return g.parts[i]
+// NumShards returns the number of independent update domains: one per
+// partition, plus one for the outlier sketch when enabled. Shard i <
+// NumPartitions() is partition i; the outlier shard (if any) is the last.
+func (g *GSketch) NumShards() int {
+	if g.outlier != nil {
+		return len(g.parts) + 1
+	}
+	return len(g.parts)
+}
+
+// Route returns the shard index a source vertex's edges update. The router
+// is immutable after construction, so Route is safe to call concurrently
+// with shard-local writes — the property the sharded ingest path builds on.
+func (g *GSketch) Route(src uint64) int {
+	return g.routeMixed(hashutil.Mix64(src), src)
+}
+
+// routeMixed is Route with Mix64(src) precomputed (shared with edge-key
+// derivation on the scatter pass).
+func (g *GSketch) routeMixed(mixed, src uint64) int {
+	if i, ok := g.router.getMixed(mixed, src); ok {
+		return int(i)
 	}
 	if g.outlier != nil {
+		return len(g.parts)
+	}
+	return 0
+}
+
+// shardSynopsis returns the synopsis backing one shard.
+func (g *GSketch) shardSynopsis(shard int) sketch.Synopsis {
+	if shard == len(g.parts) {
 		return g.outlier
 	}
-	return g.parts[0]
+	return g.parts[shard]
 }
+
+// addTotal folds stream volume into the atomic total on behalf of callers
+// (Concurrent) that apply counter updates shard-by-shard.
+func (g *GSketch) addTotal(n int64) { g.total.Add(n) }
 
 // Update folds one edge arrival into its localized sketch.
 func (g *GSketch) Update(e stream.Edge) {
@@ -158,18 +207,38 @@ func (g *GSketch) Update(e stream.Edge) {
 	if w == 0 {
 		w = 1
 	}
-	g.total += w
-	g.synopsisFor(e.Src).Update(stream.EdgeKey(e.Src, e.Dst), w)
+	g.total.Add(w)
+	g.shardSynopsis(g.Route(e.Src)).Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+// UpdateBatch folds a batch of edge arrivals via route-then-scatter: the
+// batch is first grouped by destination shard (touching only the flat
+// router), then each shard's synopsis absorbs its group in one UpdateBatch
+// call. Within a shard the stream order is preserved, so the resulting
+// counters are byte-identical to sequential Update — partitions are
+// independent, so cross-shard reordering is unobservable.
+func (g *GSketch) UpdateBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	sc := g.scratch
+	if sc == nil {
+		sc = newScatter(g.NumShards())
+		g.scratch = sc
+	}
+	total := sc.route(g, edges)
+	sc.apply(g)
+	g.total.Add(total)
 }
 
 // EstimateEdge answers an edge query from the localized sketch the edge's
 // source routes to.
 func (g *GSketch) EstimateEdge(src, dst uint64) int64 {
-	return g.synopsisFor(src).Estimate(stream.EdgeKey(src, dst))
+	return g.shardSynopsis(g.Route(src)).Estimate(stream.EdgeKey(src, dst))
 }
 
 // Count returns the total stream volume folded in.
-func (g *GSketch) Count() int64 { return g.total }
+func (g *GSketch) Count() int64 { return g.total.Load() }
 
 // MemoryBytes reports the summed counter footprint of all partitions and
 // the outlier sketch. The router is reported separately by RouterBytes.
@@ -184,10 +253,10 @@ func (g *GSketch) MemoryBytes() int {
 	return total
 }
 
-// RouterBytes approximates the footprint of the vertex→partition hash
-// structure H (~16 bytes per entry: 8-byte key, 4-byte value, load-factor
-// overhead). The paper treats this as marginal overhead (§5).
-func (g *GSketch) RouterBytes() int { return len(g.router) * 16 }
+// RouterBytes reports the exact footprint of the vertex→partition table H:
+// allocated capacity × 12-byte slot (8-byte key + 4-byte value). The paper
+// treats this as marginal overhead (§5).
+func (g *GSketch) RouterBytes() int { return g.router.Bytes() }
 
 // NumPartitions returns the number of localized sketches (excluding the
 // outlier sketch).
@@ -206,7 +275,7 @@ func (g *GSketch) Order() vstats.SortOrder { return g.order }
 // PartitionOf returns the partition index a source vertex routes to, and
 // whether it was present in the sample (false ⇒ outlier sketch).
 func (g *GSketch) PartitionOf(src uint64) (int, bool) {
-	i, ok := g.router[src]
+	i, ok := g.router.Get(src)
 	return int(i), ok
 }
 
@@ -227,7 +296,7 @@ func (g *GSketch) OutlierWidth() int { return g.outlierWidth }
 // interval discussed in §5 ("the number of edges assigned to each of the
 // partitions is known in advance of query processing").
 func (g *GSketch) ErrorBound(src uint64) float64 {
-	if i, ok := g.router[src]; ok {
+	if i, ok := g.router.Get(src); ok {
 		return errorBound(g.parts[i].Count(), g.leaves[i].Width)
 	}
 	if g.outlier != nil {

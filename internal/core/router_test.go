@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+)
+
+func TestRouterInsertGet(t *testing.T) {
+	r := NewRouter(0)
+	if _, ok := r.Get(42); ok {
+		t.Fatal("empty router reports a hit")
+	}
+	rng := hashutil.NewRNG(7)
+	want := make(map[uint64]int32)
+	for i := 0; i < 10_000; i++ {
+		k := rng.Uint64()
+		v := int32(i % 257)
+		want[k] = v
+		r.Insert(k, v)
+	}
+	if r.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := r.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		if _, seen := want[k]; seen {
+			continue
+		}
+		if _, ok := r.Get(k); ok {
+			t.Fatalf("Get(%d) hit for unrouted key", k)
+		}
+		misses++
+	}
+	if misses == 0 {
+		t.Fatal("miss probe never exercised")
+	}
+}
+
+func TestRouterZeroKey(t *testing.T) {
+	r := NewRouter(4)
+	if _, ok := r.Get(0); ok {
+		t.Fatal("zero key present in empty router")
+	}
+	r.Insert(0, 5)
+	if v, ok := r.Get(0); !ok || v != 5 {
+		t.Fatalf("Get(0) = (%d,%v), want (5,true)", v, ok)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	r.Insert(0, 9)
+	if v, _ := r.Get(0); v != 9 {
+		t.Fatalf("overwrite of zero key lost: got %d", v)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", r.Len())
+	}
+}
+
+func TestRouterOverwrite(t *testing.T) {
+	r := NewRouter(2)
+	r.Insert(7, 1)
+	r.Insert(7, 3)
+	if v, _ := r.Get(7); v != 3 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRouterGrowKeepsEntries(t *testing.T) {
+	r := newRouterCap(8)
+	for i := uint64(1); i <= 1000; i++ {
+		r.Insert(i, int32(i%13))
+	}
+	if r.Cap()&(r.Cap()-1) != 0 {
+		t.Fatalf("capacity %d is not a power of two", r.Cap())
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		v, ok := r.Get(i)
+		if !ok || v != int32(i%13) {
+			t.Fatalf("after grow: Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	// Load stays under the bound.
+	if r.Len()*16 > r.Cap()*routerMaxLoad {
+		t.Fatalf("load %d/%d above bound", r.Len(), r.Cap())
+	}
+}
+
+func TestRouterRange(t *testing.T) {
+	r := NewRouter(8)
+	r.Insert(0, 2)
+	for i := uint64(1); i <= 50; i++ {
+		r.Insert(i*977, int32(i))
+	}
+	seen := make(map[uint64]int32)
+	r.Range(func(k uint64, v int32) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 51 {
+		t.Fatalf("Range visited %d entries, want 51", len(seen))
+	}
+	if seen[0] != 2 {
+		t.Fatalf("zero key value %d, want 2", seen[0])
+	}
+	// Early termination.
+	n := 0
+	r.Range(func(k uint64, v int32) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("Range after stop visited %d, want 3", n)
+	}
+}
+
+func TestRouterBytesReportsCapacity(t *testing.T) {
+	r := NewRouter(1000)
+	if r.Bytes() != r.Cap()*routerSlotBytes {
+		t.Fatalf("Bytes = %d, want cap %d × %d", r.Bytes(), r.Cap(), routerSlotBytes)
+	}
+}

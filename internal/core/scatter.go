@@ -1,0 +1,58 @@
+package core
+
+import (
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// scatter holds the per-shard (key, count) groups of one routed batch. The
+// buffers are reused across batches so steady-state batch ingestion does
+// not allocate.
+type scatter struct {
+	keys   [][]uint64
+	counts [][]int64
+}
+
+func newScatter(shards int) *scatter {
+	return &scatter{
+		keys:   make([][]uint64, shards),
+		counts: make([][]int64, shards),
+	}
+}
+
+// route groups a batch by destination shard, preserving stream order within
+// each shard, and returns the batch's total stream volume. Only the
+// immutable router is read, so route is safe concurrently with shard-local
+// counter writes.
+func (sc *scatter) route(g *GSketch, edges []stream.Edge) int64 {
+	for i := range sc.keys {
+		sc.keys[i] = sc.keys[i][:0]
+		sc.counts[i] = sc.counts[i][:0]
+	}
+	var total int64
+	for _, e := range edges {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+		// One Mix64 of the source serves both the routing probe and the
+		// edge-key derivation.
+		mixed := hashutil.Mix64(e.Src)
+		shard := g.routeMixed(mixed, e.Src)
+		sc.keys[shard] = append(sc.keys[shard], hashutil.EdgeKeyMixed(mixed, e.Dst))
+		sc.counts[shard] = append(sc.counts[shard], w)
+	}
+	return total
+}
+
+// apply folds every non-empty shard group into its synopsis, in ascending
+// shard order for determinism. The caller owns synchronization and the
+// total-volume accounting.
+func (sc *scatter) apply(g *GSketch) {
+	for shard := range sc.keys {
+		if len(sc.keys[shard]) > 0 {
+			g.shardSynopsis(shard).UpdateBatch(sc.keys[shard], sc.counts[shard])
+		}
+	}
+}

@@ -31,8 +31,11 @@ import (
 // rejected with an error.
 
 const (
-	gskMagic   = 0x47534b50 // "GSKP"
-	gskVersion = 1
+	gskMagic = 0x47534b50 // "GSKP"
+	// gskVersion 2: the row-hash range reduction changed (see
+	// sketch.cmVersion), so counter cells written by version 1 are not
+	// addressable by the current hash family.
+	gskVersion = 2
 )
 
 // WriteTo serializes the gSketch: layout, router and all counter state.
@@ -67,7 +70,7 @@ func (g *GSketch) WriteTo(w io.Writer) (int64, error) {
 
 	hdr := []any{
 		uint32(gskMagic), uint32(gskVersion),
-		uint64(g.cfg.Depth), uint64(g.order), uint64(g.total),
+		uint64(g.cfg.Depth), uint64(g.order), uint64(g.total.Load()),
 		uint64(g.totalWidth), uint64(g.outlierWidth), uint64(len(g.leaves)),
 	}
 	for _, v := range hdr {
@@ -87,16 +90,19 @@ func (g *GSketch) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	if err := wr(uint64(len(g.router))); err != nil {
+	if err := wr(uint64(g.router.Len())); err != nil {
 		return n, err
 	}
-	for vertex, part := range g.router {
-		if err := wr(vertex); err != nil {
-			return n, err
+	var routeErr error
+	g.router.Range(func(vertex uint64, part int32) bool {
+		if routeErr = wr(vertex); routeErr != nil {
+			return false
 		}
-		if err := wr(uint32(part)); err != nil {
-			return n, err
-		}
+		routeErr = wr(uint32(part))
+		return routeErr == nil
+	})
+	if routeErr != nil {
+		return n, routeErr
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
@@ -149,12 +155,11 @@ func ReadGSketch(r io.Reader) (*GSketch, error) {
 	g := &GSketch{
 		cfg:          Config{Depth: int(depth)}.withDefaults(),
 		order:        vstats.SortOrder(order),
-		total:        int64(total),
 		totalWidth:   int(totalWidth),
 		outlierWidth: int(outlierW),
 		leaves:       make([]Leaf, numLeaves),
-		router:       make(map[uint64]int32),
 	}
+	g.total.Store(int64(total))
 	g.cfg.TotalWidth = int(totalWidth)
 	for i := range g.leaves {
 		var width, vertices, fBits, dBits uint64
@@ -183,6 +188,7 @@ func ReadGSketch(r io.Reader) (*GSketch, error) {
 	if numRoutes > maxRoutes {
 		return nil, fmt.Errorf("%w: implausible route count %d", sketch.ErrCorrupt, numRoutes)
 	}
+	g.router = NewRouter(int(numRoutes))
 	for i := uint64(0); i < numRoutes; i++ {
 		var vertex uint64
 		var part uint32
@@ -195,7 +201,7 @@ func ReadGSketch(r io.Reader) (*GSketch, error) {
 		if uint64(part) >= numLeaves {
 			return nil, fmt.Errorf("%w: route %d targets nonexistent partition %d", sketch.ErrCorrupt, i, part)
 		}
-		g.router[vertex] = int32(part)
+		g.router.Insert(vertex, int32(part))
 	}
 	g.parts = make([]sketch.Synopsis, numLeaves)
 	for i := range g.parts {

@@ -48,9 +48,15 @@ type PairwiseHash struct {
 // Width returns the size of the hash's output range [0, w).
 func (h PairwiseHash) Width() int { return int(h.width) }
 
-// Hash maps a 64-bit key onto [0, width).
+// Hash maps a 64-bit key onto [0, width). The uniform value in [0, p) is
+// mapped onto the output range with Lemire's multiply-shift reduction
+// ((v·w)>>61 here, since v < 2^61) instead of a hardware divide — the
+// row-hash runs on the ingest hot path five times per edge, and the
+// division was its single largest cost.
 func (h PairwiseHash) Hash(x uint64) int {
-	return int(mod61(mulMod61(h.a, mod61(x))+h.b) % h.width)
+	v := mod61(mulMod61(h.a, mod61(x)) + h.b)
+	hi, lo := bits.Mul64(v, h.width)
+	return int(hi<<3 | lo>>61)
 }
 
 // NewPairwiseFamily draws d independent members of the pairwise-independent
@@ -118,7 +124,13 @@ func Mix64(x uint64) uint64 {
 // The construction mixes src and dst asymmetrically so (a,b) and (b,a)
 // collide no more often than random pairs.
 func EdgeKey(src, dst uint64) uint64 {
-	return Mix64(Mix64(src)*0x9e3779b97f4a7c15 + dst + 0x7f4a7c159e3779b9)
+	return EdgeKeyMixed(Mix64(src), dst)
+}
+
+// EdgeKeyMixed is EdgeKey with Mix64(src) precomputed. The batch router
+// shares one source mixing between partition routing and key derivation.
+func EdgeKeyMixed(mixedSrc, dst uint64) uint64 {
+	return Mix64(mixedSrc*0x9e3779b97f4a7c15 + dst + 0x7f4a7c159e3779b9)
 }
 
 // StringKey hashes a vertex label to a 64-bit key using FNV-1a.

@@ -1,0 +1,279 @@
+// Package ingest provides the parallel batch-ingestion pipeline: a bounded
+// multi-producer queue of edge batches drained by N workers into a shared
+// estimator (normally a core.Concurrent wrapping a gSketch, whose
+// partition-sharded locking lets the workers proceed in parallel).
+//
+// The pipeline decouples stream arrival from counter mutation:
+//
+//	producers ──Push/PushBatch──▶ bounded channel ──▶ N workers ──▶ Estimator.UpdateBatch
+//
+// Backpressure is the channel bound: when the workers fall behind, Push
+// blocks instead of buffering unboundedly. Flush waits for everything
+// accepted so far to be applied; Close flushes, stops the workers and makes
+// further pushes fail with ErrClosed.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// ErrClosed reports a push or flush against a closed ingestor.
+var ErrClosed = errors.New("ingest: ingestor is closed")
+
+// Config parameterizes an Ingestor. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// Workers is the number of goroutines applying batches (default
+	// GOMAXPROCS). With a sharded Concurrent target, workers contend only
+	// when their batches collide on a partition.
+	Workers int
+	// BatchSize is the number of edges buffered per Push before a batch is
+	// enqueued (default 1024). Larger batches amortize routing and locking
+	// further at the cost of ingest-to-visibility latency.
+	BatchSize int
+	// QueueDepth is the bound of the batch channel (default 4×Workers).
+	// Once QueueDepth batches are in flight, pushes block — the pipeline's
+	// backpressure.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1024
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Workers < 0 || c.BatchSize < 0 || c.QueueDepth < 0 {
+		return fmt.Errorf("ingest: negative config value (workers=%d batch=%d queue=%d)",
+			c.Workers, c.BatchSize, c.QueueDepth)
+	}
+	return nil
+}
+
+// Ingestor is the multi-producer, N-worker batch pipeline. All methods are
+// safe for concurrent use.
+type Ingestor struct {
+	dest core.Estimator
+	cfg  Config
+
+	ch      chan []stream.Edge
+	workers sync.WaitGroup
+	bufPool sync.Pool // []stream.Edge with cap = BatchSize
+
+	mu      sync.Mutex
+	pending []stream.Edge
+	closed  bool
+	done    chan struct{} // closed once the first Close fully drains
+
+	// inflight counts batches enqueued but not yet applied; drained tracks
+	// Flush waiters. A plain counter + cond (rather than a WaitGroup) keeps
+	// concurrent Push/Flush free of the Add-after-Wait caveat.
+	inflight   int
+	inflightMu sync.Mutex
+	drained    *sync.Cond
+
+	edges   atomic.Int64
+	batches atomic.Int64
+}
+
+// New starts an ingestor feeding dest. Callers stream edges with Push or
+// PushBatch and must Close (or at least Flush) before querying dest for
+// final results.
+func New(dest core.Estimator, cfg Config) (*Ingestor, error) {
+	if dest == nil {
+		return nil, errors.New("ingest: nil destination estimator")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	in := &Ingestor{
+		dest: dest,
+		cfg:  cfg,
+		ch:   make(chan []stream.Edge, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	in.bufPool.New = func() any { return make([]stream.Edge, 0, cfg.BatchSize) }
+	in.drained = sync.NewCond(&in.inflightMu)
+	in.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go in.worker()
+	}
+	return in, nil
+}
+
+func (in *Ingestor) worker() {
+	defer in.workers.Done()
+	for batch := range in.ch {
+		in.dest.UpdateBatch(batch)
+		in.edges.Add(int64(len(batch)))
+		in.batches.Add(1)
+		in.bufPool.Put(batch[:0])
+		in.inflightMu.Lock()
+		in.inflight--
+		if in.inflight == 0 {
+			in.drained.Broadcast()
+		}
+		in.inflightMu.Unlock()
+	}
+}
+
+// addInflight registers a batch about to be sent. It is called while in.mu
+// is held, so the closed check and the inflight increment are atomic with
+// respect to Close — once Close observes inflight == 0 after setting
+// closed, no further sends can occur and the channel is safe to close.
+func (in *Ingestor) addInflight() {
+	in.inflightMu.Lock()
+	in.inflight++
+	in.inflightMu.Unlock()
+}
+
+// Push buffers one edge, enqueuing a batch every BatchSize edges. It blocks
+// when the pipeline is at capacity and returns ErrClosed after Close.
+func (in *Ingestor) Push(e stream.Edge) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	if in.pending == nil {
+		in.pending = in.bufPool.Get().([]stream.Edge)
+	}
+	in.pending = append(in.pending, e)
+	var full []stream.Edge
+	if len(in.pending) >= in.cfg.BatchSize {
+		full = in.pending
+		in.pending = nil
+		in.addInflight()
+	}
+	in.mu.Unlock()
+	if full != nil {
+		in.ch <- full
+	}
+	return nil
+}
+
+// PushBatch copies a slice of edges into the pipeline (the caller keeps
+// ownership of edges) and enqueues every full batch it completes.
+func (in *Ingestor) PushBatch(edges []stream.Edge) error {
+	for len(edges) > 0 {
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return ErrClosed
+		}
+		if in.pending == nil {
+			in.pending = in.bufPool.Get().([]stream.Edge)
+		}
+		room := in.cfg.BatchSize - len(in.pending)
+		if room > len(edges) {
+			room = len(edges)
+		}
+		in.pending = append(in.pending, edges[:room]...)
+		edges = edges[room:]
+		var full []stream.Edge
+		if len(in.pending) >= in.cfg.BatchSize {
+			full = in.pending
+			in.pending = nil
+			in.addInflight()
+		}
+		in.mu.Unlock()
+		if full != nil {
+			in.ch <- full
+		}
+	}
+	return nil
+}
+
+// Flush enqueues any partial batch and blocks until the pipeline is fully
+// drained, which covers every batch accepted before the call. The drain
+// condition is global: if other producers keep pushing concurrently, Flush
+// also waits for their in-flight batches and may not return until the
+// pipeline next idles — quiesce producers first when a bounded wait
+// matters.
+func (in *Ingestor) Flush() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	partial := in.pending
+	in.pending = nil
+	if len(partial) > 0 {
+		in.addInflight()
+	}
+	in.mu.Unlock()
+	if len(partial) > 0 {
+		in.ch <- partial
+	} else if partial != nil {
+		in.bufPool.Put(partial[:0])
+	}
+	in.waitDrained()
+	return nil
+}
+
+func (in *Ingestor) waitDrained() {
+	in.inflightMu.Lock()
+	for in.inflight > 0 {
+		in.drained.Wait()
+	}
+	in.inflightMu.Unlock()
+}
+
+// Close flushes buffered edges, waits for the queue to drain, stops the
+// workers and releases the pipeline. Further pushes return ErrClosed.
+// Close is idempotent, and every Close call blocks until the drain is
+// complete — a second caller returns only once the first finishes, so
+// "Close then read results" is safe from any goroutine.
+func (in *Ingestor) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		<-in.done
+		return nil
+	}
+	in.closed = true
+	partial := in.pending
+	in.pending = nil
+	if len(partial) > 0 {
+		in.addInflight()
+	}
+	in.mu.Unlock()
+	if len(partial) > 0 {
+		in.ch <- partial
+	}
+	in.waitDrained()
+	close(in.ch)
+	in.workers.Wait()
+	close(in.done)
+	return nil
+}
+
+// Edges returns the number of edges applied to the destination so far
+// (buffered and in-flight edges are not yet counted).
+func (in *Ingestor) Edges() int64 { return in.edges.Load() }
+
+// Batches returns the number of batches applied so far.
+func (in *Ingestor) Batches() int64 { return in.batches.Load() }
+
+// Workers returns the resolved worker count.
+func (in *Ingestor) Workers() int { return in.cfg.Workers }
+
+// BatchSize returns the resolved batch size.
+func (in *Ingestor) BatchSize() int { return in.cfg.BatchSize }

@@ -1,0 +1,242 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func testStream(n int, seed uint64) []stream.Edge {
+	rng := hashutil.NewRNG(seed)
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		edges[i] = stream.Edge{
+			Src:    rng.Uint64() % 2000,
+			Dst:    rng.Uint64() % 6000,
+			Weight: int64(rng.Uint64() % 3),
+		}
+	}
+	return edges
+}
+
+// exactTarget builds a sharded Concurrent over Exact-synopsis partitions,
+// so ingested estimates must equal ground truth exactly.
+func exactTarget(t *testing.T) *core.Concurrent {
+	t.Helper()
+	cfg := core.Config{
+		TotalWidth: 2048,
+		Seed:       5,
+		Factory: func(w, d int, seed uint64) (sketch.Synopsis, error) {
+			return sketch.NewExact(), nil
+		},
+	}
+	g, err := core.BuildGSketch(cfg, testStream(3000, 99), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewConcurrent(g)
+}
+
+// TestIngestorManyProducersExact is the end-to-end pipeline test: several
+// producers mixing Push and PushBatch, drained by several workers into the
+// sharded estimator, cross-checked against an exact counter. Run with
+// -race this is the primary concurrency test of the package.
+func TestIngestorManyProducersExact(t *testing.T) {
+	const producers = 6
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 4, BatchSize: 256, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streams := make([][]stream.Edge, producers)
+	truth := stream.NewExactCounter()
+	for p := range streams {
+		streams[p] = testStream(10_000, uint64(500+p))
+		truth.ObserveAll(streams[p])
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(edges []stream.Edge, viaBatch bool) {
+			defer wg.Done()
+			if viaBatch {
+				if err := ing.PushBatch(edges); err != nil {
+					t.Errorf("PushBatch: %v", err)
+				}
+				return
+			}
+			for _, e := range edges {
+				if err := ing.Push(e); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(streams[p], p%2 == 0)
+	}
+	wg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantEdges := int64(producers * 10_000)
+	if ing.Edges() != wantEdges {
+		t.Fatalf("Edges = %d, want %d", ing.Edges(), wantEdges)
+	}
+	if c.Count() != truth.Total() {
+		t.Fatalf("Count = %d, want %d", c.Count(), truth.Total())
+	}
+	checked := 0
+	truth.RangeEdges(func(src, dst uint64, f int64) bool {
+		if got := c.EstimateEdge(src, dst); got != f {
+			t.Errorf("estimate (%d,%d) = %d, want %d", src, dst, got, f)
+			return false
+		}
+		checked++
+		return checked < 10_000
+	})
+	if checked == 0 {
+		t.Fatal("nothing cross-checked")
+	}
+}
+
+func TestIngestorFlushMakesVisible(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 2, BatchSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	e := stream.Edge{Src: 1, Dst: 2, Weight: 7}
+	for i := 0; i < 5; i++ {
+		if err := ing.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch (1000) not full: nothing guaranteed visible yet. Flush forces it.
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EstimateEdge(1, 2); got != 35 {
+		t.Fatalf("after Flush estimate = %d, want 35", got)
+	}
+	if ing.Edges() != 5 {
+		t.Fatalf("Edges = %d, want 5", ing.Edges())
+	}
+	// Flush with nothing pending is a no-op.
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestorCloseLifecycle(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 2, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testStream(1000, 1)
+	if err := ing.PushBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Push(edges[0]); err != ErrClosed {
+		t.Fatalf("Push after Close = %v, want ErrClosed", err)
+	}
+	if err := ing.PushBatch(edges); err != ErrClosed {
+		t.Fatalf("PushBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := ing.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if ing.Edges() != 1000 {
+		t.Fatalf("Edges = %d, want 1000", ing.Edges())
+	}
+}
+
+// TestIngestorConcurrentClose races several Close calls: every one must
+// block until the drain completes, so all callers observe final counts.
+func TestIngestorConcurrentClose(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 2, BatchSize: 32, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testStream(20_000, 3)
+	truth := stream.NewExactCounter()
+	truth.ObserveAll(edges)
+	if err := ing.PushBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ing.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			// Any returning Close must see the fully drained state.
+			if got := c.Count(); got != truth.Total() {
+				t.Errorf("Count after Close = %d, want %d", got, truth.Total())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestIngestorBackpressure fills a depth-1 queue against slow workers and
+// checks every edge still lands (pushes block rather than drop).
+func TestIngestorBackpressure(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 1, BatchSize: 16, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testStream(5000, 2)
+	truth := stream.NewExactCounter()
+	truth.ObserveAll(edges)
+	if err := ing.PushBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != truth.Total() {
+		t.Fatalf("Count = %d, want %d", c.Count(), truth.Total())
+	}
+}
+
+func TestIngestorConfigDefaults(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	if ing.Workers() < 1 || ing.BatchSize() != 1024 {
+		t.Fatalf("defaults not applied: workers=%d batch=%d", ing.Workers(), ing.BatchSize())
+	}
+}
+
+func TestIngestorRejectsBadInput(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	c := exactTarget(t)
+	if _, err := New(c, Config{Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}

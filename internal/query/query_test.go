@@ -50,6 +50,7 @@ func TestRelativeError(t *testing.T) {
 type exactEstimator struct{ c *stream.ExactCounter }
 
 func (e exactEstimator) Update(edge stream.Edge)            { e.c.Observe(edge) }
+func (e exactEstimator) UpdateBatch(edges []stream.Edge)    { e.c.ObserveAll(edges) }
 func (e exactEstimator) EstimateEdge(src, dst uint64) int64 { return e.c.EdgeFrequency(src, dst) }
 func (e exactEstimator) Count() int64                       { return e.c.Total() }
 func (e exactEstimator) MemoryBytes() int                   { return 0 }
@@ -114,6 +115,7 @@ type biasedEstimator struct {
 }
 
 func (e biasedEstimator) Update(stream.Edge)             {}
+func (e biasedEstimator) UpdateBatch([]stream.Edge)      {}
 func (e biasedEstimator) EstimateEdge(s, d uint64) int64 { return e.c.EdgeFrequency(s, d) * e.factor }
 func (e biasedEstimator) Count() int64                   { return e.c.Total() }
 func (e biasedEstimator) MemoryBytes() int               { return 0 }

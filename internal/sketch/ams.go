@@ -58,6 +58,27 @@ func (a *AMS) Update(key uint64, count int64) {
 	}
 }
 
+// UpdateBatch applies the batch in slice order with the counter and sign
+// slices hoisted out of the per-key loop.
+func (a *AMS) UpdateBatch(keys []uint64, counts []int64) {
+	if len(keys) != len(counts) {
+		panic("sketch: UpdateBatch slice length mismatch")
+	}
+	signs, counters := a.signs, a.counters
+	var total int64
+	for i, key := range keys {
+		count := counts[i]
+		if count == 0 {
+			continue
+		}
+		total += count
+		for j := range counters {
+			counters[j] += signs[j].Sign(key) * count
+		}
+	}
+	a.total += total
+}
+
 // EstimateF2 returns the tug-of-war estimate of the second frequency
 // moment Σ f_k²: median over rows of the mean over columns of squared
 // counters.

@@ -97,6 +97,49 @@ func (cm *CountMin) Update(key uint64, count int64) {
 	}
 }
 
+// UpdateBatch applies the batch in slice order, producing counters
+// byte-identical to the equivalent sequence of Update calls. The plain
+// (non-conservative) path hoists the field loads and the total
+// accumulation out of the per-key loop so interface dispatch and bounds
+// checks amortize across the batch.
+func (cm *CountMin) UpdateBatch(keys []uint64, counts []int64) {
+	if len(keys) != len(counts) {
+		panic("sketch: UpdateBatch slice length mismatch")
+	}
+	if cm.conservative {
+		// Conservative update reads its own cells back per key, so there is
+		// nothing to hoist; order still matches sequential Update exactly.
+		for i, key := range keys {
+			cm.Update(key, counts[i])
+		}
+		return
+	}
+	var total int64
+	for _, count := range counts {
+		if count < 0 {
+			panic("sketch: negative update in cash-register model")
+		}
+		total += count
+	}
+	// Row-major application: one hash-family member and one row segment of
+	// cells stay hot across the whole batch. Saturating addition commutes,
+	// so the final counters equal those of key-major (sequential) order.
+	width, cells := cm.width, cm.cells
+	for r := range cm.hashes {
+		h := cm.hashes[r]
+		row := cells[r*width : (r+1)*width]
+		for i, key := range keys {
+			count := counts[i]
+			if count == 0 {
+				continue
+			}
+			j := h.Hash(key)
+			row[j] = addSat32(row[j], count)
+		}
+	}
+	cm.total += total
+}
+
 func (cm *CountMin) updateConservative(key uint64, count int64) {
 	// New lower bound for the key is min(cells) + count; only cells below
 	// that bound are raised to it.

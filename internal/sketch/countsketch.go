@@ -75,6 +75,28 @@ func (cs *CountSketch) Update(key uint64, count int64) {
 	}
 }
 
+// UpdateBatch applies the batch in slice order with the field loads
+// hoisted out of the per-key loop; counters end up byte-identical to the
+// equivalent sequence of Update calls.
+func (cs *CountSketch) UpdateBatch(keys []uint64, counts []int64) {
+	if len(keys) != len(counts) {
+		panic("sketch: UpdateBatch slice length mismatch")
+	}
+	width, hashes, signs, cells := cs.width, cs.hashes, cs.signs, cs.cells
+	var total int64
+	for i, key := range keys {
+		count := counts[i]
+		if count == 0 {
+			continue
+		}
+		total += count
+		for r := range hashes {
+			cells[r*width+hashes[r].Hash(key)] += signs[r].Sign(key) * count
+		}
+	}
+	cs.total += total
+}
+
 // Estimate returns the median of the signed row reads. For the non-negative
 // streams used in this module the result is clamped at zero.
 func (cs *CountSketch) Estimate(key uint64) int64 {

@@ -76,6 +76,18 @@ func (lc *LossyCounting) Update(key uint64, count int64) {
 	}
 }
 
+// UpdateBatch applies the batch in slice order. Bucket-boundary compression
+// interleaves with the keys exactly as it would under sequential Update, so
+// the retained entry set is identical.
+func (lc *LossyCounting) UpdateBatch(keys []uint64, counts []int64) {
+	if len(keys) != len(counts) {
+		panic("sketch: UpdateBatch slice length mismatch")
+	}
+	for i, key := range keys {
+		lc.Update(key, counts[i])
+	}
+}
+
 func (lc *LossyCounting) add(key uint64, count int64) {
 	lc.total += count
 	if e, ok := lc.entries[key]; ok {
@@ -152,6 +164,27 @@ func (e *Exact) Update(key uint64, count int64) {
 	}
 	e.counts[key] += count
 	e.total += count
+}
+
+// UpdateBatch applies the batch in slice order against a single map load.
+func (e *Exact) UpdateBatch(keys []uint64, counts []int64) {
+	if len(keys) != len(counts) {
+		panic("sketch: UpdateBatch slice length mismatch")
+	}
+	m := e.counts
+	var total int64
+	for i, key := range keys {
+		count := counts[i]
+		if count < 0 {
+			panic("sketch: negative update in cash-register model")
+		}
+		if count == 0 {
+			continue
+		}
+		m[key] += count
+		total += count
+	}
+	e.total += total
 }
 
 // Estimate returns the exact accumulated count of key.

@@ -25,8 +25,12 @@ import (
 // complete.
 
 const (
-	cmMagic   = 0x4753434d // "GSCM"
-	cmVersion = 1
+	cmMagic = 0x4753434d // "GSCM"
+	// cmVersion 2: the row-hash range reduction changed from mod-width to
+	// Lemire multiply-shift, so counters written by version 1 live in
+	// different cells — version-1 files must fail loudly, not load and
+	// estimate garbage.
+	cmVersion = 2
 
 	flagConservative = 1 << 0
 )

@@ -20,6 +20,11 @@ import (
 type Synopsis interface {
 	// Update adds count occurrences of key. count must be non-negative.
 	Update(key uint64, count int64)
+	// UpdateBatch applies counts[i] occurrences of keys[i] for every i, in
+	// slice order, exactly as the equivalent sequence of Update calls would.
+	// The two slices must have equal length. Implementations amortize
+	// per-call dispatch and bounds checks across the batch.
+	UpdateBatch(keys []uint64, counts []int64)
 	// Estimate returns the estimated accumulated count of key.
 	Estimate(key uint64) int64
 	// Count returns the total of all increments applied (the stream volume

@@ -114,6 +114,49 @@ func (s *Store) Observe(e stream.Edge) error {
 	return nil
 }
 
+// ObserveBatch folds a slice of edge arrivals, handing each contiguous run
+// of same-window edges to the window estimator in one UpdateBatch call so
+// the batched ingest path extends through window segmentation. Edges must
+// arrive in nondecreasing window order, as with Observe; on error the edges
+// preceding the offending one have been applied.
+func (s *Store) ObserveBatch(edges []stream.Edge) error {
+	for start := 0; start < len(edges); {
+		e := edges[start]
+		if e.Time < 0 {
+			return fmt.Errorf("window: negative timestamp %d", e.Time)
+		}
+		idx := e.Time / s.cfg.Span
+		if !s.started {
+			if err := s.open(idx); err != nil {
+				return err
+			}
+			s.started = true
+		}
+		for idx > s.curIndex {
+			if err := s.open(s.curIndex + 1); err != nil {
+				return err
+			}
+		}
+		if idx < s.curIndex {
+			return fmt.Errorf("%w: edge at window %d, current %d", ErrTimeOrder, idx, s.curIndex)
+		}
+		// Extend the run while edges stay in the current window.
+		end := start + 1
+		for end < len(edges) && edges[end].Time >= 0 && edges[end].Time/s.cfg.Span == idx {
+			end++
+		}
+		run := edges[start:end]
+		w := &s.windows[len(s.windows)-1]
+		w.Estimator.UpdateBatch(run)
+		w.Arrivals += int64(len(run))
+		for _, e := range run {
+			s.sampler.Observe(e)
+		}
+		start = end
+	}
+	return nil
+}
+
 // open seals the current window (if any) and starts window idx, building
 // its estimator from the previous window's reservoir sample.
 func (s *Store) open(idx int64) error {
