@@ -11,6 +11,7 @@ package gsketch_test
 // and the partitioning step itself) follow the figure benches.
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -234,10 +235,12 @@ func ingestBenchSketch(b *testing.B, edges []stream.Edge) *core.GSketch {
 // pair reproduces the pre-refactor Concurrent.Update hot path that the
 // acceptance speedup is measured against.
 type seedSketch struct {
-	router  map[uint64]int32
-	parts   []sketch.Synopsis
-	outlier sketch.Synopsis
-	total   int64
+	router       map[uint64]int32
+	parts        []sketch.Synopsis
+	widths       []int
+	outlier      sketch.Synopsis
+	outlierWidth int
+	total        int64
 }
 
 // newSeedSketch rebuilds the seed structure from a built gSketch: same
@@ -251,12 +254,14 @@ func newSeedSketch(b *testing.B, g *core.GSketch, sources int) *seedSketch {
 			b.Fatal(err)
 		}
 		s.parts = append(s.parts, cm)
+		s.widths = append(s.widths, leaf.Width)
 	}
 	out, err := sketch.NewCountMin(g.OutlierWidth(), g.Depth(), 2)
 	if err != nil {
 		b.Fatal(err)
 	}
 	s.outlier = out
+	s.outlierWidth = g.OutlierWidth()
 	for src := 0; src < sources; src++ {
 		if i, ok := g.PartitionOf(uint64(src)); ok {
 			s.router[uint64(src)] = int32(i)
@@ -290,6 +295,36 @@ func (s *seedSketch) EstimateEdge(src, dst uint64) int64 {
 		syn = s.parts[i]
 	}
 	return syn.Estimate(stream.EdgeKey(src, dst))
+}
+
+// EstimateBatch answers per edge with no provenance, mirroring the seed's
+// read path (one lookup per query, bare numbers).
+func (s *seedSketch) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	out := make([]core.Result, len(qs))
+	for i, q := range qs {
+		out[i] = core.Result{
+			Estimate:    s.EstimateEdge(q.Src, q.Dst),
+			Partition:   core.NoPartition,
+			StreamTotal: s.total,
+		}
+	}
+	return out
+}
+
+// ErrorBound replicates the seed-era per-query bound fetch (mirroring
+// GSketch.ErrorBound): route through the map, read the answering sketch's
+// local volume, divide by its width.
+func (s *seedSketch) ErrorBound(src uint64) float64 {
+	syn := s.outlier
+	width := s.outlierWidth
+	if i, ok := s.router[src]; ok {
+		syn = s.parts[i]
+		width = s.widths[i]
+	}
+	if width <= 0 {
+		return 0
+	}
+	return math.E * float64(syn.Count()) / float64(width)
 }
 
 func (s *seedSketch) Count() int64     { return s.total }
@@ -387,6 +422,137 @@ func BenchmarkIngestorPipeline(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+}
+
+// --- Query-path benches ---------------------------------------------------
+
+// queryBenchSetup builds a populated 16-partition sharded sketch (the
+// acceptance configuration of the batched read path) plus a query ring
+// mixing routed and outlier sources.
+func queryBenchSetup(b *testing.B) (*core.Concurrent, []core.EdgeQuery) {
+	edges := ingestBenchEdges()
+	g, err := core.BuildGSketch(core.Config{
+		TotalBytes: 1 << 20, Seed: 42, MaxPartitions: 16,
+	}, edges[:1<<15], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.NumPartitions() != 16 {
+		b.Fatalf("bench sketch has %d partitions, want 16", g.NumPartitions())
+	}
+	c := core.NewConcurrent(g)
+	core.Populate(c, edges)
+	qs := make([]core.EdgeQuery, 1<<16)
+	for i := range qs {
+		e := edges[(i*37)&(1<<20-1)]
+		qs[i] = core.EdgeQuery{Src: e.Src, Dst: e.Dst}
+	}
+	return c, qs
+}
+
+// queryBenchBatch is the batch size of the batched query benches.
+const queryBenchBatch = 8192
+
+// runQueryWorkers splits b.N queries across 4 reader goroutines, each
+// claiming queryBenchBatch-sized ranges of the query ring — the read-side
+// mirror of runIngestWorkers, so per-edge and batched readers face the same
+// concurrent-serving load the Concurrent wrapper exists for.
+func runQueryWorkers(b *testing.B, qs []core.EdgeQuery, apply func(chunk []core.EdgeQuery)) {
+	const workers = 4
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(queryBenchBatch) - queryBenchBatch
+				if lo >= int64(b.N) {
+					return
+				}
+				n := int64(queryBenchBatch)
+				if lo+n > int64(b.N) {
+					n = int64(b.N) - lo
+				}
+				off := int(lo) % (len(qs) - queryBenchBatch)
+				apply(qs[off : off+int(n)])
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkEstimateEdgePerQuery is the pre-redesign read path, mirroring
+// how BenchmarkConcurrentUpdatePerEdge frames the write side: the seed-era
+// structure (map vertex router, generic single-RWMutex Concurrent), one
+// EstimateEdge call plus one ErrorBound fetch per query — producing per
+// query the answer-plus-guarantee that one batched Result carries — under
+// concurrent readers.
+func BenchmarkEstimateEdgePerQuery(b *testing.B) {
+	edges := ingestBenchEdges()
+	g, err := core.BuildGSketch(core.Config{
+		TotalBytes: 1 << 20, Seed: 42, MaxPartitions: 16,
+	}, edges[:1<<15], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := newSeedSketch(b, g, 16384)
+	for _, e := range edges {
+		seed.Update(e)
+	}
+	c := core.NewConcurrent(seed)
+	qs := make([]core.EdgeQuery, 1<<16)
+	for i := range qs {
+		e := edges[(i*37)&(1<<20-1)]
+		qs[i] = core.EdgeQuery{Src: e.Src, Dst: e.Dst}
+	}
+	runQueryWorkers(b, qs, func(chunk []core.EdgeQuery) {
+		var sink int64
+		var bounds float64
+		for _, q := range chunk {
+			sink += c.EstimateEdge(q.Src, q.Dst)
+			bounds += seed.ErrorBound(q.Src)
+		}
+		_, _ = sink, bounds
+	})
+}
+
+// BenchmarkEstimateEdgeSharded is the intermediate point: the modern
+// sharded Concurrent answering bound-carrying queries one edge at a time
+// (flat router, striped read locks, but still one lock round-trip and two
+// routed probes per query).
+func BenchmarkEstimateEdgeSharded(b *testing.B) {
+	c, qs := queryBenchSetup(b)
+	g := c.Unwrap().(*core.GSketch)
+	runQueryWorkers(b, qs, func(chunk []core.EdgeQuery) {
+		var sink int64
+		var bounds float64
+		for _, q := range chunk {
+			sink += c.EstimateEdge(q.Src, q.Dst)
+			bounds += g.ErrorBound(q.Src)
+		}
+		_, _ = sink, bounds
+	})
+}
+
+// BenchmarkEstimateBatch is the redesigned read path under the same
+// concurrency: route-then-gather batches of bound-carrying Results with
+// one stripe-lock acquisition per touched stripe per chunk. The acceptance
+// bar is ≥1.5× the queries/sec of BenchmarkEstimateEdgePerQuery on this
+// 16-partition sketch.
+func BenchmarkEstimateBatch(b *testing.B) {
+	c, qs := queryBenchSetup(b)
+	runQueryWorkers(b, qs, func(chunk []core.EdgeQuery) {
+		var sink int64
+		for _, r := range c.EstimateBatch(chunk) {
+			sink += r.Estimate
+		}
+		_ = sink
+	})
 }
 
 // --- Ablation benches (DESIGN.md §6) --------------------------------------

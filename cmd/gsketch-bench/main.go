@@ -6,6 +6,7 @@
 //
 //	gsketch-bench [-profile repro|small] [-run id[,id...]] [-list] [-csv dir]
 //	gsketch-bench -ingest [-ingest-edges n] [-ingest-batch n] [-ingest-workers n] [-ingest-json path]
+//	gsketch-bench -query [-query-count n] [-query-batch n] [-query-readers n] [-query-partitions n] [-query-json path]
 //
 // Examples:
 //
@@ -13,11 +14,15 @@
 //	gsketch-bench -run fig4,fig5
 //	gsketch-bench -profile small -run all
 //	gsketch-bench -ingest -ingest-edges 1000000
+//	gsketch-bench -query -query-count 4000000
 //
 // The -ingest mode compares single-edge, batched and sharded-parallel
 // ingestion throughput (edges/sec, allocs/edge) and writes a
 // machine-readable BENCH_ingest.json so the perf trajectory is tracked
-// across PRs.
+// across PRs. The -query mode is its read-side mirror: it compares the
+// seed-era per-edge bound-carrying query loop against the batched and
+// concurrent-reader EstimateBatch paths (queries/sec, allocs/query) and
+// writes BENCH_query.json.
 package main
 
 import (
@@ -43,12 +48,27 @@ func main() {
 		ingestBatch   = flag.Int("ingest-batch", 8192, "batch size for the batched and parallel ingest modes")
 		ingestWorkers = flag.Int("ingest-workers", 0, "worker count for the parallel ingest mode (0 = GOMAXPROCS)")
 		ingestJSON    = flag.String("ingest-json", "BENCH_ingest.json", "machine-readable ingest report path")
+
+		queryMode       = flag.Bool("query", false, "run the query throughput benchmark instead of experiments")
+		queryCount      = flag.Int("query-count", 4_000_000, "number of queries per mode for -query")
+		queryBatch      = flag.Int("query-batch", 8192, "batch size for the batched query modes")
+		queryReaders    = flag.Int("query-readers", 0, "reader goroutines for the parallel query mode (0 = GOMAXPROCS)")
+		queryPartitions = flag.Int("query-partitions", 16, "partition cap for the benchmark sketch")
+		queryJSON       = flag.String("query-json", "BENCH_query.json", "machine-readable query report path")
 	)
 	flag.Parse()
 
 	if *ingestMode {
 		if err := runIngestBench(*ingestEdges, *ingestBatch, *ingestWorkers, *ingestJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *queryMode {
+		if err := runQueryBench(*queryCount, *queryBatch, *queryReaders, *queryPartitions, *queryJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: query: %v\n", err)
 			os.Exit(1)
 		}
 		return

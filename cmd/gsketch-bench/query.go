@@ -1,0 +1,314 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// queryResult is one row of the machine-readable query report.
+type queryResult struct {
+	Mode           string  `json:"mode"`
+	Goroutines     int     `json:"goroutines"`
+	Queries        int64   `json:"queries"`
+	Seconds        float64 `json:"seconds"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	NsPerQuery     float64 `json:"ns_per_query"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	Speedup        float64 `json:"speedup_vs_per_edge"`
+}
+
+// queryReport is the BENCH_query.json payload, versioned like the ingest
+// report so the read-path perf trajectory is tracked across PRs.
+type queryReport struct {
+	Schema     int           `json:"schema"`
+	Queries    int           `json:"queries"`
+	BatchSize  int           `json:"batch_size"`
+	Readers    int           `json:"readers"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Partitions int           `json:"partitions"`
+	Results    []queryResult `json:"results"`
+}
+
+// seedReadSketch replicates the seed-era read structure the redesign
+// replaces: a map vertex router in front of per-partition CountMin
+// sketches. Wrapped in core.NewConcurrent it takes the generic
+// single-RWMutex path, reproducing the pre-redesign bound-carrying query
+// loop: one EstimateEdge call, one lock round-trip and one ErrorBound
+// fetch per query.
+type seedReadSketch struct {
+	router       map[uint64]int32
+	parts        []sketch.Synopsis
+	widths       []int
+	outlier      sketch.Synopsis
+	outlierWidth int
+	total        int64
+}
+
+func newSeedReadSketch(g *core.GSketch, sources uint64) (*seedReadSketch, error) {
+	s := &seedReadSketch{router: make(map[uint64]int32)}
+	for i, leaf := range g.Leaves() {
+		cm, err := sketch.NewCountMin(leaf.Width, g.Depth(), uint64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		s.parts = append(s.parts, cm)
+		s.widths = append(s.widths, leaf.Width)
+	}
+	out, err := sketch.NewCountMin(g.OutlierWidth(), g.Depth(), 999)
+	if err != nil {
+		return nil, err
+	}
+	s.outlier = out
+	s.outlierWidth = g.OutlierWidth()
+	for src := uint64(0); src < sources; src++ {
+		if i, ok := g.PartitionOf(src); ok {
+			s.router[src] = int32(i)
+		}
+	}
+	return s, nil
+}
+
+func (s *seedReadSketch) route(src uint64) (sketch.Synopsis, int) {
+	if i, ok := s.router[src]; ok {
+		return s.parts[i], s.widths[i]
+	}
+	return s.outlier, s.outlierWidth
+}
+
+func (s *seedReadSketch) Update(e stream.Edge) {
+	w := e.Weight
+	if w == 0 {
+		w = 1
+	}
+	s.total += w
+	syn, _ := s.route(e.Src)
+	syn.Update(stream.EdgeKey(e.Src, e.Dst), w)
+}
+
+func (s *seedReadSketch) UpdateBatch(edges []stream.Edge) {
+	for _, e := range edges {
+		s.Update(e)
+	}
+}
+
+func (s *seedReadSketch) EstimateEdge(src, dst uint64) int64 {
+	syn, _ := s.route(src)
+	return syn.Estimate(stream.EdgeKey(src, dst))
+}
+
+// ErrorBound is the seed-era per-query bound fetch, mirroring
+// core.GSketch.ErrorBound over the map router.
+func (s *seedReadSketch) ErrorBound(src uint64) float64 {
+	syn, width := s.route(src)
+	if width <= 0 {
+		return 0
+	}
+	return 2.718281828459045 * float64(syn.Count()) / float64(width)
+}
+
+func (s *seedReadSketch) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	out := make([]core.Result, len(qs))
+	for i, q := range qs {
+		out[i] = core.Result{
+			Estimate:    s.EstimateEdge(q.Src, q.Dst),
+			Partition:   core.NoPartition,
+			ErrorBound:  s.ErrorBound(q.Src),
+			StreamTotal: s.total,
+		}
+	}
+	return out
+}
+
+func (s *seedReadSketch) Count() int64     { return s.total }
+func (s *seedReadSketch) MemoryBytes() int { return 0 }
+
+var _ core.Estimator = (*seedReadSketch)(nil)
+
+// queryRing derives a bound-carrying query workload from the synthetic
+// stream: every query asks for an edge that occurred (the paper's §6.3
+// setting — queries are drawn from the stream).
+func queryRing(edges []stream.Edge, n int) []core.EdgeQuery {
+	qs := make([]core.EdgeQuery, n)
+	for i := range qs {
+		e := edges[(i*37)%len(edges)]
+		qs[i] = core.EdgeQuery{Src: e.Src, Dst: e.Dst}
+	}
+	return qs
+}
+
+// measureQueries runs fn over the query count and reports throughput plus
+// the malloc delta per query.
+func measureQueries(mode string, goroutines int, queries int64, fn func()) queryResult {
+	r := measure(mode, goroutines, queries, fn)
+	return queryResult{
+		Mode:           r.Mode,
+		Goroutines:     r.Goroutines,
+		Queries:        r.Edges,
+		Seconds:        r.Seconds,
+		QueriesPerSec:  r.EdgesPerSec,
+		NsPerQuery:     r.NsPerEdge,
+		AllocsPerQuery: r.AllocsPerEdge,
+	}
+}
+
+// runQueryBench compares the read paths on the same populated 16-partition
+// stream summary:
+//
+//   - per-edge: the seed-era bound-carrying query loop (map router, one
+//     EstimateEdge + one ErrorBound + one generic-RWMutex round-trip per
+//     query) — the pre-redesign path and the speedup baseline;
+//   - per-edge-sharded: the same loop against the modern flat-router
+//     sharded Concurrent;
+//   - batch: Concurrent.EstimateBatch in fixed-size batches of
+//     bound-carrying Results;
+//   - batch-parallel: the batched path from N concurrent reader
+//     goroutines.
+func runQueryBench(nQueries, batchSize, readers, maxPartitions int, jsonPath string) error {
+	if nQueries < 1 {
+		return fmt.Errorf("need at least 1 query (got %d)", nQueries)
+	}
+	if batchSize < 1 {
+		return fmt.Errorf("batch size must be at least 1 (got %d)", batchSize)
+	}
+	if readers <= 0 {
+		readers = runtime.GOMAXPROCS(0)
+	}
+	edges := ingestStream(1 << 20)
+	g, err := core.BuildGSketch(core.Config{
+		TotalBytes: 1 << 20, Seed: 42, MaxPartitions: maxPartitions,
+	}, edges[:1<<15], nil)
+	if err != nil {
+		return err
+	}
+	partitions := g.NumPartitions()
+	shared := core.NewConcurrent(g)
+	core.Populate(shared, edges)
+
+	seed, err := newSeedReadSketch(g, 16384)
+	if err != nil {
+		return err
+	}
+	seedShared := core.NewConcurrent(seed)
+	for _, e := range edges {
+		seed.Update(e)
+	}
+
+	// Size the ring so every batch-sized window fits: a -query-batch larger
+	// than the default 64K ring grows the ring instead of slicing past it.
+	ringSize := 1 << 16
+	if ringSize < 2*batchSize {
+		ringSize = 2 * batchSize
+	}
+	qs := queryRing(edges, ringSize)
+	n := int64(nQueries)
+	ringMask := len(qs) - batchSize
+
+	var results []queryResult
+
+	results = append(results, measureQueries("per-edge", 1, n, func() {
+		var sink int64
+		var bounds float64
+		for i := 0; i < nQueries; i++ {
+			q := qs[i%len(qs)]
+			sink += seedShared.EstimateEdge(q.Src, q.Dst)
+			bounds += seed.ErrorBound(q.Src)
+		}
+		_, _ = sink, bounds
+	}))
+
+	results = append(results, measureQueries("per-edge-sharded", 1, n, func() {
+		var sink int64
+		var bounds float64
+		for i := 0; i < nQueries; i++ {
+			q := qs[i%len(qs)]
+			sink += shared.EstimateEdge(q.Src, q.Dst)
+			bounds += g.ErrorBound(q.Src)
+		}
+		_, _ = sink, bounds
+	}))
+
+	results = append(results, measureQueries("batch", 1, n, func() {
+		var sink int64
+		for lo := 0; lo < nQueries; lo += batchSize {
+			sz := batchSize
+			if lo+sz > nQueries {
+				sz = nQueries - lo
+			}
+			off := lo % ringMask
+			for _, r := range shared.EstimateBatch(qs[off : off+sz]) {
+				sink += r.Estimate
+			}
+		}
+		_ = sink
+	}))
+
+	results = append(results, measureQueries("batch-parallel", readers, n, func() {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sink int64
+				for {
+					lo := cursor.Add(int64(batchSize)) - int64(batchSize)
+					if lo >= n {
+						_ = sink
+						return
+					}
+					sz := int64(batchSize)
+					if lo+sz > n {
+						sz = n - lo
+					}
+					off := int(lo) % ringMask
+					for _, r := range shared.EstimateBatch(qs[off : off+int(sz)]) {
+						sink += r.Estimate
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}))
+
+	base := results[0].QueriesPerSec
+	for i := range results {
+		results[i].Speedup = results[i].QueriesPerSec / base
+	}
+
+	fmt.Printf("# query throughput (%d queries, batch %d, %d readers, %d partitions)\n\n",
+		nQueries, batchSize, readers, partitions)
+	fmt.Printf("%-18s %10s %14s %12s %15s %8s\n",
+		"mode", "goroutines", "queries/sec", "ns/query", "allocs/query", "speedup")
+	for _, r := range results {
+		fmt.Printf("%-18s %10d %14.0f %12.1f %15.4f %7.2fx\n",
+			r.Mode, r.Goroutines, r.QueriesPerSec, r.NsPerQuery, r.AllocsPerQuery, r.Speedup)
+	}
+
+	report := queryReport{
+		Schema:     1,
+		Queries:    nQueries,
+		BatchSize:  batchSize,
+		Readers:    readers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Partitions: partitions,
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+	return nil
+}

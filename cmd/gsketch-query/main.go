@@ -1,9 +1,12 @@
 // Command gsketch-query builds a gSketch (or Global Sketch) over an edge
-// file and answers edge queries from a query file or the command line.
+// file and answers edge queries from a query file or the command line. All
+// queries — from -edge and -queries combined — are answered in one batched
+// EstimateBatch pass; -bounds additionally prints each answer's error
+// bound, confidence and answering partition.
 //
 // Usage:
 //
-//	gsketch-query -stream FILE [-queries FILE] [-edge "src dst"]
+//	gsketch-query -stream FILE [-queries FILE] [-edge "src dst"] [-bounds]
 //	              [-memory BYTES] [-sample FRAC] [-global] [-save FILE]
 //	              [-load FILE]
 //
@@ -11,11 +14,15 @@
 // format produced by gsketch-gen -format binary (auto-detected by
 // extension .bin).
 //
+// Output is one line per query: "src dst estimate", extended by -bounds to
+// "src dst estimate ±bound confidence partition" where partition is a
+// localized-sketch index, "outlier" or "global".
+//
 // Examples:
 //
 //	gsketch-gen -dataset rmat -out rmat.txt
 //	gsketch-query -stream rmat.txt -edge "5 17" -memory 262144
-//	gsketch-query -stream rmat.txt -queries q.txt -save sketch.gsk
+//	gsketch-query -stream rmat.txt -queries q.txt -bounds -save sketch.gsk
 //	gsketch-query -load sketch.gsk -edge "5 17"
 package main
 
@@ -34,6 +41,7 @@ func main() {
 		streamPath  = flag.String("stream", "", "edge file to summarize")
 		queriesPath = flag.String("queries", "", "file of 'src dst' queries (text)")
 		edge        = flag.String("edge", "", "single query: 'src dst'")
+		bounds      = flag.Bool("bounds", false, "print error bound, confidence and answering partition per query")
 		memory      = flag.Int("memory", 1<<20, "sketch memory budget in bytes")
 		sampleFrac  = flag.Float64("sample", 0.1, "data-sample fraction for partitioning")
 		global      = flag.Bool("global", false, "use the Global Sketch baseline instead of gSketch")
@@ -100,12 +108,12 @@ func main() {
 		fatal("need -stream or -load (see -h)")
 	}
 
-	answer := func(src, dst uint64) {
-		fmt.Printf("%d %d %d\n", src, dst, est.EstimateEdge(src, dst))
-	}
+	// Collect every query — command-line edge plus the -queries file — and
+	// answer them all with one batched, bound-carrying pass.
+	var queries []gsketch.EdgeQuery
 	if *edge != "" {
 		src, dst := parsePair(*edge)
-		answer(src, dst)
+		queries = append(queries, gsketch.EdgeQuery{Src: src, Dst: dst})
 	}
 	if *queriesPath != "" {
 		data, err := os.ReadFile(*queriesPath)
@@ -118,8 +126,27 @@ func main() {
 				continue
 			}
 			src, dst := parsePair(line)
-			answer(src, dst)
+			queries = append(queries, gsketch.EdgeQuery{Src: src, Dst: dst})
 		}
+	}
+	if len(queries) == 0 {
+		return
+	}
+	results := gsketch.EstimateBatch(est, queries)
+	for i, q := range queries {
+		r := results[i]
+		if !*bounds {
+			fmt.Printf("%d %d %d\n", q.Src, q.Dst, r.Estimate)
+			continue
+		}
+		part := "global"
+		switch {
+		case r.Outlier:
+			part = "outlier"
+		case r.Partition != gsketch.NoPartition:
+			part = fmt.Sprintf("p%d", r.Partition)
+		}
+		fmt.Printf("%d %d %d ±%.1f %.4f %s\n", q.Src, q.Dst, r.Estimate, r.ErrorBound, r.Confidence, part)
 	}
 }
 

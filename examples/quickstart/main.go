@@ -55,7 +55,10 @@ func main() {
 	fmt.Printf("ingested %d edges in %d batches across %d workers\n",
 		ing.Edges(), ing.Batches(), ing.Workers())
 
-	// 4. Edge query: how often did the most frequent pair collaborate?
+	// 4. Edge query with guarantees: how often did the most frequent pair
+	//    collaborate, and how much should we trust the answer? Answer
+	//    resolves any query in one batched pass and reports the answering
+	//    partition's error bound alongside the estimate.
 	var top gsketch.Edge
 	counts := map[[2]uint64]int64{}
 	for _, e := range edges {
@@ -65,11 +68,12 @@ func main() {
 		}
 	}
 	truth := counts[[2]uint64{top.Src, top.Dst}]
-	est := g.EstimateEdge(top.Src, top.Dst)
-	fmt.Printf("edge (%d,%d): true %d, estimated %d\n", top.Src, top.Dst, truth, est)
+	resp := gsketch.Answer(shared, gsketch.EdgeQuery{Src: top.Src, Dst: top.Dst})
+	fmt.Printf("edge (%d,%d): true %d, estimated %.0f ±%.1f at %.1f%% confidence\n",
+		top.Src, top.Dst, truth, resp.Value, resp.ErrorBound, 100*resp.Confidence)
 
-	// 5. Aggregate subgraph query: total collaboration volume of a
-	//    3-edge neighbourhood.
+	// 5. Aggregate subgraph query: total collaboration volume of a 3-edge
+	//    neighbourhood, decomposed and answered in a single batched pass.
 	q := gsketch.SubgraphQuery{
 		Edges: []gsketch.EdgeQuery{
 			{Src: top.Src, Dst: top.Dst},
@@ -78,5 +82,16 @@ func main() {
 		},
 		Agg: gsketch.Sum,
 	}
-	fmt.Printf("subgraph SUM estimate: %.0f\n", gsketch.EstimateSubgraph(g, q))
+	sub := gsketch.Answer(shared, q)
+	fmt.Printf("subgraph SUM estimate: %.0f ±%.1f\n", sub.Value, sub.ErrorBound)
+
+	// 6. Node query: this author's aggregate volume toward three named
+	//    co-authors — all constituents share the source vertex, so one
+	//    localized sketch answers the whole query.
+	node := gsketch.Answer(shared, gsketch.NodeQuery{
+		Node: top.Src,
+		Out:  []uint64{top.Dst, top.Dst + 1, top.Dst + 2},
+		Agg:  gsketch.Max,
+	})
+	fmt.Printf("node MAX estimate:     %.0f ±%.1f\n", node.Value, node.ErrorBound)
 }

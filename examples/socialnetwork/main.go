@@ -41,21 +41,31 @@ func main() {
 	gsketch.Populate(g, edges)
 	gsketch.Populate(global, edges)
 
-	// "How often do these two friends interact?" — evaluate both
-	// estimators over a spread of true frequencies.
-	fmt.Println("\npair-frequency estimates (16 KiB budget):")
-	fmt.Println("true   gSketch  GlobalSketch")
-	printed := 0
+	// "How often do these two friends interact?" — collect a spread of
+	// true frequencies, then answer the whole set with one batched pass
+	// per estimator. Each gSketch Result also names its answering
+	// partition and the ε·N_i bound that partition guarantees.
+	var probes []gsketch.EdgeQuery
+	var truths []int64
 	lastF := int64(-1)
 	exact.RangeEdges(func(src, dst uint64, f int64) bool {
-		if f == lastF || printed >= 8 {
-			return printed < 8
+		if f == lastF || len(probes) >= 8 {
+			return len(probes) < 8
 		}
 		lastF = f
-		printed++
-		fmt.Printf("%5d  %7d  %12d\n", f, g.EstimateEdge(src, dst), global.EstimateEdge(src, dst))
+		probes = append(probes, gsketch.EdgeQuery{Src: src, Dst: dst})
+		truths = append(truths, f)
 		return true
 	})
+	gRes := gsketch.EstimateBatch(g, probes)
+	globalRes := gsketch.EstimateBatch(global, probes)
+	fmt.Println("\npair-frequency estimates (16 KiB budget):")
+	fmt.Println("true   gSketch  ±bound  GlobalSketch  ±bound")
+	for i := range probes {
+		fmt.Printf("%5d  %7d  %6.0f  %12d  %6.0f\n",
+			truths[i], gRes[i].Estimate, gRes[i].ErrorBound,
+			globalRes[i].Estimate, globalRes[i].ErrorBound)
+	}
 
 	// "What is the overall communication volume within a community?" —
 	// an aggregate subgraph query over one member's neighbourhood.
@@ -78,9 +88,11 @@ func main() {
 		}
 		return true
 	})
+	gAns := gsketch.Answer(g, community)
+	globalAns := gsketch.Answer(global, community)
 	fmt.Printf("\ncommunity of member %d (%d edges): true volume %.0f\n", hub, len(community.Edges), truth)
-	fmt.Printf("  gSketch estimate:      %.0f\n", gsketch.EstimateSubgraph(g, community))
-	fmt.Printf("  GlobalSketch estimate: %.0f\n", gsketch.EstimateSubgraph(global, community))
+	fmt.Printf("  gSketch estimate:      %.0f ±%.0f\n", gAns.Value, gAns.ErrorBound)
+	fmt.Printf("  GlobalSketch estimate: %.0f ±%.0f\n", globalAns.Value, globalAns.ErrorBound)
 }
 
 func reservoirSample(edges []gsketch.Edge, frac float64, seed uint64) []gsketch.Edge {

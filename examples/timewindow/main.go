@@ -59,10 +59,13 @@ func main() {
 	}
 	src, dst := top[0], top[1]
 	fmt.Printf("\nattack pair (%d -> %d):\n", src, dst)
+	// One batched pass per range: each overlapping window's sketch is
+	// touched once for the whole query set.
+	q := []gsketch.EdgeQuery{{Src: src, Dst: dst}}
 	for day := int64(0); day < 5; day++ {
-		fmt.Printf("  day %d estimate: %8.0f\n", day, store.EstimateEdge(src, dst, day, day))
+		fmt.Printf("  day %d estimate: %8.0f\n", day, gsketch.EstimateWindowBatch(store, q, day, day)[0])
 	}
-	fmt.Printf("  days 1-3:       %8.0f\n", store.EstimateEdge(src, dst, 1, 3))
+	fmt.Printf("  days 1-3:       %8.0f\n", gsketch.EstimateWindowBatch(store, q, 1, 3)[0])
 	fmt.Printf("  lifetime:       %8.0f\n", store.EstimateEdgeAll(src, dst))
 	fmt.Printf("total sketch memory across windows: %d bytes\n", store.MemoryBytes())
 }

@@ -105,14 +105,40 @@ func NewIngestor(est Estimator, cfg IngestConfig) (*Ingestor, error) {
 // Load deserializes a gSketch previously saved with (*GSketch).WriteTo.
 func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }
 
-// EdgeQuery asks for the accumulated frequency of one directed edge.
+// EdgeQuery asks for the accumulated frequency of one directed edge. It is
+// both the unit of the batched estimator read path (EstimateBatch) and a
+// Query variant for Answer.
 type EdgeQuery = query.EdgeQuery
 
 // SubgraphQuery asks for the aggregate frequency behaviour of a bag of
 // edges.
 type SubgraphQuery = query.SubgraphQuery
 
-// Aggregate is the Γ(·) of an aggregate subgraph query.
+// NodeQuery asks for the aggregate frequency behaviour of one source
+// vertex's edges toward an explicit destination set. All constituents
+// route to the same localized sketch, so the answer carries that single
+// partition's guarantee.
+type NodeQuery = query.NodeQuery
+
+// Query is the sealed sum of the supported query kinds: EdgeQuery,
+// SubgraphQuery and NodeQuery. Resolve one with Answer or a batch with
+// AnswerBatch.
+type Query = query.Query
+
+// Result is one batched edge-query answer: the point estimate plus the
+// answering partition, its ε·N_i error bound at confidence 1-δ, and a
+// snapshot of the stream total.
+type Result = core.Result
+
+// NoPartition is the Result.Partition value of answers that did not come
+// from a localized partition (outlier traffic, or a GlobalSketch).
+const NoPartition = core.NoPartition
+
+// Response is a resolved Query: the aggregate value, the per-edge Results
+// it folded, and the combined error bound and confidence.
+type Response = query.Response
+
+// Aggregate is the Γ(·) of an aggregate subgraph or node query.
 type Aggregate = query.Aggregate
 
 // Supported aggregates.
@@ -124,8 +150,38 @@ const (
 	Count   = query.Count
 )
 
+// EstimateBatch answers a batch of edge queries in one routed pass over
+// the estimator, returning one bound-carrying Result per query in input
+// order. Point estimates are identical to per-edge EstimateEdge; routing,
+// locking (under Concurrent) and per-partition counter passes are
+// amortized across the batch.
+func EstimateBatch(est Estimator, qs []EdgeQuery) []Result {
+	cqs := make([]core.EdgeQuery, len(qs))
+	for i, q := range qs {
+		cqs[i] = core.EdgeQuery(q)
+	}
+	return est.EstimateBatch(cqs)
+}
+
+// Answer resolves any Query — edge, subgraph or node — against an
+// estimator with a single batched pass and returns the value together with
+// its combined error bound and confidence.
+func Answer(est Estimator, q Query) Response {
+	return query.Answer(est, q)
+}
+
+// AnswerBatch resolves a batch of heterogeneous queries with one routed
+// estimator pass, returning Responses in input order.
+func AnswerBatch(est Estimator, qs []Query) []Response {
+	return query.AnswerBatch(est, qs)
+}
+
 // EstimateSubgraph resolves a subgraph query against an estimator by
 // decomposing it into constituent edge queries and folding with Γ.
+//
+// Deprecated: use Answer(est, q), which resolves the same decomposition in
+// one batched pass and also reports the combined error bound; this shim
+// returns Answer(est, q).Value.
 func EstimateSubgraph(est Estimator, q SubgraphQuery) float64 {
 	return query.EstimateSubgraph(est, q)
 }
@@ -158,4 +214,17 @@ type WindowConfig = window.StoreConfig
 // NewWindowStore builds an empty windowed store.
 func NewWindowStore(cfg WindowConfig) (*WindowStore, error) {
 	return window.NewStore(cfg)
+}
+
+// EstimateWindowBatch answers a batch of edge queries over the time range
+// [t1, t2] inclusive against a WindowStore: each overlapping window answers
+// the whole batch in one routed pass and contributes its fractional
+// overlap, so the per-window counters are touched once per batch instead of
+// once per query. Values are identical to per-query WindowStore.EstimateEdge.
+func EstimateWindowBatch(s *WindowStore, qs []EdgeQuery, t1, t2 int64) []float64 {
+	cqs := make([]core.EdgeQuery, len(qs))
+	for i, q := range qs {
+		cqs[i] = core.EdgeQuery(q)
+	}
+	return s.EstimateBatch(cqs, t1, t2)
 }

@@ -119,6 +119,100 @@ func TestPublicWindowStore(t *testing.T) {
 	}
 }
 
+func TestPublicBatchedQueryAPI(t *testing.T) {
+	edges := synthetic(20000)
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 64 << 10, Seed: 5}, edges[:2000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsketch.Populate(g, edges)
+
+	// EstimateBatch matches per-edge EstimateEdge and carries guarantees.
+	qs := []gsketch.EdgeQuery{{Src: 1, Dst: 101}, {Src: 2, Dst: 102}, {Src: 987654, Dst: 1}}
+	res := gsketch.EstimateBatch(g, qs)
+	if len(res) != len(qs) {
+		t.Fatalf("EstimateBatch returned %d results", len(res))
+	}
+	for i, q := range qs {
+		if res[i].Estimate != g.EstimateEdge(q.Src, q.Dst) {
+			t.Fatalf("query %d: batch %d vs sequential %d", i, res[i].Estimate, g.EstimateEdge(q.Src, q.Dst))
+		}
+		if res[i].Confidence <= 0 || res[i].Confidence >= 1 {
+			t.Fatalf("query %d: confidence %v", i, res[i].Confidence)
+		}
+		if res[i].StreamTotal != g.Count() {
+			t.Fatalf("query %d: stream total %d, want %d", i, res[i].StreamTotal, g.Count())
+		}
+	}
+
+	// Answer resolves each query kind through one batched pass.
+	edge := gsketch.Answer(g, gsketch.EdgeQuery{Src: 1, Dst: 101})
+	if edge.Value != float64(g.EstimateEdge(1, 101)) {
+		t.Fatalf("Answer(edge) = %v", edge.Value)
+	}
+	sub := gsketch.Answer(g, gsketch.SubgraphQuery{
+		Edges: []gsketch.EdgeQuery{{Src: 1, Dst: 101}, {Src: 2, Dst: 102}},
+		Agg:   gsketch.Sum,
+	})
+	wantSum := float64(g.EstimateEdge(1, 101) + g.EstimateEdge(2, 102))
+	if sub.Value != wantSum {
+		t.Fatalf("Answer(subgraph SUM) = %v, want %v", sub.Value, wantSum)
+	}
+	if sub.ErrorBound <= 0 {
+		t.Fatalf("subgraph bound %v", sub.ErrorBound)
+	}
+	node := gsketch.Answer(g, gsketch.NodeQuery{Node: 1, Out: []uint64{101, 102}, Agg: gsketch.Max})
+	wantMax := float64(g.EstimateEdge(1, 101))
+	if m := float64(g.EstimateEdge(1, 102)); m > wantMax {
+		wantMax = m
+	}
+	if node.Value != wantMax {
+		t.Fatalf("Answer(node MAX) = %v, want %v", node.Value, wantMax)
+	}
+
+	// AnswerBatch flattens heterogeneous queries into one estimator pass.
+	batch := gsketch.AnswerBatch(g, []gsketch.Query{
+		gsketch.EdgeQuery{Src: 1, Dst: 101},
+		gsketch.SubgraphQuery{Edges: []gsketch.EdgeQuery{{Src: 2, Dst: 102}}, Agg: gsketch.Average},
+	})
+	if len(batch) != 2 || batch[0].Value != edge.Value {
+		t.Fatalf("AnswerBatch = %+v", batch)
+	}
+
+	// The deprecated shim still answers through the batched path.
+	if got := gsketch.EstimateSubgraph(g, gsketch.SubgraphQuery{
+		Edges: []gsketch.EdgeQuery{{Src: 1, Dst: 101}, {Src: 2, Dst: 102}},
+		Agg:   gsketch.Sum,
+	}); got != wantSum {
+		t.Fatalf("EstimateSubgraph shim = %v, want %v", got, wantSum)
+	}
+}
+
+func TestPublicWindowBatch(t *testing.T) {
+	s, err := gsketch.NewWindowStore(gsketch.WindowConfig{
+		Span:       1000,
+		SampleSize: 100,
+		Sketch:     gsketch.Config{TotalBytes: 16 << 10},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := s.Observe(gsketch.Edge{Src: 1, Dst: 2, Weight: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := []gsketch.EdgeQuery{{Src: 1, Dst: 2}, {Src: 9, Dst: 9}}
+	got := gsketch.EstimateWindowBatch(s, qs, 0, 2999)
+	if got[0] != s.EstimateEdge(1, 2, 0, 2999) {
+		t.Fatalf("windowed batch %v vs sequential %v", got[0], s.EstimateEdge(1, 2, 0, 2999))
+	}
+	if got[1] != s.EstimateEdge(9, 9, 0, 2999) {
+		t.Fatalf("windowed batch absent-edge %v", got[1])
+	}
+}
+
 func TestPublicInterner(t *testing.T) {
 	in := gsketch.NewInterner()
 	alice := in.Intern("10.0.0.1")

@@ -28,7 +28,8 @@ type Concurrent struct {
 	// Sharded fast path (nil g means generic path).
 	g       *GSketch
 	stripes []sync.RWMutex
-	pool    sync.Pool // *scatter, one per in-flight batch
+	pool    sync.Pool // *scatter, one per in-flight write batch
+	qpool   sync.Pool // *gather, one per in-flight query batch
 
 	// Generic fallback path.
 	mu sync.RWMutex
@@ -50,6 +51,7 @@ func NewConcurrent(est Estimator) *Concurrent {
 		}
 		c.stripes = make([]sync.RWMutex, n)
 		c.pool.New = func() any { return newScatter(g.NumShards()) }
+		c.qpool.New = func() any { return newGather(g.NumShards()) }
 	}
 	return c
 }

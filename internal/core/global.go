@@ -18,7 +18,9 @@ type GlobalSketch struct {
 
 	// batchKeys/batchCounts are the reusable key-materialization buffers of
 	// UpdateBatch. Like the sketch itself they are not safe for concurrent
-	// mutation.
+	// mutation. EstimateBatch deliberately has no such buffers — reads must
+	// stay pure so Concurrent's generic fallback can serve them under a
+	// read lock.
 	batchKeys   []uint64
 	batchCounts []int64
 }

@@ -23,8 +23,14 @@ type Estimator interface {
 	// amortizing routing and dispatch across the batch.
 	UpdateBatch(edges []stream.Edge)
 	// EstimateEdge returns the estimated accumulated frequency of the
-	// directed edge (src, dst).
+	// directed edge (src, dst) as a bare point estimate.
 	EstimateEdge(src, dst uint64) int64
+	// EstimateBatch answers a batch of edge queries in one routed pass,
+	// returning one Result per query in input order. Each Result carries
+	// the point estimate — identical to EstimateEdge on the same state —
+	// plus the answering partition, that sketch's ε·N_i error bound with
+	// its 1-δ confidence, and a snapshot of the stream total.
+	EstimateBatch(qs []EdgeQuery) []Result
 	// Count returns the total stream volume N folded in so far.
 	Count() int64
 	// MemoryBytes reports the counter storage footprint.
@@ -65,6 +71,9 @@ type GSketch struct {
 	// allocated, reused across batches. Like the rest of GSketch it is not
 	// safe for concurrent mutation — Concurrent keeps its own pool.
 	scratch *scatter
+	// qscratch is the read-side counterpart: the route-then-gather buffers
+	// of EstimateBatch. Same lifecycle and (lack of) thread safety.
+	qscratch *gather
 
 	outlierWidth int
 	totalWidth   int

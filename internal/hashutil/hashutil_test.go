@@ -2,6 +2,7 @@ package hashutil
 
 import (
 	"math/big"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -208,4 +209,37 @@ func assertPanics(t *testing.T, name string, fn func()) {
 		}
 	}()
 	fn()
+}
+
+// TestHashReducedMatchesHash pins the batch-gather decomposition: the
+// hoisted key reduction and the hand-inlined (a·xr + b) arithmetic used by
+// sketch.EstimateBatch must reproduce Hash exactly for every key.
+func TestHashReducedMatchesHash(t *testing.T) {
+	fam := NewPairwiseFamily(5, 3277, 99)
+	rng := NewRNG(100)
+	for i := 0; i < 200_000; i++ {
+		x := rng.Uint64()
+		if i < 4 {
+			// Edge inputs: 0, max, the prime and its neighbour.
+			x = []uint64{0, ^uint64(0), MersennePrime61, MersennePrime61 + 1}[i]
+		}
+		xr := Mod61(x)
+		for _, h := range fam {
+			want := h.Hash(x)
+			if got := h.HashReduced(xr); got != want {
+				t.Fatalf("HashReduced(Mod61(%#x)) = %d, Hash = %d", x, got, want)
+			}
+			// The fully decomposed form countmin.EstimateBatch inlines.
+			a, b := h.Params()
+			hi, lo := bits.Mul64(a, xr)
+			v := Mod61(Mod61(hi<<3) + Mod61(lo) + b)
+			vhi, vlo := bits.Mul64(v, uint64(h.Width()))
+			if got := int(vhi<<3 | vlo>>61); got != want {
+				t.Fatalf("decomposed hash of %#x = %d, Hash = %d", x, got, want)
+			}
+			if got := Mod61(MulMod61(a, xr) + b); got != Mod61(v) {
+				t.Fatalf("MulMod61 path diverges for %#x", x)
+			}
+		}
+	}
 }

@@ -23,71 +23,92 @@ type Accuracy struct {
 	Effective int
 	// Total is the number of evaluated queries.
 	Total int
-	// Skipped counts queries excluded for zero true frequency.
+	// Skipped counts queries excluded for zero true frequency or a
+	// non-finite relative error.
 	Skipped int
 	// MaxRelErr is the worst relative error observed.
 	MaxRelErr float64
 }
 
-// EvaluateEdgeQueries runs every edge query against the estimator,
-// compares with exact truth, and folds the §6.2 metrics with threshold g0
-// (use DefaultG0 for the paper's setting).
+// observe folds one query's relative error into the accumulator, guarding
+// the Eq. 13 mean against non-finite values: a single +Inf (zero-truth,
+// nonzero-estimate) or NaN sample would otherwise poison the whole
+// aggregate, so such queries are counted in Skipped and excluded from both
+// the Eq. 13 average and the Eq. 14 effective count.
+func (acc *Accuracy) observe(sum *float64, er, g0 float64) {
+	if math.IsInf(er, 0) || math.IsNaN(er) {
+		acc.Skipped++
+		return
+	}
+	*sum += er
+	if er <= g0 {
+		acc.Effective++
+	}
+	if er > acc.MaxRelErr {
+		acc.MaxRelErr = er
+	}
+	acc.Total++
+}
+
+// finish resolves the Eq. 13 mean.
+func (acc *Accuracy) finish(sum float64) {
+	if acc.Total > 0 {
+		acc.AvgRelErr = sum / float64(acc.Total)
+	}
+}
+
+// EvaluateEdgeQueries runs the whole edge-query set against the estimator
+// in one EstimateBatch pass, compares with exact truth, and folds the §6.2
+// metrics with threshold g0 (use DefaultG0 for the paper's setting).
 func EvaluateEdgeQueries(est core.Estimator, exact *stream.ExactCounter, queries []EdgeQuery, g0 float64) Accuracy {
 	var acc Accuracy
+	if len(queries) == 0 {
+		return acc
+	}
+	batch := make([]core.EdgeQuery, len(queries))
+	for i, q := range queries {
+		batch[i] = core.EdgeQuery(q)
+	}
+	res := est.EstimateBatch(batch)
+
 	var sum float64
-	for _, q := range queries {
+	for i, q := range queries {
 		truth := exact.EdgeFrequency(q.Src, q.Dst)
 		if truth == 0 {
 			acc.Skipped++
 			continue
 		}
-		estv := est.EstimateEdge(q.Src, q.Dst)
-		er := RelativeError(float64(estv), float64(truth))
-		sum += er
-		if er <= g0 {
-			acc.Effective++
-		}
-		if er > acc.MaxRelErr {
-			acc.MaxRelErr = er
-		}
-		acc.Total++
+		acc.observe(&sum, RelativeError(float64(res[i].Estimate), float64(truth)), g0)
 	}
-	if acc.Total > 0 {
-		acc.AvgRelErr = sum / float64(acc.Total)
-	}
+	acc.finish(sum)
 	return acc
 }
 
 // EvaluateSubgraphQueries is the subgraph analogue of EvaluateEdgeQueries
-// (Eq. 15 relative error, same two metrics).
+// (Eq. 15 relative error, same two metrics). The whole query set resolves
+// through one batched estimator pass via AnswerBatch.
 func EvaluateSubgraphQueries(est core.Estimator, exact *stream.ExactCounter, queries []SubgraphQuery, g0 float64) Accuracy {
 	var acc Accuracy
+	if len(queries) == 0 {
+		return acc
+	}
+	qs := make([]Query, len(queries))
+	for i, q := range queries {
+		qs[i] = q
+	}
+	responses := AnswerBatch(est, qs)
+
 	var sum float64
 	lookup := exact.EdgeFrequency
-	for _, q := range queries {
+	for i, q := range queries {
 		truth := ExactSubgraph(lookup, q)
 		if truth == 0 {
 			acc.Skipped++
 			continue
 		}
-		estv := EstimateSubgraph(est, q)
-		er := RelativeError(estv, truth)
-		if math.IsInf(er, 1) {
-			acc.Skipped++
-			continue
-		}
-		sum += er
-		if er <= g0 {
-			acc.Effective++
-		}
-		if er > acc.MaxRelErr {
-			acc.MaxRelErr = er
-		}
-		acc.Total++
+		acc.observe(&sum, RelativeError(responses[i].Value, truth), g0)
 	}
-	if acc.Total > 0 {
-		acc.AvgRelErr = sum / float64(acc.Total)
-	}
+	acc.finish(sum)
 	return acc
 }
 

@@ -1,9 +1,11 @@
 // Package query implements the paper's query model (§3.1) and evaluation
-// methodology (§6.2): edge queries, aggregate subgraph queries with a
-// pluggable aggregate Γ, generators for uniform query sets, Zipf-skewed
-// workload samples and BFS-grown subgraph queries, and the two accuracy
-// metrics — average relative error (Eq. 12–13) and number of effective
-// queries (Eq. 14).
+// methodology (§6.2): a sealed Query sum type covering edge queries,
+// aggregate subgraph queries with a pluggable aggregate Γ and vertex
+// aggregate (node) queries, all resolved through the batched estimator
+// read path by a single Answer entry point; plus generators for uniform
+// query sets, Zipf-skewed workload samples and BFS-grown subgraph queries,
+// and the two accuracy metrics — average relative error (Eq. 12–13) and
+// number of effective queries (Eq. 14).
 package query
 
 import (
@@ -13,10 +15,21 @@ import (
 	"github.com/graphstream/gsketch/internal/core"
 )
 
+// Query is the sealed sum of the supported query kinds: EdgeQuery,
+// SubgraphQuery and NodeQuery. Every kind decomposes into constituent edge
+// queries and is resolved by Answer (or AnswerBatch) in one batched
+// estimator pass; the unexported marker keeps the set closed to this
+// package.
+type Query interface {
+	isQuery()
+}
+
 // EdgeQuery asks for the accumulated frequency of one directed edge.
 type EdgeQuery struct {
 	Src, Dst uint64
 }
+
+func (EdgeQuery) isQuery() {}
 
 // Aggregate is the Γ(·) of an aggregate subgraph query.
 type Aggregate int
@@ -97,14 +110,177 @@ type SubgraphQuery struct {
 	Agg   Aggregate
 }
 
+func (SubgraphQuery) isQuery() {}
+
+// NodeQuery asks for the aggregate frequency behaviour of one source
+// vertex's edges toward an explicit destination set — the vertex-centric
+// special case of an aggregate subgraph query. Because every constituent
+// edge shares the source vertex, the whole query routes to a single
+// localized sketch and its answer carries that one partition's guarantee.
+type NodeQuery struct {
+	// Node is the shared source vertex.
+	Node uint64
+	// Out lists the destination vertices queried.
+	Out []uint64
+	// Agg is the aggregate Γ folded over the per-edge frequencies.
+	Agg Aggregate
+}
+
+func (NodeQuery) isQuery() {}
+
+// Response is a resolved Query: the aggregate value plus the per-edge
+// batched results it folded and the combined accuracy guarantee.
+type Response struct {
+	// Value is the query answer: the point estimate for an EdgeQuery, the
+	// Γ-fold for subgraph and node queries.
+	Value float64
+	// Results are the per-constituent-edge batched answers, in
+	// decomposition order (a single element for an EdgeQuery). The slice
+	// may alias a batch shared with other Responses from AnswerBatch.
+	Results []core.Result
+	// ErrorBound is the additive error bound on Value, combined across
+	// constituents per the aggregate: summed for SUM, averaged for
+	// AVERAGE, the worst constituent bound for MIN/MAX, 0 for COUNT.
+	ErrorBound float64
+	// Confidence lower-bounds the probability that Value is within
+	// ErrorBound, via a union bound over the constituents' δ.
+	Confidence float64
+	// StreamTotal is the estimator's stream-volume snapshot for the batch
+	// that answered this query.
+	StreamTotal int64
+}
+
+// appendConstituents flattens a query onto dst as routed edge queries.
+func appendConstituents(dst []core.EdgeQuery, q Query) []core.EdgeQuery {
+	switch q := q.(type) {
+	case EdgeQuery:
+		return append(dst, core.EdgeQuery(q))
+	case SubgraphQuery:
+		for _, e := range q.Edges {
+			dst = append(dst, core.EdgeQuery(e))
+		}
+		return dst
+	case NodeQuery:
+		for _, d := range q.Out {
+			dst = append(dst, core.EdgeQuery{Src: q.Node, Dst: d})
+		}
+		return dst
+	default:
+		// Unreachable: Query is sealed to this package's types.
+		panic(fmt.Sprintf("query: unknown query kind %T", q))
+	}
+}
+
+// fold combines one query's constituent results into its Response.
+func fold(q Query, res []core.Result) Response {
+	r := Response{Results: res}
+	if len(res) == 0 {
+		return r
+	}
+	r.StreamTotal = res[0].StreamTotal
+
+	if _, ok := q.(EdgeQuery); ok {
+		r.Value = float64(res[0].Estimate)
+		r.ErrorBound = res[0].ErrorBound
+		r.Confidence = res[0].Confidence
+		return r
+	}
+	var agg Aggregate
+	switch q := q.(type) {
+	case SubgraphQuery:
+		agg = q.Agg
+	case NodeQuery:
+		agg = q.Agg
+	}
+	vals := make([]float64, len(res))
+	for i, c := range res {
+		vals[i] = float64(c.Estimate)
+	}
+	r.Value = agg.Apply(vals)
+	r.ErrorBound = combineBounds(agg, res)
+	r.Confidence = unionConfidence(res)
+	return r
+}
+
+// combineBounds folds the per-constituent additive bounds per aggregate:
+// additive errors add under SUM, average under AVERAGE, and an extremum is
+// off by at most the worst constituent bound under MIN/MAX. COUNT is exact.
+func combineBounds(agg Aggregate, res []core.Result) float64 {
+	switch agg {
+	case Sum, Average:
+		s := 0.0
+		for _, c := range res {
+			s += c.ErrorBound
+		}
+		if agg == Average {
+			s /= float64(len(res))
+		}
+		return s
+	case Min, Max:
+		m := 0.0
+		for _, c := range res {
+			if c.ErrorBound > m {
+				m = c.ErrorBound
+			}
+		}
+		return m
+	case Count:
+		return 0
+	default:
+		panic(fmt.Sprintf("query: unknown aggregate %d", int(agg)))
+	}
+}
+
+// unionConfidence lower-bounds the joint guarantee 1 - Σ δ_i (union bound
+// over constituent failure probabilities), floored at 0.
+func unionConfidence(res []core.Result) float64 {
+	deltas := 0.0
+	for _, c := range res {
+		deltas += 1 - c.Confidence
+	}
+	if deltas >= 1 {
+		return 0
+	}
+	return 1 - deltas
+}
+
+// Answer resolves any Query against an estimator in one batched pass: the
+// query is decomposed into constituent edge queries, the estimator answers
+// them all with a single EstimateBatch call, and the aggregate plus the
+// combined (ε, δ) guarantee are folded from the per-edge Results.
+func Answer(est core.Estimator, q Query) Response {
+	return fold(q, est.EstimateBatch(appendConstituents(nil, q)))
+}
+
+// AnswerBatch resolves a batch of heterogeneous queries with ONE
+// EstimateBatch call: every query's constituents are flattened into a
+// single routed pass and each Response folds its own slice of the shared
+// results. Responses are returned in input order.
+func AnswerBatch(est core.Estimator, qs []Query) []Response {
+	if len(qs) == 0 {
+		return nil
+	}
+	offs := make([]int, len(qs)+1)
+	var flat []core.EdgeQuery
+	for i, q := range qs {
+		flat = appendConstituents(flat, q)
+		offs[i+1] = len(flat)
+	}
+	res := est.EstimateBatch(flat)
+	out := make([]Response, len(qs))
+	for i, q := range qs {
+		out[i] = fold(q, res[offs[i]:offs[i+1]])
+	}
+	return out
+}
+
 // EstimateSubgraph resolves a subgraph query against an estimator by
 // decomposing it into constituent edge queries and folding with Γ (§5).
+//
+// Deprecated: use Answer, which resolves the same decomposition through
+// the batched read path and also reports the combined error bound.
 func EstimateSubgraph(est core.Estimator, q SubgraphQuery) float64 {
-	vals := make([]float64, len(q.Edges))
-	for i, e := range q.Edges {
-		vals[i] = float64(est.EstimateEdge(e.Src, e.Dst))
-	}
-	return q.Agg.Apply(vals)
+	return Answer(est, q).Value
 }
 
 // ExactSubgraph resolves a subgraph query against exact frequencies

@@ -55,6 +55,19 @@ func (e exactEstimator) EstimateEdge(src, dst uint64) int64 { return e.c.EdgeFre
 func (e exactEstimator) Count() int64                       { return e.c.Total() }
 func (e exactEstimator) MemoryBytes() int                   { return 0 }
 
+func (e exactEstimator) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	out := make([]core.Result, len(qs))
+	for i, q := range qs {
+		out[i] = core.Result{
+			Estimate:    e.c.EdgeFrequency(q.Src, q.Dst),
+			Partition:   core.NoPartition,
+			Confidence:  1,
+			StreamTotal: e.c.Total(),
+		}
+	}
+	return out
+}
+
 var _ core.Estimator = exactEstimator{}
 
 func TestEstimateSubgraph(t *testing.T) {
@@ -119,6 +132,14 @@ func (e biasedEstimator) UpdateBatch([]stream.Edge)      {}
 func (e biasedEstimator) EstimateEdge(s, d uint64) int64 { return e.c.EdgeFrequency(s, d) * e.factor }
 func (e biasedEstimator) Count() int64                   { return e.c.Total() }
 func (e biasedEstimator) MemoryBytes() int               { return 0 }
+
+func (e biasedEstimator) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	out := make([]core.Result, len(qs))
+	for i, q := range qs {
+		out[i] = core.Result{Estimate: e.EstimateEdge(q.Src, q.Dst), Partition: core.NoPartition}
+	}
+	return out
+}
 
 func TestEvaluateMetricsArithmetic(t *testing.T) {
 	c := stream.NewExactCounter()

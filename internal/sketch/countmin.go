@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/graphstream/gsketch/internal/hashutil"
 )
@@ -21,7 +22,8 @@ type CountMin struct {
 	conservative bool
 
 	hashes []hashutil.PairwiseHash
-	cells  []uint32 // row-major: cells[row*width + col]
+	rows   []gatherRow // flattened hash coefficients for EstimateBatch (immutable)
+	cells  []uint32    // row-major: cells[row*width + col]
 	total  int64
 }
 
@@ -32,13 +34,21 @@ func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
 	if width <= 0 || depth <= 0 {
 		return nil, fmt.Errorf("%w: width=%d depth=%d", ErrInvalidParams, width, depth)
 	}
-	return &CountMin{
+	cm := &CountMin{
 		width:  width,
 		depth:  depth,
 		seed:   seed,
 		hashes: hashutil.NewPairwiseFamily(depth, width, seed),
 		cells:  make([]uint32, width*depth),
-	}, nil
+	}
+	// Flattened hash coefficients for EstimateBatch, built eagerly: the
+	// gather runs under read locks from multiple goroutines, so it must
+	// not initialize shared state lazily.
+	cm.rows = make([]gatherRow, depth)
+	for r, h := range cm.hashes {
+		cm.rows[r].a, cm.rows[r].b = h.Params()
+	}
+	return cm, nil
 }
 
 // NewCountMinWithError builds a sketch from accuracy targets via
@@ -175,6 +185,53 @@ func (cm *CountMin) Estimate(key uint64) int64 {
 		}
 	}
 	return int64(min)
+}
+
+// EstimateBatch answers a batch of point queries key-major with the field
+// loads hoisted out of the loop and the running minimum kept in a register
+// — unlike UpdateBatch, the read path gains nothing from row-major order
+// (there is no row-segment write locality to exploit) and loses the
+// register-resident min to per-row out[i] traffic. Each key is reduced
+// modulo the hash prime once and shared across the d row hashes, and the
+// row-hash arithmetic is hand-inlined from the (a, b) coefficients —
+// PairwiseHash.Hash is past the inlining budget, and d calls per key were
+// the largest single cost of the batched read path. The values equal
+// per-key Estimate exactly (min over the same d cells).
+func (cm *CountMin) EstimateBatch(keys []uint64, out []int64) {
+	if len(keys) != len(out) {
+		panic("sketch: EstimateBatch slice length mismatch")
+	}
+	rows := cm.rows
+	width, cells := cm.width, cm.cells
+	w64 := uint64(width)
+	for i, key := range keys {
+		xr := hashutil.Mod61(key)
+		min := uint32(maxCell)
+		base := 0
+		for _, p := range rows {
+			// (a·xr + b) mod 2^61-1 via 2^64 ≡ 8: hi·8 cannot overflow
+			// (hi < 2^58) and the three reduced terms sum below 2^63, so a
+			// single final Mod61 lands on the same canonical residue as
+			// PairwiseHash.Hash. Spelled out here because the composed
+			// helper is past the inlining budget and a call per row per
+			// key dominates the gather.
+			hi, lo := bits.Mul64(p.a, xr)
+			v := hashutil.Mod61(hashutil.Mod61(hi<<3) + hashutil.Mod61(lo) + p.b)
+			vhi, vlo := bits.Mul64(v, w64)
+			if c := cells[base+int(vhi<<3|vlo>>61)]; c < min {
+				min = c
+			}
+			base += width
+		}
+		out[i] = int64(min)
+	}
+}
+
+// gatherRow is one row's hash coefficients, flattened out of PairwiseHash
+// for the hand-inlined gather loop. Built once in NewCountMin and
+// immutable afterwards, so concurrent readers share it freely.
+type gatherRow struct {
+	a, b uint64
 }
 
 // Count returns the total stream volume added to this sketch.

@@ -100,7 +100,12 @@ func (cs *CountSketch) UpdateBatch(keys []uint64, counts []int64) {
 // Estimate returns the median of the signed row reads. For the non-negative
 // streams used in this module the result is clamped at zero.
 func (cs *CountSketch) Estimate(key uint64) int64 {
-	reads := make([]int64, cs.depth)
+	return cs.estimateInto(key, make([]int64, cs.depth))
+}
+
+// estimateInto is Estimate with a caller-provided scratch of length depth,
+// so batch gathers allocate once per batch instead of once per key.
+func (cs *CountSketch) estimateInto(key uint64, reads []int64) int64 {
 	for r := 0; r < cs.depth; r++ {
 		v := cs.cells[r*cs.width+cs.hashes[r].Hash(key)]
 		reads[r] = cs.signs[r].Sign(key) * v
@@ -116,6 +121,18 @@ func (cs *CountSketch) Estimate(key uint64) int64 {
 		med = 0
 	}
 	return med
+}
+
+// EstimateBatch answers a batch of point queries with one shared median
+// scratch; each out[i] equals Estimate(keys[i]) exactly.
+func (cs *CountSketch) EstimateBatch(keys []uint64, out []int64) {
+	if len(keys) != len(out) {
+		panic("sketch: EstimateBatch slice length mismatch")
+	}
+	reads := make([]int64, cs.depth)
+	for i, key := range keys {
+		out[i] = cs.estimateInto(key, reads)
+	}
 }
 
 // Count returns the total stream volume added.

@@ -114,6 +114,22 @@ func (lc *LossyCounting) Estimate(key uint64) int64 {
 	return 0
 }
 
+// EstimateBatch answers a batch of point queries against a single load of
+// the entry table.
+func (lc *LossyCounting) EstimateBatch(keys []uint64, out []int64) {
+	if len(keys) != len(out) {
+		panic("sketch: EstimateBatch slice length mismatch")
+	}
+	entries := lc.entries
+	for i, key := range keys {
+		if e, ok := entries[key]; ok {
+			out[i] = e.count
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
 // EstimateUpper returns the upper bound estimate count+delta, which some
 // applications prefer for one-sided guarantees symmetrical with CountMin.
 func (lc *LossyCounting) EstimateUpper(key uint64) int64 {
@@ -189,6 +205,17 @@ func (e *Exact) UpdateBatch(keys []uint64, counts []int64) {
 
 // Estimate returns the exact accumulated count of key.
 func (e *Exact) Estimate(key uint64) int64 { return e.counts[key] }
+
+// EstimateBatch answers a batch of point queries against a single map load.
+func (e *Exact) EstimateBatch(keys []uint64, out []int64) {
+	if len(keys) != len(out) {
+		panic("sketch: EstimateBatch slice length mismatch")
+	}
+	m := e.counts
+	for i, key := range keys {
+		out[i] = m[key]
+	}
+}
 
 // Count returns the total stream volume added.
 func (e *Exact) Count() int64 { return e.total }

@@ -27,6 +27,11 @@ type Synopsis interface {
 	UpdateBatch(keys []uint64, counts []int64)
 	// Estimate returns the estimated accumulated count of key.
 	Estimate(key uint64) int64
+	// EstimateBatch writes Estimate(keys[i]) into out[i] for every i. The
+	// two slices must have equal length. Implementations amortize dispatch,
+	// scratch allocation and (where the layout allows) row traversal across
+	// the batch; results are identical to per-key Estimate calls.
+	EstimateBatch(keys []uint64, out []int64)
 	// Count returns the total of all increments applied (the stream volume
 	// N routed to this synopsis).
 	Count() int64

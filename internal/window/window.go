@@ -226,6 +226,45 @@ func (s *Store) EstimateEdgeAll(src, dst uint64) float64 {
 	return s.EstimateEdge(src, dst, first, last)
 }
 
+// EstimateBatch answers a batch of edge queries over the time range
+// [t1, t2] inclusive, in input order. Each overlapping window answers the
+// whole batch with one routed EstimateBatch pass, and its fractional
+// overlap weight is applied to every answer — so a k-query range estimate
+// touches each window's counters once per batch instead of once per query.
+// Values are identical to per-query EstimateEdge.
+func (s *Store) EstimateBatch(qs []core.EdgeQuery, t1, t2 int64) []float64 {
+	out := make([]float64, len(qs))
+	if t2 < t1 || len(qs) == 0 {
+		return out
+	}
+	for i := range s.windows {
+		w := &s.windows[i]
+		lo := w.Index * s.cfg.Span
+		hi := lo + s.cfg.Span - 1
+		oLo, oHi := maxI64(lo, t1), minI64(hi, t2)
+		if oLo > oHi {
+			continue
+		}
+		frac := float64(oHi-oLo+1) / float64(s.cfg.Span)
+		res := w.Estimator.EstimateBatch(qs)
+		for j := range res {
+			out[j] += frac * float64(res[j].Estimate)
+		}
+	}
+	return out
+}
+
+// EstimateBatchAll answers a batch of edge queries over the whole stored
+// timeline.
+func (s *Store) EstimateBatchAll(qs []core.EdgeQuery) []float64 {
+	if len(s.windows) == 0 {
+		return make([]float64, len(qs))
+	}
+	first := s.windows[0].Index * s.cfg.Span
+	last := s.windows[len(s.windows)-1].Index*s.cfg.Span + s.cfg.Span - 1
+	return s.EstimateBatch(qs, first, last)
+}
+
 // MemoryBytes sums the counter footprint across windows.
 func (s *Store) MemoryBytes() int {
 	total := 0
