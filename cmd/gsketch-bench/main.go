@@ -49,6 +49,14 @@ func main() {
 		ingestWorkers = flag.Int("ingest-workers", 0, "worker count for the parallel ingest mode (0 = GOMAXPROCS)")
 		ingestJSON    = flag.String("ingest-json", "BENCH_ingest.json", "machine-readable ingest report path")
 
+		serveMode    = flag.Bool("serve", false, "run the HTTP serving benchmark instead of experiments")
+		serveEdges   = flag.Int("serve-edges", 2_000_000, "stream length ingested over loopback for -serve")
+		serveQueries = flag.Int("serve-queries", 1_000_000, "queries issued over loopback for -serve")
+		serveConns   = flag.Int("serve-conns", 0, "concurrent HTTP clients for -serve (0 = GOMAXPROCS)")
+		serveChunk   = flag.Int("serve-chunk", 8192, "edges per NDJSON ingest request for -serve")
+		serveBatch   = flag.Int("serve-batch", 2048, "queries per /query request for -serve")
+		serveJSON    = flag.String("serve-json", "BENCH_serve.json", "machine-readable serving report path")
+
 		queryMode       = flag.Bool("query", false, "run the query throughput benchmark instead of experiments")
 		queryCount      = flag.Int("query-count", 4_000_000, "number of queries per mode for -query")
 		queryBatch      = flag.Int("query-batch", 8192, "batch size for the batched query modes")
@@ -61,6 +69,14 @@ func main() {
 	if *ingestMode {
 		if err := runIngestBench(*ingestEdges, *ingestBatch, *ingestWorkers, *ingestJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveMode {
+		if err := runServeBench(*serveEdges, *serveQueries, *serveConns, *serveChunk, *serveBatch, *serveJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: serve: %v\n", err)
 			os.Exit(1)
 		}
 		return

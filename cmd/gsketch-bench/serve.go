@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/server"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// serveReport is the BENCH_serve.json payload: sustained loopback ingest
+// and query throughput of the HTTP serving subsystem.
+type serveReport struct {
+	Schema      int `json:"schema"`
+	Edges       int `json:"edges"`
+	Queries     int `json:"queries"`
+	Conns       int `json:"conns"`
+	IngestChunk int `json:"ingest_chunk"`
+	QueryBatch  int `json:"query_batch"`
+	GoMaxProcs  int `json:"gomaxprocs"`
+	Partitions  int `json:"partitions"`
+
+	IngestSeconds      float64 `json:"ingest_seconds"`
+	IngestEdgesPerSec  float64 `json:"ingest_edges_per_sec"`
+	IngestRetries429   int64   `json:"ingest_retries_429"`
+	QuerySeconds       float64 `json:"query_seconds"`
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+	QueryBatchesPerSec float64 `json:"query_batches_per_sec"`
+}
+
+// runServeBench starts the serving subsystem on a loopback listener and
+// drives it with conns concurrent HTTP clients: an NDJSON ingest phase
+// (with 429 retries counted) followed by a batched query phase. The final
+// state is cross-checked for lossless ingest before the report is written.
+func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, jsonPath string) error {
+	if conns <= 0 {
+		conns = runtime.GOMAXPROCS(0)
+	}
+	if nEdges < conns*ingestChunk {
+		return fmt.Errorf("need at least conns*chunk = %d edges (got %d)", conns*ingestChunk, nEdges)
+	}
+	edges := ingestStream(nEdges)
+	g, err := buildIngestSketch(edges)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Estimator: g,
+		Ingest:    ingest.Config{BatchSize: 8192},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: conns,
+	}}
+
+	// Ingest phase: shard the stream across conns workers, each POSTing
+	// NDJSON chunks and retrying the shed suffix on 429.
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	share := (nEdges + conns - 1) / conns
+	t0 := time.Now()
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		lo, hi := c*share, (c+1)*share
+		if hi > nEdges {
+			hi = nEdges
+		}
+		wg.Add(1)
+		go func(part []stream.Edge) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for len(part) > 0 {
+				n := ingestChunk
+				if n > len(part) {
+					n = len(part)
+				}
+				buf.Reset()
+				for _, e := range part[:n] {
+					fmt.Fprintf(&buf, `{"src":%d,"dst":%d,"weight":%d}`+"\n", e.Src, e.Dst, e.Weight)
+				}
+				accepted, retried, err := postIngestChunk(client, base, buf.Bytes())
+				if err != nil {
+					errs <- err
+					return
+				}
+				retries.Add(retried)
+				part = part[accepted:]
+			}
+		}(edges[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	// Flush so the measured window covers every edge applied.
+	if err := syncFlush(client, base); err != nil {
+		return err
+	}
+	ingestSecs := time.Since(t0).Seconds()
+
+	var total int64
+	for _, e := range edges {
+		total += e.Weight
+	}
+	if got := g.Count(); got != total {
+		return fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
+	}
+
+	// Query phase: conns clients POST batched queries over the same key
+	// population.
+	perConn := nQueries / conns
+	batches := perConn / queryBatch
+	if batches < 1 {
+		batches = 1
+	}
+	t1 := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for b := 0; b < batches; b++ {
+				buf.Reset()
+				buf.WriteString(`{"queries":[`)
+				for i := 0; i < queryBatch; i++ {
+					if i > 0 {
+						buf.WriteByte(',')
+					}
+					e := edges[(seed+b*queryBatch+i)%len(edges)]
+					fmt.Fprintf(&buf, `{"src":%d,"dst":%d}`, e.Src, e.Dst)
+				}
+				buf.WriteString(`]}`)
+				resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(new(json.RawMessage)); err != nil {
+					resp.Body.Close()
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(c * 7919)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	querySecs := time.Since(t1).Seconds()
+	answered := int64(conns) * int64(batches) * int64(queryBatch)
+
+	rep := serveReport{
+		Schema:      1,
+		Edges:       nEdges,
+		Queries:     int(answered),
+		Conns:       conns,
+		IngestChunk: ingestChunk,
+		QueryBatch:  queryBatch,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Partitions:  g.NumPartitions(),
+
+		IngestSeconds:      ingestSecs,
+		IngestEdgesPerSec:  float64(nEdges) / ingestSecs,
+		IngestRetries429:   retries.Load(),
+		QuerySeconds:       querySecs,
+		QueriesPerSec:      float64(answered) / querySecs,
+		QueryBatchesPerSec: float64(conns*batches) / querySecs,
+	}
+	fmt.Printf("# serve bench: %d conns over loopback\n", conns)
+	fmt.Printf("ingest  %12.0f edges/s   (%d edges, %.2fs, %d retries on 429)\n",
+		rep.IngestEdgesPerSec, nEdges, ingestSecs, rep.IngestRetries429)
+	fmt.Printf("query   %12.0f queries/s (%.0f batches/s, batch %d, %.2fs)\n",
+		rep.QueriesPerSec, rep.QueryBatchesPerSec, queryBatch, querySecs)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
+}
+
+// postIngestChunk POSTs one NDJSON chunk, retrying the shed suffix until
+// the whole chunk is accepted. It returns edges accepted from this chunk
+// (always the full chunk on success) and how many 429 retries it took.
+func postIngestChunk(client *http.Client, base string, body []byte) (int, int64, error) {
+	accepted := 0
+	var retried int64
+	for {
+		resp, err := client.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			return accepted, retried, err
+		}
+		var ir struct {
+			Accepted int `json:"accepted"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if err != nil {
+			return accepted, retried, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return accepted + ir.Accepted, retried, nil
+		case http.StatusTooManyRequests:
+			accepted += ir.Accepted
+			retried++
+			// Re-render the rejected suffix: count accepted lines off the
+			// front of the NDJSON body.
+			body = skipNDJSONLines(body, ir.Accepted)
+			time.Sleep(200 * time.Microsecond)
+		default:
+			return accepted, retried, fmt.Errorf("ingest status %d", resp.StatusCode)
+		}
+	}
+}
+
+// skipNDJSONLines drops the first n lines of an NDJSON payload.
+func skipNDJSONLines(body []byte, n int) []byte {
+	for ; n > 0; n-- {
+		i := bytes.IndexByte(body, '\n')
+		if i < 0 {
+			return nil
+		}
+		body = body[i+1:]
+	}
+	return body
+}
+
+// syncFlush issues an empty sync ingest, which flushes the pipeline.
+func syncFlush(client *http.Client, base string) error {
+	resp, err := client.Post(base+"/ingest?sync=1", "application/x-ndjson", bytes.NewReader(nil))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sync flush status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Command gsketch-serve runs the gSketch serving subsystem: an HTTP/JSON
+// frontend over the sharded batch-ingest pipeline and the striped-lock
+// estimator, with snapshot persistence and live query-workload capture.
+//
+// Usage:
+//
+//	gsketch-serve -addr :7071 -sample edges.txt [-workload workload.txt]
+//	gsketch-serve -addr :7071 -restore state.gsk
+//	gsketch-serve -addr :7071 -global
+//
+// Exactly one bootstrap source decides the estimator: -restore loads a
+// snapshot, -sample builds a partitioned gSketch from an edge file (plus an
+// optional -workload sample for the §4.2 objective), and -global runs the
+// unpartitioned baseline (no sample needed, weaker per-partition bounds).
+//
+// Endpoints (see internal/server):
+//
+//	POST /ingest            NDJSON edges; 429 when the pipeline sheds load
+//	POST /query             batched edge queries with error bounds
+//	POST /query/window      time-range queries (with -window-span)
+//	GET  /snapshot          stream the sketch state
+//	POST /snapshot/save     persist a snapshot (default path: -snapshot)
+//	POST /snapshot/restore  swap in a snapshot
+//	GET  /workload          recorded query-workload sample (text edges)
+//	GET  /healthz, /stats   liveness and counters
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, the ingest
+// queue drains, and (with -snapshot-on-exit) a final snapshot lands at
+// -snapshot.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/server"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/window"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":7071", "listen address")
+
+		restorePath  = flag.String("restore", "", "bootstrap from this snapshot file")
+		samplePath   = flag.String("sample", "", "bootstrap a partitioned gSketch from this edge file (text or binary)")
+		workloadPath = flag.String("workload", "", "optional query-workload sample steering partitioning (§4.2)")
+		global       = flag.Bool("global", false, "bootstrap the unpartitioned GlobalSketch baseline")
+		sampleCap    = flag.Int("sample-cap", 1<<16, "max edges of -sample used for partitioning")
+
+		totalBytes = flag.Int("bytes", 4<<20, "counter memory budget in bytes")
+		depth      = flag.Int("depth", 0, "sketch depth d (0 = default)")
+		seed       = flag.Uint64("seed", 42, "hash-family seed")
+		partitions = flag.Int("partitions", 0, "partition cap (0 = unbounded)")
+
+		workers   = flag.Int("workers", 0, "ingest workers (0 = GOMAXPROCS)")
+		batchSize = flag.Int("batch", 0, "ingest batch size (0 = default 1024)")
+		queue     = flag.Int("queue", 0, "ingest queue depth in batches (0 = 4x workers)")
+
+		snapshotPath   = flag.String("snapshot", "gsketch.snap", "default snapshot path for /snapshot/save and -snapshot-on-exit")
+		snapshotOnExit = flag.Bool("snapshot-on-exit", false, "save a final snapshot during graceful shutdown")
+
+		workloadCap  = flag.Int("workload-cap", 4096, "query-workload reservoir capacity (negative disables capture)")
+		windowSpan   = flag.Int64("window-span", 0, "enable the windowed store with this span (0 = disabled)")
+		windowSample = flag.Int("window-sample", 1024, "per-window reservoir size for the windowed store")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		TotalBytes:    *totalBytes,
+		Depth:         *depth,
+		Seed:          *seed,
+		MaxPartitions: *partitions,
+	}
+	est, err := bootstrap(cfg, *restorePath, *samplePath, *workloadPath, *global, *sampleCap)
+	if err != nil {
+		log.Fatalf("gsketch-serve: %v", err)
+	}
+
+	var win *window.Store
+	if *windowSpan > 0 {
+		win, err = window.NewStore(window.StoreConfig{
+			Span:       *windowSpan,
+			SampleSize: *windowSample,
+			Sketch:     cfg,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatalf("gsketch-serve: window store: %v", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Estimator:          est,
+		Ingest:             ingest.Config{Workers: *workers, BatchSize: *batchSize, QueueDepth: *queue},
+		SnapshotPath:       *snapshotPath,
+		SnapshotOnShutdown: *snapshotOnExit,
+		WorkloadSampleSize: *workloadCap,
+		WorkloadSeed:       *seed,
+		Window:             win,
+	})
+	if err != nil {
+		log.Fatalf("gsketch-serve: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("gsketch-serve: listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("gsketch-serve: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("gsketch-serve: shutdown: %v", err)
+		}
+		<-errc // ListenAndServe returns ErrServerClosed after Shutdown
+		log.Printf("gsketch-serve: drained, bye")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gsketch-serve: %v", err)
+		}
+	}
+}
+
+// bootstrap resolves the estimator from exactly one of the three sources.
+func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, global bool, sampleCap int) (core.Estimator, error) {
+	set := 0
+	for _, on := range []bool{restorePath != "", samplePath != "", global} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("pick exactly one of -restore, -sample or -global")
+	}
+
+	switch {
+	case restorePath != "":
+		f, err := os.Open(restorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := core.ReadGSketch(f)
+		if err != nil {
+			return nil, fmt.Errorf("restore %s: %w", restorePath, err)
+		}
+		log.Printf("gsketch-serve: restored %s (%d partitions, stream total %d)",
+			restorePath, g.NumPartitions(), g.Count())
+		return g, nil
+
+	case global:
+		return core.BuildGlobalSketch(cfg)
+
+	default:
+		sample, err := readEdgeFile(samplePath)
+		if err != nil {
+			return nil, fmt.Errorf("sample %s: %w", samplePath, err)
+		}
+		if len(sample) > sampleCap {
+			sample = sample[:sampleCap]
+		}
+		var workload []stream.Edge
+		if workloadPath != "" {
+			workload, err = readEdgeFile(workloadPath)
+			if err != nil {
+				return nil, fmt.Errorf("workload %s: %w", workloadPath, err)
+			}
+		}
+		g, err := core.BuildGSketch(cfg, sample, workload)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("gsketch-serve: partitioned over %d sample edges → %d partitions (order %v)",
+			len(sample), g.NumPartitions(), g.Order())
+		return g, nil
+	}
+}
+
+// readEdgeFile loads a text or binary edge file, sniffing the "GSED" magic.
+func readEdgeFile(path string) ([]stream.Edge, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 4 && binary.LittleEndian.Uint32(raw) == 0x47534544 {
+		return stream.ReadBinaryEdges(bytes.NewReader(raw))
+	}
+	return stream.ReadTextEdges(bytes.NewReader(raw))
+}

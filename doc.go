@@ -115,6 +115,23 @@
 // three paths and writes a machine-readable BENCH_ingest.json;
 // `gsketch-bench -query` is its read-side mirror, writing BENCH_query.json.
 //
+// # Serving and the workload-capture loop
+//
+// cmd/gsketch-serve (backed by internal/server) exposes the whole stack
+// over HTTP/JSON as a long-lived process: NDJSON batch ingest with
+// backpressure mapped to 429 (the non-blocking TryPush/TryPushBatch path
+// and its typed ErrIngestQueueFull), batched bound-carrying queries,
+// consistent snapshots (Save works on a live Concurrent, under all lock
+// stripes' read locks; Load reopens them), and graceful drain-then-stop
+// shutdown.
+//
+// The server also closes the paper's sample-collection loop: §4.2 assumes
+// a query-workload sample is simply "available", and the serving layer is
+// where it actually comes from. A reservoir over the live /query traffic
+// (GET /workload) exports the sample in the exact text edge format New
+// accepts as workloadSample, so a recorded workload feeds an offline
+// rebuild with the workload-aware partitioning objective.
+//
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)
 // lives in the internal packages and is documented in DESIGN.md.

@@ -96,13 +96,28 @@ type IngestConfig = ingest.Config
 // ErrIngestClosed reports a push against a closed Ingestor.
 var ErrIngestClosed = ingest.ErrClosed
 
+// ErrIngestQueueFull reports that a non-blocking TryPush/TryPushBatch could
+// not enqueue because the pipeline is at capacity — the typed shed-load
+// signal (retry later), as opposed to the hard failure ErrIngestClosed.
+var ErrIngestQueueFull = ingest.ErrQueueFull
+
 // NewIngestor starts a batch-ingestion pipeline feeding est. Close (or
 // Flush) it before reading final results from est.
 func NewIngestor(est Estimator, cfg IngestConfig) (*Ingestor, error) {
 	return ingest.New(est, cfg)
 }
 
-// Load deserializes a gSketch previously saved with (*GSketch).WriteTo.
+// Save serializes an estimator. It works for a bare *GSketch and for a
+// *Concurrent wrapper — the latter snapshots under its striped read locks,
+// so a save racing live writers is still internally consistent and a
+// restored sketch answers byte-identically to the live one at save time.
+// Estimators without a serialized form (GlobalSketch, custom synopses)
+// return an error.
+func Save(est Estimator, w io.Writer) (int64, error) { return core.Save(est, w) }
+
+// Load deserializes a gSketch previously saved with Save (or
+// (*GSketch).WriteTo — the formats are identical). Wrap the result in
+// NewConcurrent to resume serving shared traffic.
 func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }
 
 // EdgeQuery asks for the accumulated frequency of one directed edge. It is

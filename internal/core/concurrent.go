@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"github.com/graphstream/gsketch/internal/stream"
@@ -172,6 +174,40 @@ func (c *Concurrent) NumShards() int {
 		return 1
 	}
 	return c.g.NumShards()
+}
+
+// WriteTo serializes the wrapped estimator while holding a consistent read
+// lock: on the sharded path every stripe's read lock is acquired for the
+// whole serialization, so no partition counter can move mid-snapshot and a
+// restored sketch answers byte-identically to the live one at snapshot
+// time. Readers proceed concurrently; writers block for the duration.
+//
+// The stream total is folded in by writers after their counters land
+// (outside the stripe locks), so a snapshot racing active writers can carry
+// a total that lags the counters by the in-flight batches. Quiesce writers
+// first (e.g. Ingestor.Flush) when the exact counters↔total correspondence
+// matters; either way the snapshot itself is internally valid.
+//
+// Only gSketch-backed wrappers serialize, matching GSketch.WriteTo.
+func (c *Concurrent) WriteTo(w io.Writer) (int64, error) {
+	if c.g == nil {
+		wt, ok := c.est.(io.WriterTo)
+		if !ok {
+			return 0, fmt.Errorf("core: wrapped %T does not serialize", c.est)
+		}
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return wt.WriteTo(w)
+	}
+	for i := range c.stripes {
+		c.stripes[i].RLock()
+	}
+	defer func() {
+		for i := range c.stripes {
+			c.stripes[i].RUnlock()
+		}
+	}()
+	return c.g.WriteTo(w)
 }
 
 // Unwrap returns the wrapped estimator. Callers must hold no concurrent

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -188,5 +189,98 @@ func TestConcurrentParallelPlainCountMinDeterministic(t *testing.T) {
 		if s, p := seq.EstimateEdge(e.Src, e.Dst), par.EstimateEdge(e.Src, e.Dst); s != p {
 			t.Fatalf("parallel estimate (%d,%d): %d vs %d", e.Src, e.Dst, s, p)
 		}
+	}
+}
+
+// TestConcurrentWriteToSnapshot checks that the locked Concurrent snapshot
+// is byte-identical to the wrapped GSketch's own serialization once
+// writers quiesce, and that the restored sketch answers byte-identically.
+func TestConcurrentWriteToSnapshot(t *testing.T) {
+	edges := batchTestStream(30_000, 71)
+	g, err := BuildGSketch(Config{TotalBytes: 64 << 10, Seed: 71}, edges[:4000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+	c.UpdateBatch(edges)
+
+	var direct, locked bytes.Buffer
+	if _, err := g.WriteTo(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(&locked); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), locked.Bytes()) {
+		t.Fatal("Concurrent.WriteTo differs from GSketch.WriteTo on quiesced state")
+	}
+
+	restored, err := ReadGSketch(&locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]EdgeQuery, 0, 500)
+	for i := 0; i < 500; i++ {
+		qs = append(qs, EdgeQuery{Src: edges[i].Src, Dst: edges[i].Dst})
+	}
+	want := c.EstimateBatch(qs)
+	got := NewConcurrent(restored).EstimateBatch(qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: restored %+v != live %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentWriteToUnderWriters snapshots while writer goroutines keep
+// pushing batches; every snapshot must deserialize into a valid sketch.
+// Run with -race this exercises the stripe-lock acquisition ordering.
+func TestConcurrentWriteToUnderWriters(t *testing.T) {
+	g, err := BuildGSketch(Config{TotalBytes: 32 << 10, Seed: 72}, batchTestStream(2000, 72), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			batch := batchTestStream(512, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.UpdateBatch(batch)
+				}
+			}
+		}(uint64(100 + w))
+	}
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadGSketch(&buf); err != nil {
+			t.Fatalf("snapshot %d does not load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentWriteToGenericRejects checks the generic path rejects
+// estimators without a serial form instead of writing garbage.
+func TestConcurrentWriteToGenericRejects(t *testing.T) {
+	gs, err := BuildGlobalSketch(Config{TotalWidth: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(gs)
+	if _, err := c.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("GlobalSketch-backed Concurrent serialized unexpectedly")
 	}
 }

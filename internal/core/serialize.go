@@ -124,6 +124,20 @@ func (g *GSketch) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
+// Save serializes an estimator to w. Estimators with a serialized form —
+// a bare *GSketch, or a *Concurrent wrapper (snapshotted under its striped
+// read locks so concurrent readers proceed and writers wait) — implement
+// io.WriterTo; anything else is rejected with an error. The output is
+// exactly GSketch.WriteTo's format, so ReadGSketch loads it regardless of
+// which wrapper saved it.
+func Save(est Estimator, w io.Writer) (int64, error) {
+	wt, ok := est.(io.WriterTo)
+	if !ok {
+		return 0, fmt.Errorf("core: estimator %T does not serialize", est)
+	}
+	return wt.WriteTo(w)
+}
+
 // ReadGSketch deserializes a gSketch written by WriteTo.
 func ReadGSketch(r io.Reader) (*GSketch, error) {
 	br := bufio.NewReader(r)

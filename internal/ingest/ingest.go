@@ -27,6 +27,13 @@ import (
 // ErrClosed reports a push or flush against a closed ingestor.
 var ErrClosed = errors.New("ingest: ingestor is closed")
 
+// ErrQueueFull reports that a non-blocking push could not enqueue a batch
+// because the pipeline is at capacity. It is the typed shed-load signal:
+// callers that must not block (a serving frontend mapping backpressure to
+// 429, say) test for it with errors.Is and retry later, while ErrClosed
+// stays a hard failure.
+var ErrQueueFull = errors.New("ingest: queue full")
+
 // Config parameterizes an Ingestor. The zero value selects sensible
 // defaults for every field.
 type Config struct {
@@ -144,6 +151,19 @@ func (in *Ingestor) addInflight() {
 	in.inflightMu.Unlock()
 }
 
+// subInflight retracts a registration made by addInflight when the
+// non-blocking send it covered did not happen. The zero-crossing broadcast
+// mirrors the worker's, so a Flush that started waiting between the add and
+// the retraction still wakes.
+func (in *Ingestor) subInflight() {
+	in.inflightMu.Lock()
+	in.inflight--
+	if in.inflight == 0 {
+		in.drained.Broadcast()
+	}
+	in.inflightMu.Unlock()
+}
+
 // Push buffers one edge, enqueuing a batch every BatchSize edges. It blocks
 // when the pipeline is at capacity and returns ErrClosed after Close.
 func (in *Ingestor) Push(e stream.Edge) error {
@@ -199,6 +219,69 @@ func (in *Ingestor) PushBatch(edges []stream.Edge) error {
 		}
 	}
 	return nil
+}
+
+// TryPush offers one edge without blocking. It returns ErrQueueFull when
+// accepting the edge would complete a batch that the queue cannot take
+// right now; the edge is not consumed and the caller may retry.
+func (in *Ingestor) TryPush(e stream.Edge) error {
+	accepted, err := in.TryPushBatch([]stream.Edge{e})
+	if accepted == 1 {
+		return nil
+	}
+	return err
+}
+
+// TryPushBatch copies as many edges as fit into the pipeline without ever
+// blocking on a full queue. It returns the number of edges accepted (always
+// a prefix of edges, applied in order) and ErrQueueFull when capacity ran
+// out before the rest could be buffered, or ErrClosed after Close. Accepted
+// edges are owned by the pipeline exactly as with PushBatch; rejected edges
+// remain the caller's to retry.
+func (in *Ingestor) TryPushBatch(edges []stream.Edge) (int, error) {
+	accepted := 0
+	for {
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return accepted, ErrClosed
+		}
+		// Drain a completed batch first (a previous TryPushBatch may have
+		// left pending exactly full after a failed enqueue).
+		if len(in.pending) >= in.cfg.BatchSize {
+			full := in.pending
+			in.addInflight()
+			select {
+			case in.ch <- full:
+				in.pending = nil
+			default:
+				in.subInflight()
+				in.mu.Unlock()
+				if len(edges) == 0 {
+					// Everything offered was buffered; the failed drain
+					// was opportunistic, not a shed — Flush will push the
+					// full pending batch through.
+					return accepted, nil
+				}
+				return accepted, ErrQueueFull
+			}
+		}
+		if len(edges) == 0 {
+			in.mu.Unlock()
+			return accepted, nil
+		}
+		if in.pending == nil {
+			in.pending = in.bufPool.Get().([]stream.Edge)
+		}
+		room := in.cfg.BatchSize - len(in.pending)
+		if room > len(edges) {
+			room = len(edges)
+		}
+		in.pending = append(in.pending, edges[:room]...)
+		edges = edges[room:]
+		accepted += room
+		in.mu.Unlock()
+	}
 }
 
 // Flush enqueues any partial batch and blocks until the pipeline is fully
@@ -271,6 +354,35 @@ func (in *Ingestor) Edges() int64 { return in.edges.Load() }
 
 // Batches returns the number of batches applied so far.
 func (in *Ingestor) Batches() int64 { return in.batches.Load() }
+
+// QueueDepth returns the number of batches currently waiting in the queue
+// (enqueued but not yet picked up by a worker). Together with QueueCap it
+// is the load-shedding signal: TryPush starts failing when the queue is at
+// capacity.
+func (in *Ingestor) QueueDepth() int { return len(in.ch) }
+
+// QueueCap returns the queue bound (Config.QueueDepth after defaulting).
+func (in *Ingestor) QueueCap() int { return cap(in.ch) }
+
+// Inflight returns the number of batches accepted into the queue but not
+// yet fully applied to the destination — queued batches plus those a worker
+// is currently folding in. It reaches 0 exactly when Flush would return
+// immediately.
+func (in *Ingestor) Inflight() int {
+	in.inflightMu.Lock()
+	n := in.inflight
+	in.inflightMu.Unlock()
+	return n
+}
+
+// Pending returns the number of edges buffered toward the next batch (not
+// yet enqueued; Flush pushes them through).
+func (in *Ingestor) Pending() int {
+	in.mu.Lock()
+	n := len(in.pending)
+	in.mu.Unlock()
+	return n
+}
 
 // Workers returns the resolved worker count.
 func (in *Ingestor) Workers() int { return in.cfg.Workers }

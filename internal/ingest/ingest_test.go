@@ -1,7 +1,10 @@
 package ingest
 
 import (
+	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/graphstream/gsketch/internal/core"
@@ -238,5 +241,133 @@ func TestIngestorRejectsBadInput(t *testing.T) {
 	c := exactTarget(t)
 	if _, err := New(c, Config{Workers: -1}); err == nil {
 		t.Fatal("negative workers accepted")
+	}
+}
+
+// gateEstimator blocks every UpdateBatch on a gate channel, making
+// queue-full states deterministic for the shed-load tests.
+type gateEstimator struct {
+	gate  chan struct{}
+	edges atomic.Int64
+}
+
+func (g *gateEstimator) Update(e stream.Edge)               { g.UpdateBatch([]stream.Edge{e}) }
+func (g *gateEstimator) UpdateBatch(es []stream.Edge)       { <-g.gate; g.edges.Add(int64(len(es))) }
+func (g *gateEstimator) EstimateEdge(src, dst uint64) int64 { return 0 }
+func (g *gateEstimator) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	return make([]core.Result, len(qs))
+}
+func (g *gateEstimator) Count() int64     { return g.edges.Load() }
+func (g *gateEstimator) MemoryBytes() int { return 0 }
+
+// TestTryPushBatchShedsLoad drives the pipeline into a deterministic
+// queue-full state and checks that TryPushBatch accepts exactly the prefix
+// it can buffer, reports ErrQueueFull for the rest, and that the counters
+// expose the state the server's 429 mapping needs.
+func TestTryPushBatchShedsLoad(t *testing.T) {
+	dest := &gateEstimator{gate: make(chan struct{})}
+	ing, err := New(dest, Config{Workers: 1, BatchSize: 4, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testStream(8, 7)
+	// Blocking path: batch 1 ends up held by the (gated) worker, batch 2
+	// fills the depth-1 queue.
+	if err := ing.PushBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	if d, c := ing.QueueDepth(), ing.QueueCap(); d != 1 || c != 1 {
+		t.Fatalf("QueueDepth/Cap = %d/%d, want 1/1", d, c)
+	}
+	if n := ing.Inflight(); n != 2 {
+		t.Fatalf("Inflight = %d, want 2", n)
+	}
+
+	// Non-blocking path: exactly one batch still fits in the pending
+	// buffer. Fully-buffered offers are not a shed, even though the
+	// opportunistic enqueue failed...
+	more := testStream(8, 8)
+	if n, err := ing.TryPushBatch(more[:4]); err != nil || n != 4 {
+		t.Fatalf("boundary TryPushBatch = (%d, %v), want (4, nil)", n, err)
+	}
+	// ...but the next offer has nowhere to go and must shed everything.
+	accepted, err := ing.TryPushBatch(more[4:])
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TryPushBatch err = %v, want ErrQueueFull", err)
+	}
+	if accepted != 0 {
+		t.Fatalf("accepted = %d, want 0", accepted)
+	}
+	accepted = 4 + accepted // prefix of `more` buffered so far
+	if n := ing.Pending(); n != 4 {
+		t.Fatalf("Pending = %d, want 4", n)
+	}
+	if err := ing.TryPush(more[4]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TryPush err = %v, want ErrQueueFull", err)
+	}
+
+	// Release the workers; the rejected suffix can now be retried and the
+	// pipeline drains completely.
+	close(dest.gate)
+	for rest := more[accepted:]; len(rest) > 0; {
+		n, err := ing.TryPushBatch(rest)
+		rest = rest[n:]
+		if err != nil && !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		if errors.Is(err, ErrQueueFull) {
+			runtime.Gosched()
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dest.Count(); got != 16 {
+		t.Fatalf("edges applied = %d, want 16", got)
+	}
+	if n := ing.Inflight(); n != 0 {
+		t.Fatalf("Inflight after Close = %d, want 0", n)
+	}
+	if _, err := ing.TryPushBatch(more); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPushBatch after Close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestTryPushBatchEquivalence checks that a stream fed entirely through the
+// non-blocking path (with retries) lands identically to ground truth.
+func TestTryPushBatchEquivalence(t *testing.T) {
+	c := exactTarget(t)
+	ing, err := New(c, Config{Workers: 2, BatchSize: 64, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testStream(20_000, 11)
+	truth := stream.NewExactCounter()
+	truth.ObserveAll(edges)
+	for rest := edges; len(rest) > 0; {
+		n, err := ing.TryPushBatch(rest)
+		rest = rest[n:]
+		if err != nil && !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		if errors.Is(err, ErrQueueFull) {
+			runtime.Gosched()
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != truth.Total() {
+		t.Fatalf("Count = %d, want %d", c.Count(), truth.Total())
+	}
+	bad := 0
+	truth.RangeEdges(func(src, dst uint64, want int64) bool {
+		if got := c.EstimateEdge(src, dst); got != want {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d edges differ from exact ground truth", bad)
 	}
 }

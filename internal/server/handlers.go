@@ -1,0 +1,365 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// routes builds the method-routed mux (Go 1.22 pattern syntax).
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
+	mux.HandleFunc("POST /snapshot/restore", s.handleSnapshotRestore)
+	if s.rec != nil {
+		mux.HandleFunc("GET /workload", s.handleWorkload)
+	}
+	if s.cfg.Window != nil {
+		mux.HandleFunc("POST /query/window", s.handleWindowQuery)
+	}
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleIngest accepts an NDJSON edge batch and hands it to the pipeline
+// without ever blocking the handler on a full queue: backpressure becomes
+// HTTP 429 with the accepted prefix length, so clients retry only what was
+// shed. ?sync=1 additionally flushes before replying (read-your-writes).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.stats.ingestRequests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	edges, err := decodeEdgesNDJSON(body)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "ingest: %v", err)
+		return
+	}
+	// The engine read lock is held across the (non-blocking) push so a
+	// concurrent snapshot restore cannot swap the engine between the ack
+	// and the enqueue — every 200-acked edge lands in the engine that
+	// serves subsequent queries, not a displaced pipeline.
+	s.mu.RLock()
+	eng := s.eng
+	accepted, err := eng.ing.TryPushBatch(edges)
+	s.mu.RUnlock()
+	s.stats.edgesAccepted.Add(int64(accepted))
+	s.observeWindow(edges[:accepted])
+	rejected := len(edges) - accepted
+	switch {
+	case errors.Is(err, ingest.ErrClosed):
+		// The accepted prefix (if any) was still taken by the pipeline;
+		// report it so a retrying client does not double-send it.
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
+			Accepted: accepted,
+			Rejected: rejected,
+			Error:    "ingest pipeline closed",
+		})
+		return
+	case errors.Is(err, ingest.ErrQueueFull):
+		s.stats.edgesRejected.Add(int64(rejected))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ingestResponse{
+			Accepted: accepted,
+			Rejected: rejected,
+			Error:    "ingest queue full",
+		})
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	}
+	if r.URL.Query().Get("sync") != "" {
+		if err := s.flushBounded(r, eng); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "ingest: flush: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+}
+
+// flushBounded flushes the pipeline with a deadline: Ingestor.Flush waits
+// on the global drain condition, which under sustained ingest traffic may
+// not quiesce — a handler must not hang on it indefinitely. The flush
+// goroutine itself runs to completion either way; only the wait is bounded
+// (by Config.FlushTimeout and the client disconnecting).
+func (s *Server) flushBounded(r *http.Request, eng *engine) error {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FlushTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.ing.Flush() }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ingest.ErrClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain did not quiesce: %w", ctx.Err())
+	}
+}
+
+// observeWindow feeds accepted edges to the optional window store. The
+// store is single-writer, so access is serialized; ordering violations are
+// the client's (the store requires nondecreasing window indices) and are
+// swallowed after counting — the primary estimator already absorbed the
+// edges.
+func (s *Server) observeWindow(edges []stream.Edge) {
+	if s.cfg.Window == nil || len(edges) == 0 {
+		return
+	}
+	s.winMu.Lock()
+	_ = s.cfg.Window.ObserveBatch(edges)
+	s.winMu.Unlock()
+}
+
+// handleQuery answers a batch of edge queries with the bound-carrying
+// batched read path and records the batch into the workload reservoir.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.queryRequests.Add(1)
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "query: empty batch")
+		return
+	}
+	eng := s.engine()
+	if req.Sync {
+		if err := s.flushBounded(r, eng); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "query: flush: %v", err)
+			return
+		}
+	}
+	qs := toEdgeQueries(req.Queries)
+	if s.rec != nil {
+		s.rec.Record(qs)
+	}
+	results := eng.est.EstimateBatch(qs)
+	s.stats.queriesAnswered.Add(int64(len(results)))
+	resp := queryResponse{Results: make([]resultJSON, len(results))}
+	for i, res := range results {
+		resp.Results[i] = resultJSON{
+			Src:         req.Queries[i].Src,
+			Dst:         req.Queries[i].Dst,
+			Estimate:    res.Estimate,
+			Partition:   res.Partition,
+			Outlier:     res.Outlier,
+			ErrorBound:  res.ErrorBound,
+			Confidence:  res.Confidence,
+			StreamTotal: res.StreamTotal,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWindowQuery answers a time-range batch against the window store.
+func (s *Server) handleWindowQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.windowQueries.Add(1)
+	var req windowQueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "window query: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "window query: empty batch")
+		return
+	}
+	qs := toEdgeQueries(req.Queries)
+	s.winMu.Lock()
+	values := s.cfg.Window.EstimateBatch(qs, req.T1, req.T2)
+	s.winMu.Unlock()
+	writeJSON(w, http.StatusOK, windowQueryResponse{Values: values})
+}
+
+// handleSnapshotGet streams the serialized sketch, snapshotted under the
+// striped read locks, directly to the client.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine()
+	// Write through a counter so an error before the first byte (an
+	// estimator without a serial form, say) can still become a clean 500
+	// instead of a 200 with an empty body the client mistakes for a
+	// snapshot.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cw := &countingWriter{w: w}
+	if _, err := eng.est.WriteTo(cw); err != nil {
+		if cw.n == 0 {
+			// Headers not sent yet: writeError still owns the status line.
+			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		// Mid-stream failure: the 200 header is gone; abort the connection
+		// so the client sees a truncated transfer rather than a silent
+		// success.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleSnapshotSave persists a snapshot to disk. The target path comes
+// from the JSON body or falls back to the configured SnapshotPath.
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	path, ok := s.snapshotPath(w, r)
+	if !ok {
+		return
+	}
+	n, err := s.saveSnapshot(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot save: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": path, "bytes": n})
+}
+
+// handleSnapshotRestore swaps the serving state for a snapshot, read from
+// the raw request body (Content-Type: application/octet-stream) or from a
+// path on disk.
+func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
+	// Snapshots carry no window-store state, so swapping the estimator
+	// under a mounted window store would leave /query and /query/window
+	// answering from different histories. Refuse loudly; restore into a
+	// fresh process without -window-span instead.
+	if s.cfg.Window != nil {
+		writeError(w, http.StatusConflict,
+			"snapshot restore: refused while a window store is mounted (snapshots do not carry window state)")
+		return
+	}
+	var src io.Reader
+	var from string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		src = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		from = "request body"
+	} else {
+		path, ok := s.snapshotPath(w, r)
+		if !ok {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "snapshot restore: %v", err)
+			return
+		}
+		defer f.Close()
+		src, from = f, path
+	}
+	g, err := core.ReadGSketch(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "snapshot restore from %s: %v", from, err)
+		return
+	}
+	eng, err := s.restoreSnapshot(g)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot restore: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restored":     from,
+		"partitions":   g.NumPartitions(),
+		"stream_total": eng.est.Count(),
+	})
+}
+
+// snapshotPath resolves the snapshot path from the request body or config,
+// writing the error reply itself when none is usable. A request-supplied
+// path is confined to the directory of Config.SnapshotPath: without the
+// restriction, any HTTP client could write (save clobbers via rename) or
+// probe (restore opens) arbitrary filesystem paths the process can reach.
+func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var req snapshotRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "snapshot: %v", err)
+		return "", false
+	}
+	if req.Path == "" {
+		if s.cfg.SnapshotPath == "" {
+			writeError(w, http.StatusBadRequest, "snapshot: no path (set Config.SnapshotPath or pass {\"path\": ...})")
+			return "", false
+		}
+		return s.cfg.SnapshotPath, true
+	}
+	if s.cfg.SnapshotPath == "" {
+		writeError(w, http.StatusForbidden, "snapshot: request paths are disabled (no Config.SnapshotPath to confine them to)")
+		return "", false
+	}
+	allowedDir, err := filepath.Abs(filepath.Dir(s.cfg.SnapshotPath))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return "", false
+	}
+	abs, err := filepath.Abs(req.Path)
+	if err != nil || filepath.Dir(abs) != allowedDir {
+		writeError(w, http.StatusForbidden, "snapshot: path %q is outside the snapshot directory %q", req.Path, allowedDir)
+		return "", false
+	}
+	return abs, true
+}
+
+// handleWorkload exports the recorded query-workload sample in the text
+// edge format the partitioning builder consumes.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = s.rec.WriteTo(w)
+}
+
+// handleStats reports the expvar counters plus live gauges of the engine,
+// queue and snapshot age.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng := s.engine()
+	now := s.cfg.Now()
+	stats := map[string]any{
+		"uptime_seconds":  now.Sub(s.start).Seconds(),
+		"stream_total":    eng.est.Count(),
+		"partitions":      eng.est.NumShards(),
+		"memory_bytes":    eng.est.MemoryBytes(),
+		"edges_applied":   eng.ing.Edges(),
+		"batches_applied": eng.ing.Batches(),
+		"queue_depth":     eng.ing.QueueDepth(),
+		"queue_cap":       eng.ing.QueueCap(),
+		"inflight":        eng.ing.Inflight(),
+		"pending_edges":   eng.ing.Pending(),
+	}
+	if s.rec != nil {
+		stats["workload_seen"] = s.rec.Seen()
+		stats["workload_sample"] = s.rec.Len()
+		stats["workload_capacity"] = s.rec.Capacity()
+	}
+	if ns := s.snapNanos.Load(); ns > 0 {
+		stats["snapshot_age_seconds"] = float64(now.UnixNano()-ns) / 1e9
+	} else {
+		stats["snapshot_age_seconds"] = -1.0
+	}
+	s.stats.vars.Do(func(kv expvar.KeyValue) {
+		stats[kv.Key] = json.RawMessage(kv.Value.String())
+	})
+	writeJSON(w, http.StatusOK, stats)
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// Wire types of the HTTP/JSON API.
+
+// edgeJSON is one NDJSON ingest line: {"src":1,"dst":2,"weight":3,"time":4}.
+// Weight and time are optional (weight 0 counts as 1, the paper's default).
+type edgeJSON struct {
+	Src    uint64 `json:"src"`
+	Dst    uint64 `json:"dst"`
+	Weight int64  `json:"weight,omitempty"`
+	Time   int64  `json:"time,omitempty"`
+}
+
+// queryJSON is one edge query of a /query batch.
+type queryJSON struct {
+	Src uint64 `json:"src"`
+	Dst uint64 `json:"dst"`
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Queries []queryJSON `json:"queries"`
+	// Sync flushes the ingest pipeline before answering, giving
+	// read-your-writes over everything already accepted by /ingest.
+	Sync bool `json:"sync,omitempty"`
+}
+
+// resultJSON is one bound-carrying answer: the batched read path's Result
+// plus the echoed query endpoints.
+type resultJSON struct {
+	Src         uint64  `json:"src"`
+	Dst         uint64  `json:"dst"`
+	Estimate    int64   `json:"estimate"`
+	Partition   int     `json:"partition"`
+	Outlier     bool    `json:"outlier,omitempty"`
+	ErrorBound  float64 `json:"error_bound"`
+	Confidence  float64 `json:"confidence"`
+	StreamTotal int64   `json:"stream_total"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Results []resultJSON `json:"results"`
+}
+
+// windowQueryRequest is the POST /query/window body: a query batch over
+// the inclusive time range [t1, t2].
+type windowQueryRequest struct {
+	Queries []queryJSON `json:"queries"`
+	T1      int64       `json:"t1"`
+	T2      int64       `json:"t2"`
+}
+
+// windowQueryResponse carries the fractional-overlap window estimates in
+// input order.
+type windowQueryResponse struct {
+	Values []float64 `json:"values"`
+}
+
+// ingestResponse is the POST /ingest reply. Rejected > 0 comes with HTTP
+// 429: the pipeline shed load and the client should retry the rejected
+// suffix after a backoff.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// snapshotRequest parameterizes POST /snapshot/save and /snapshot/restore.
+type snapshotRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// maxNDJSONLine bounds one ingest line; far beyond any honest edge record.
+const maxNDJSONLine = 1 << 16
+
+// decodeEdgesNDJSON parses newline-delimited JSON edges. Blank lines are
+// skipped. The whole body is parsed before anything is returned, so a
+// syntax error rejects the request without a partial ingest.
+func decodeEdgesNDJSON(r io.Reader) ([]stream.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 8192), maxNDJSONLine)
+	var edges []stream.Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e edgeJSON
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		edges = append(edges, stream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Time: e.Time})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return edges, nil
+}
+
+// toEdgeQueries converts wire queries to the batched read path's unit.
+func toEdgeQueries(qs []queryJSON) []core.EdgeQuery {
+	out := make([]core.EdgeQuery, len(qs))
+	for i, q := range qs {
+		out[i] = core.EdgeQuery{Src: q.Src, Dst: q.Dst}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+// Package server is the serving subsystem: it wires the batch-ingest
+// pipeline (ingest.Ingestor) and the striped-lock estimator
+// (core.Concurrent) behind an HTTP/JSON API, owning the whole runtime
+// lifecycle — backpressure, snapshot persistence, live workload capture and
+// graceful drain-then-stop shutdown.
+//
+// Endpoints:
+//
+//	POST /ingest           NDJSON edge batch; 429 + typed JSON when the
+//	                       pipeline sheds load (queue full)
+//	POST /query            batched edge queries; estimates + error bounds +
+//	                       confidence from the bound-carrying read path
+//	POST /query/window     batched time-range queries (when a window store
+//	                       is configured)
+//	GET  /snapshot         stream the current sketch state (consistent
+//	                       striped-read-lock snapshot)
+//	POST /snapshot/save    persist a snapshot to disk (atomic rename)
+//	POST /snapshot/restore swap in a snapshot from disk or request body
+//	                       (409 while a window store is mounted — snapshots
+//	                       carry no window state)
+//	GET  /workload         the recorded query-workload sample, in the text
+//	                       edge format BuildGSketch accepts
+//	GET  /healthz          liveness
+//	GET  /stats            expvar counters + live gauges
+//
+// The server is embeddable: New + Handler slot into any http.Server or
+// test harness; ListenAndServe/Serve + Shutdown run it standalone.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/window"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Estimator is the estimator to serve (required). A *core.Concurrent is
+	// used as-is; anything else is wrapped in one, so handlers always go
+	// through the striped locks.
+	Estimator core.Estimator
+	// Ingest parameterizes the batch pipeline between POST /ingest and the
+	// estimator. The zero value selects the ingest package defaults.
+	Ingest ingest.Config
+	// SnapshotPath is the default target of POST /snapshot/save and the
+	// default source of POST /snapshot/restore.
+	SnapshotPath string
+	// SnapshotOnShutdown saves a final snapshot to SnapshotPath during
+	// Shutdown, after the ingest queue drains.
+	SnapshotOnShutdown bool
+	// WorkloadSampleSize is the reservoir capacity of the live workload
+	// recorder (default 4096; negative disables recording).
+	WorkloadSampleSize int
+	// WorkloadSeed makes the workload reservoir deterministic.
+	WorkloadSeed uint64
+	// Window optionally mounts POST /query/window over a windowed store.
+	// Ingested edges are observed by the store synchronously in the ingest
+	// handler (the store is not safe for concurrent use; the server
+	// serializes access).
+	Window *window.Store
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// FlushTimeout bounds the wait of sync requests (?sync=1 ingests and
+	// {"sync":true} queries) on the pipeline drain, which under sustained
+	// ingest traffic may not quiesce (default 30s).
+	FlushTimeout time.Duration
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkloadSampleSize == 0 {
+		c.WorkloadSampleSize = 4096
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// engine is the swappable serving state: the estimator and the pipeline
+// feeding it. Snapshot restore builds a fresh engine and swaps it in.
+type engine struct {
+	est *core.Concurrent
+	ing *ingest.Ingestor
+}
+
+// Server is the serving runtime. Create with New; all exported methods are
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	stats *counters
+	rec   *Recorder // nil when recording is disabled
+
+	mu  sync.RWMutex // guards eng swap (snapshot restore)
+	eng *engine
+
+	winMu sync.Mutex // serializes window-store access
+
+	// httpSrv is created in New (not lazily in Serve) so a Shutdown racing
+	// startup still stops the listener: http.Server.Shutdown before Serve
+	// makes the later Serve return ErrServerClosed immediately.
+	httpSrv *http.Server
+
+	start     time.Time
+	snapNanos atomic.Int64 // unix nanos of the last snapshot save/restore
+	closing   atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a server around an estimator. The server owns the ingest
+// pipeline it creates; callers must not push to the estimator directly
+// while the server runs.
+func New(cfg Config) (*Server, error) {
+	if cfg.Estimator == nil {
+		return nil, errors.New("server: nil estimator")
+	}
+	cfg = cfg.withDefaults()
+	eng, err := newEngine(cfg.Estimator, cfg.Ingest)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		stats: newCounters(),
+		eng:   eng,
+		start: cfg.Now(),
+	}
+	if cfg.WorkloadSampleSize > 0 {
+		now := func() int64 { return s.cfg.Now().Unix() }
+		s.rec = NewRecorder(cfg.WorkloadSampleSize, cfg.WorkloadSeed, now)
+	}
+	s.mux = s.routes()
+	s.httpSrv = &http.Server{
+		Handler: s.mux,
+		// Slow-loris hygiene; response writes stay unbounded because
+		// /snapshot streams an arbitrarily large sketch.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+func newEngine(est core.Estimator, icfg ingest.Config) (*engine, error) {
+	conc, ok := est.(*core.Concurrent)
+	if !ok {
+		conc = core.NewConcurrent(est)
+	}
+	ing, err := ingest.New(conc, icfg)
+	if err != nil {
+		return nil, err
+	}
+	return &engine{est: conc, ing: ing}, nil
+}
+
+// engine returns the current serving state under the read lock.
+func (s *Server) engine() *engine {
+	s.mu.RLock()
+	e := s.eng
+	s.mu.RUnlock()
+	return e
+}
+
+// Handler returns the server's HTTP handler, for embedding in an existing
+// http.Server or test harness.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Vars returns the expvar counter map, for callers that want to publish it
+// on the process-global /debug/vars.
+func (s *Server) Vars() *expvar.Map { return s.stats.vars }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains and stops the server gracefully: mark unhealthy, stop
+// the listener (waiting for in-flight handlers), drain the ingest queue via
+// Close so every accepted edge is applied, then optionally persist a final
+// snapshot. Safe to call multiple times; later calls return the first
+// result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			s.closeErr = err
+			// Fall through: the ingest queue still drains below.
+		}
+		eng := s.engine()
+		if err := eng.ing.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		if s.cfg.SnapshotOnShutdown && s.cfg.SnapshotPath != "" {
+			if _, err := s.saveSnapshot(s.cfg.SnapshotPath); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// Close is Shutdown without a deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// saveSnapshot writes a consistent snapshot to path via tmp-file + rename,
+// so a crash mid-save never clobbers the previous snapshot. It flushes the
+// ingest pipeline first: the snapshot covers every edge accepted by
+// /ingest before the save began.
+func (s *Server) saveSnapshot(path string) (int64, error) {
+	eng := s.engine()
+	if err := eng.ing.Flush(); err != nil && !errors.Is(err, ingest.ErrClosed) {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gsketch-snap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	n, err := eng.est.WriteTo(tmp)
+	if err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Close(); err != nil {
+		return n, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return n, err
+	}
+	s.snapNanos.Store(s.cfg.Now().UnixNano())
+	s.stats.snapshotsSaved.Add(1)
+	return n, nil
+}
+
+// restoreSnapshot loads a sketch and swaps it in as the serving state: a
+// fresh ingest pipeline is built around the restored estimator, the swap
+// happens under the engine write lock (which the ingest handler holds
+// shared across its push, so no edge is 200-acked into a pipeline that is
+// already displaced), and the old pipeline is closed afterwards. Restore
+// deliberately replaces the live state: edges accepted after the snapshot
+// being restored was taken are discarded with it.
+func (s *Server) restoreSnapshot(g *core.GSketch) (*engine, error) {
+	neu, err := newEngine(core.NewConcurrent(g), s.cfg.Ingest)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	old := s.eng
+	s.eng = neu
+	s.mu.Unlock()
+	if err := old.ing.Close(); err != nil {
+		return neu, fmt.Errorf("server: draining displaced pipeline: %w", err)
+	}
+	s.snapNanos.Store(s.cfg.Now().UnixNano())
+	s.stats.snapshotsRestored.Add(1)
+	return neu, nil
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorJSON is the error envelope of non-2xx replies.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,40 @@
+package server
+
+import "expvar"
+
+// counters are the server's monotonic expvar counters. They live in a
+// per-server expvar.Map that is not published to the process-global expvar
+// registry — expvar.Publish panics on duplicate names, and tests (or an
+// embedding process) may run several servers side by side. A process that
+// wants the counters on /debug/vars can expvar.Publish(name, srv.Vars())
+// itself, once.
+type counters struct {
+	vars *expvar.Map
+
+	ingestRequests    *expvar.Int // POST /ingest requests handled
+	edgesAccepted     *expvar.Int // edges accepted into the pipeline
+	edgesRejected     *expvar.Int // edges shed with 429 (queue full)
+	queryRequests     *expvar.Int // POST /query requests handled
+	queriesAnswered   *expvar.Int // individual edge queries answered
+	windowQueries     *expvar.Int // POST /query/window requests handled
+	snapshotsSaved    *expvar.Int // successful snapshot saves
+	snapshotsRestored *expvar.Int // successful snapshot restores
+}
+
+func newCounters() *counters {
+	c := &counters{vars: new(expvar.Map).Init()}
+	mk := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		c.vars.Set(name, v)
+		return v
+	}
+	c.ingestRequests = mk("ingest_requests")
+	c.edgesAccepted = mk("edges_accepted")
+	c.edgesRejected = mk("edges_rejected")
+	c.queryRequests = mk("query_requests")
+	c.queriesAnswered = mk("queries_answered")
+	c.windowQueries = mk("window_query_requests")
+	c.snapshotsSaved = mk("snapshots_saved")
+	c.snapshotsRestored = mk("snapshots_restored")
+	return c
+}

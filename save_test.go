@@ -1,0 +1,122 @@
+package gsketch_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	gsketch "github.com/graphstream/gsketch"
+)
+
+// buildPopulated returns a populated Concurrent-wrapped gSketch plus the
+// stream that fed it.
+func buildPopulated(t *testing.T) (*gsketch.Concurrent, []gsketch.Edge) {
+	t.Helper()
+	edges := synthetic(20_000)
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 64 << 10, Seed: 7}, edges[:2000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gsketch.NewConcurrent(g)
+	gsketch.Populate(c, edges)
+	return c, edges
+}
+
+// TestSaveLoadRoundTripThroughFacade is the satellite round-trip check:
+// Save a Concurrent-wrapped sketch through the public API, Load it, and
+// require EstimateBatch to answer byte-identically — estimates, partitions,
+// bounds, confidences and stream totals all equal.
+func TestSaveLoadRoundTripThroughFacade(t *testing.T) {
+	c, edges := buildPopulated(t)
+
+	var buf bytes.Buffer
+	n, err := gsketch.Save(c, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Save reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	restored, err := gsketch.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := make([]gsketch.EdgeQuery, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		qs = append(qs, gsketch.EdgeQuery{Src: edges[i].Src, Dst: edges[i].Dst})
+	}
+	// One absent edge so the outlier path round-trips too.
+	qs = append(qs, gsketch.EdgeQuery{Src: 1 << 60, Dst: 2})
+
+	want := gsketch.EstimateBatch(c, qs)
+	got := gsketch.EstimateBatch(gsketch.NewConcurrent(restored), qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: restored %+v != live %+v", i, got[i], want[i])
+		}
+	}
+
+	// A second Save of the restored sketch must reproduce the same bytes —
+	// the serialization is canonical.
+	var buf2 bytes.Buffer
+	if _, err := gsketch.Save(restored, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save → load → save is not byte-stable")
+	}
+}
+
+// TestSaveRejectsUnserializableEstimator checks the typed failure instead
+// of a garbage write.
+func TestSaveRejectsUnserializableEstimator(t *testing.T) {
+	gl, err := gsketch.NewGlobal(gsketch.Config{TotalWidth: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gsketch.Save(gl, io.Discard); err == nil {
+		t.Fatal("GlobalSketch saved unexpectedly")
+	}
+	if _, err := gsketch.Save(gsketch.NewConcurrent(gl), io.Discard); err == nil {
+		t.Fatal("Concurrent(GlobalSketch) saved unexpectedly")
+	}
+}
+
+// TestLoadRejectsCorruptInput drives the error paths of the deserializer:
+// truncations at every prefix length and flipped bytes must fail loudly,
+// never return a silently wrong sketch.
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	c, _ := buildPopulated(t)
+	var buf bytes.Buffer
+	if _, err := gsketch.Save(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	if _, err := gsketch.Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input loaded")
+	}
+	// Truncations: sample prefix lengths across the blob (every byte would
+	// be slow at this size).
+	for cut := 1; cut < len(blob); cut += 1 + len(blob)/257 {
+		if _, err := gsketch.Load(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncated input (%d of %d bytes) loaded", cut, len(blob))
+		}
+	}
+	// Header corruptions: magic and version.
+	for _, off := range []int{0, 4} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0xff
+		if _, err := gsketch.Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupt byte at offset %d loaded", off)
+		}
+	}
+	// Counter corruption must be caught by the per-sketch checksum.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := gsketch.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt counter payload loaded")
+	}
+}

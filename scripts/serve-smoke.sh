@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem against a real binary:
+# start gsketch-serve, NDJSON-ingest a small stream, issue a batched query,
+# trigger a snapshot, restore it, and shut down gracefully. CI runs this
+# with a race-instrumented build.
+set -euo pipefail
+
+BIN=${1:-bin/gsketch-serve}
+ADDR=${SMOKE_ADDR:-127.0.0.1:7171}
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+PID=""
+
+cleanup() {
+  if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+    kill -9 "$PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+# A small partitioning sample: hub sources with repeated edges.
+for i in $(seq 0 199); do
+  echo "$((i % 10)) $((100 + i % 40)) 1 $i"
+done > "$TMP/sample.txt"
+
+"$BIN" -addr "$ADDR" -sample "$TMP/sample.txt" -snapshot "$TMP/state.gsk" \
+  -workers 2 -batch 64 &
+PID=$!
+
+# Wait for liveness.
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "server never became healthy"
+
+# NDJSON-ingest: edge (1,101) five times, (2,102) three times.
+{
+  for _ in 1 2 3 4 5; do echo '{"src":1,"dst":101}'; done
+  for _ in 1 2 3; do echo '{"src":2,"dst":102,"weight":1}'; done
+} > "$TMP/stream.ndjson"
+ingest=$(curl -sf -X POST --data-binary @"$TMP/stream.ndjson" "$BASE/ingest?sync=1")
+grep -q '"accepted":8' <<<"$ingest" || fail "ingest reply: $ingest"
+
+# Batched query with read-your-writes: both estimates must come back with
+# bounds attached (CountMin never underestimates, so ≥ the true counts).
+query='{"queries":[{"src":1,"dst":101},{"src":2,"dst":102}],"sync":true}'
+answer=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$query" "$BASE/query")
+est1=$(grep -o '"estimate":[0-9]*' <<<"$answer" | head -1 | cut -d: -f2)
+est2=$(grep -o '"estimate":[0-9]*' <<<"$answer" | sed -n 2p | cut -d: -f2)
+[[ -n "$est1" && "$est1" -ge 5 ]] || fail "estimate for (1,101) = '$est1', want >= 5 ($answer)"
+[[ -n "$est2" && "$est2" -ge 3 ]] || fail "estimate for (2,102) = '$est2', want >= 3 ($answer)"
+grep -q '"error_bound"' <<<"$answer" || fail "no error bound in $answer"
+grep -q '"confidence"' <<<"$answer" || fail "no confidence in $answer"
+
+# Snapshot: save to disk, then restore it back in.
+save=$(curl -sf -X POST "$BASE/snapshot/save")
+[[ -s "$TMP/state.gsk" ]] || fail "snapshot file missing after save: $save"
+restore=$(curl -sf -X POST "$BASE/snapshot/restore")
+grep -q '"stream_total":8' <<<"$restore" || fail "restore reply: $restore"
+
+# The restored server answers the same query identically.
+answer2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$query" "$BASE/query")
+[[ "$answer2" == "$answer" ]] || fail "answers differ after restore: $answer vs $answer2"
+
+# Stats carry the counters.
+stats=$(curl -sf "$BASE/stats")
+grep -q '"edges_accepted":8' <<<"$stats" || fail "stats: $stats"
+grep -q '"snapshots_saved":1' <<<"$stats" || fail "stats: $stats"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  fail "server exited non-zero on SIGTERM"
+fi
+PID=""
+
+echo "serve-smoke: OK"
