@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/graphgen"
+	"github.com/graphstream/gsketch/internal/query"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// adaptReport is the BENCH_adapt.json payload: accuracy recovery and swap
+// latency of the generation-chained adaptive repartitioning path under a
+// mid-stream workload pivot.
+type adaptReport struct {
+	Schema   int     `json:"schema"`
+	Edges    int     `json:"edges"`
+	Vertices int     `json:"vertices"`
+	Alpha    float64 `json:"alpha"`
+	Queries  int     `json:"queries"`
+	SwapAt   int     `json:"swap_at"`
+
+	DriftDivergence   float64 `json:"drift_divergence"`
+	DriftOutlierShare float64 `json:"drift_outlier_share"`
+	SwapMs            float64 `json:"swap_ms"`
+	Generations       int     `json:"generations"`
+
+	BaselineAvgRelErr float64 `json:"baseline_avg_rel_err"`
+	BaselineEffective int     `json:"baseline_effective"`
+	AdaptiveAvgRelErr float64 `json:"adaptive_avg_rel_err"`
+	AdaptiveEffective int     `json:"adaptive_effective"`
+	RecoveryFactor    float64 `json:"recovery_factor"`
+}
+
+// runAdaptBench replays a zipf workload pivot: source popularity flips
+// mid-stream (the cold tail becomes the hot head), the pre-pivot
+// partitioning starts answering the shifted-hot traffic from its crowded
+// outlier sketch, and a drift-triggered rebuild + hot swap recovers the
+// accuracy. The baseline is the same initial sketch serving the whole
+// stream without repartitioning; both are judged on a post-pivot query set
+// against exact truth over the full stream.
+func runAdaptBench(nEdges, vertices, nQueries int, alpha float64, jsonPath string) error {
+	cfg := graphgen.PivotConfig{
+		Vertices:      vertices,
+		Destinations:  64,
+		Edges:         nEdges,
+		Alpha:         alpha,
+		PivotFraction: 0.5,
+		Seed:          42,
+	}
+	edges, err := graphgen.ZipfPivotStream(cfg)
+	if err != nil {
+		return err
+	}
+	pivot := cfg.PivotAt()
+	// The swap fires a little into phase 2, once the chain's data reservoir
+	// has sampled enough shifted traffic to partition from.
+	swapAt := pivot + nEdges/10
+
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+
+	// Evaluation queries: the distinct post-pivot edges in arrival order —
+	// Zipf puts the shifted-hot pairs first, with tail pairs mixed in.
+	seen := make(map[[2]uint64]struct{})
+	var evalQs []query.EdgeQuery
+	for _, e := range edges[pivot:] {
+		k := [2]uint64{e.Src, e.Dst}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		evalQs = append(evalQs, query.EdgeQuery{Src: e.Src, Dst: e.Dst})
+		if len(evalQs) >= nQueries {
+			break
+		}
+	}
+
+	// Both runs bootstrap identically: partitioned from a pre-pivot prefix
+	// sample under the pre-pivot query workload (§4.2 objective).
+	sketchCfg := core.Config{TotalBytes: 1 << 20, Seed: 42}
+	preWorkload := cfg.PivotQueries(0, 4096, 1)
+	postWorkload := cfg.PivotQueries(1, 4096, 2)
+	buildInitial := func() (*core.GSketch, error) {
+		sample := edges[:pivot]
+		if len(sample) > 1<<14 {
+			sample = sample[:1<<14]
+		}
+		return core.BuildGSketch(sketchCfg, sample, preWorkload)
+	}
+
+	// Baseline: no repartitioning, whole stream into the initial sketch.
+	base, err := buildInitial()
+	if err != nil {
+		return err
+	}
+	core.Populate(base, edges)
+	baseAcc := query.EvaluateEdgeQueries(base, exact, evalQs, query.DefaultG0)
+
+	// Adaptive: same start, drift-checked swap shortly after the pivot.
+	g0, err := buildInitial()
+	if err != nil {
+		return err
+	}
+	chain := adapt.NewChain(g0, adapt.ChainConfig{SampleSize: 8192, Seed: 7})
+	mgr := adapt.NewManager(chain, func() []stream.Edge { return postWorkload }, adapt.ManagerConfig{
+		Sketch:   sketchCfg,
+		Baseline: preWorkload,
+	})
+	core.Populate(chain, edges[:swapAt])
+	// Serve the shifted query traffic through the stale head before the
+	// swap, as a live server would: this is what populates the read-side
+	// routing counters the outlier-share drift signal is computed from.
+	preQs := make([]core.EdgeQuery, len(evalQs))
+	for i, q := range evalQs {
+		preQs[i] = core.EdgeQuery(q)
+	}
+	chain.EstimateBatch(preQs)
+	drift := mgr.Drift()
+	t0 := time.Now()
+	res, err := mgr.Repartition()
+	if err != nil {
+		return fmt.Errorf("repartition at edge %d: %w", swapAt, err)
+	}
+	swap := time.Since(t0)
+	core.Populate(chain, edges[swapAt:])
+	adaptAcc := query.EvaluateEdgeQueries(chain, exact, evalQs, query.DefaultG0)
+
+	recovery := 0.0
+	if adaptAcc.AvgRelErr > 0 {
+		recovery = baseAcc.AvgRelErr / adaptAcc.AvgRelErr
+	}
+	rep := adaptReport{
+		Schema:   1,
+		Edges:    nEdges,
+		Vertices: vertices,
+		Alpha:    alpha,
+		Queries:  len(evalQs),
+		SwapAt:   swapAt,
+
+		DriftDivergence:   drift.WorkloadDivergence,
+		DriftOutlierShare: drift.OutlierShare,
+		SwapMs:            float64(swap.Microseconds()) / 1e3,
+		Generations:       res.Generations,
+
+		BaselineAvgRelErr: baseAcc.AvgRelErr,
+		BaselineEffective: baseAcc.Effective,
+		AdaptiveAvgRelErr: adaptAcc.AvgRelErr,
+		AdaptiveEffective: adaptAcc.Effective,
+		RecoveryFactor:    recovery,
+	}
+
+	fmt.Printf("# adapt bench: zipf pivot at edge %d, swap at %d (%d vertices, alpha %.2f)\n\n",
+		pivot, swapAt, vertices, alpha)
+	fmt.Printf("drift before swap: divergence %.3f, outlier share %.3f\n",
+		drift.WorkloadDivergence, drift.OutlierShare)
+	fmt.Printf("swap latency: %.2f ms (build + hot rotate, %d generations after)\n\n",
+		rep.SwapMs, rep.Generations)
+	fmt.Printf("%-12s %14s %14s\n", "mode", "avg-rel-err", "effective")
+	fmt.Printf("%-12s %14.4f %10d/%d\n", "baseline", baseAcc.AvgRelErr, baseAcc.Effective, baseAcc.Total)
+	fmt.Printf("%-12s %14.4f %10d/%d\n", "adaptive", adaptAcc.AvgRelErr, adaptAcc.Effective, adaptAcc.Total)
+	fmt.Printf("\naccuracy recovery: %.2fx lower error on the shifted workload\n", recovery)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -57,6 +57,13 @@ func main() {
 		serveBatch   = flag.Int("serve-batch", 2048, "queries per /query request for -serve")
 		serveJSON    = flag.String("serve-json", "BENCH_serve.json", "machine-readable serving report path")
 
+		adaptMode     = flag.Bool("adapt", false, "run the adaptive repartitioning benchmark instead of experiments")
+		adaptEdges    = flag.Int("adapt-edges", 400_000, "two-phase pivot stream length for -adapt")
+		adaptVertices = flag.Int("adapt-vertices", 4096, "source population for -adapt")
+		adaptQueries  = flag.Int("adapt-queries", 2000, "post-pivot evaluation queries for -adapt")
+		adaptAlpha    = flag.Float64("adapt-alpha", 1.1, "zipf skew of the pivot stream for -adapt")
+		adaptJSON     = flag.String("adapt-json", "BENCH_adapt.json", "machine-readable adapt report path")
+
 		queryMode       = flag.Bool("query", false, "run the query throughput benchmark instead of experiments")
 		queryCount      = flag.Int("query-count", 4_000_000, "number of queries per mode for -query")
 		queryBatch      = flag.Int("query-batch", 8192, "batch size for the batched query modes")
@@ -85,6 +92,14 @@ func main() {
 	if *queryMode {
 		if err := runQueryBench(*queryCount, *queryBatch, *queryReaders, *queryPartitions, *queryJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *adaptMode {
+		if err := runAdaptBench(*adaptEdges, *adaptVertices, *adaptQueries, *adaptAlpha, *adaptJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: adapt: %v\n", err)
 			os.Exit(1)
 		}
 		return

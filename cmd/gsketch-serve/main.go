@@ -22,7 +22,15 @@
 //	POST /snapshot/save     persist a snapshot (default path: -snapshot)
 //	POST /snapshot/restore  swap in a snapshot
 //	GET  /workload          recorded query-workload sample (text edges)
+//	POST /repartition       rebuild + hot-swap a new generation (-adapt)
 //	GET  /healthz, /stats   liveness and counters
+//
+// With -adapt the estimator is a generation chain: POST /repartition (or
+// the -adapt-interval auto-trigger, when drift crosses -adapt-drift /
+// -adapt-outlier) rebuilds the partitioning from the live data reservoir
+// and the recorded query workload and hot-swaps it in as a new generation;
+// queries keep answering over the whole stream with combined bounds, and
+// snapshots carry the full chain.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops, the ingest
 // queue drains, and (with -snapshot-on-exit) a final snapshot lands at
@@ -43,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/server"
@@ -76,6 +85,13 @@ func main() {
 		windowSpan   = flag.Int64("window-span", 0, "enable the windowed store with this span (0 = disabled)")
 		windowSample = flag.Int("window-sample", 1024, "per-window reservoir size for the windowed store")
 
+		adaptOn       = flag.Bool("adapt", false, "serve a generation chain with adaptive repartitioning (POST /repartition; incompatible with -global)")
+		adaptSample   = flag.Int("adapt-sample", 8192, "data-reservoir capacity feeding rebuilds (with -adapt)")
+		adaptMaxGens  = flag.Int("adapt-max-gens", 8, "generation cap of the chain (with -adapt)")
+		adaptInterval = flag.Duration("adapt-interval", 0, "auto-repartition check interval (0 = on-demand only)")
+		adaptDrift    = flag.Float64("adapt-drift", 0.5, "workload-divergence threshold for auto repartitioning")
+		adaptOutlier  = flag.Float64("adapt-outlier", 0.25, "outlier-share threshold for auto repartitioning")
+
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
@@ -86,7 +102,15 @@ func main() {
 		Seed:          *seed,
 		MaxPartitions: *partitions,
 	}
-	est, err := bootstrap(cfg, *restorePath, *samplePath, *workloadPath, *global, *sampleCap)
+	var chainCfg *adapt.ChainConfig
+	if *adaptOn {
+		chainCfg = &adapt.ChainConfig{
+			SampleSize:     *adaptSample,
+			Seed:           *seed,
+			MaxGenerations: *adaptMaxGens,
+		}
+	}
+	est, workload, err := bootstrap(cfg, *restorePath, *samplePath, *workloadPath, *global, *sampleCap, chainCfg)
 	if err != nil {
 		log.Fatalf("gsketch-serve: %v", err)
 	}
@@ -112,6 +136,13 @@ func main() {
 		WorkloadSampleSize: *workloadCap,
 		WorkloadSeed:       *seed,
 		Window:             win,
+		Adapt: adapt.ManagerConfig{
+			Sketch:           cfg,
+			DriftThreshold:   *adaptDrift,
+			OutlierThreshold: *adaptOutlier,
+			Baseline:         workload,
+		},
+		AdaptInterval: *adaptInterval,
 	})
 	if err != nil {
 		log.Fatalf("gsketch-serve: %v", err)
@@ -142,7 +173,11 @@ func main() {
 }
 
 // bootstrap resolves the estimator from exactly one of the three sources.
-func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, global bool, sampleCap int) (core.Estimator, error) {
+// With a non-nil chainCfg (-adapt) the result is a generation chain: a
+// restored snapshot keeps every generation it carries, a sample-built
+// sketch starts a fresh single-generation chain. It also returns the
+// workload sample used for partitioning, if any — the drift baseline.
+func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, global bool, sampleCap int, chainCfg *adapt.ChainConfig) (core.Estimator, []stream.Edge, error) {
 	set := 0
 	for _, on := range []bool{restorePath != "", samplePath != "", global} {
 		if on {
@@ -150,31 +185,45 @@ func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, gl
 		}
 	}
 	if set != 1 {
-		return nil, errors.New("pick exactly one of -restore, -sample or -global")
+		return nil, nil, errors.New("pick exactly one of -restore, -sample or -global")
 	}
 
 	switch {
 	case restorePath != "":
 		f, err := os.Open(restorePath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
-		g, err := core.ReadGSketch(f)
+		gens, err := core.ReadChain(f)
 		if err != nil {
-			return nil, fmt.Errorf("restore %s: %w", restorePath, err)
+			return nil, nil, fmt.Errorf("restore %s: %w", restorePath, err)
 		}
+		if chainCfg != nil {
+			chain := adapt.NewChainFrom(gens, *chainCfg)
+			log.Printf("gsketch-serve: restored %s (%d generations, %d head partitions, stream total %d)",
+				restorePath, chain.Generations(), chain.Head().NumPartitions(), chain.Count())
+			return chain, nil, nil
+		}
+		if len(gens) != 1 {
+			return nil, nil, fmt.Errorf("restore %s: snapshot carries %d generations; run with -adapt to serve it", restorePath, len(gens))
+		}
+		g := gens[0]
 		log.Printf("gsketch-serve: restored %s (%d partitions, stream total %d)",
 			restorePath, g.NumPartitions(), g.Count())
-		return g, nil
+		return g, nil, nil
 
 	case global:
-		return core.BuildGlobalSketch(cfg)
+		if chainCfg != nil {
+			return nil, nil, errors.New("-adapt needs a partitioned gSketch; it is incompatible with -global")
+		}
+		gl, err := core.BuildGlobalSketch(cfg)
+		return gl, nil, err
 
 	default:
 		sample, err := readEdgeFile(samplePath)
 		if err != nil {
-			return nil, fmt.Errorf("sample %s: %w", samplePath, err)
+			return nil, nil, fmt.Errorf("sample %s: %w", samplePath, err)
 		}
 		if len(sample) > sampleCap {
 			sample = sample[:sampleCap]
@@ -183,16 +232,19 @@ func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, gl
 		if workloadPath != "" {
 			workload, err = readEdgeFile(workloadPath)
 			if err != nil {
-				return nil, fmt.Errorf("workload %s: %w", workloadPath, err)
+				return nil, nil, fmt.Errorf("workload %s: %w", workloadPath, err)
 			}
 		}
 		g, err := core.BuildGSketch(cfg, sample, workload)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		log.Printf("gsketch-serve: partitioned over %d sample edges → %d partitions (order %v)",
 			len(sample), g.NumPartitions(), g.Order())
-		return g, nil
+		if chainCfg != nil {
+			return adapt.NewChain(g, *chainCfg), workload, nil
+		}
+		return g, workload, nil
 	}
 }
 

@@ -132,6 +132,32 @@
 // accepts as workloadSample, so a recorded workload feeds an offline
 // rebuild with the workload-aware partitioning objective.
 //
+// # Adaptive repartitioning and generation bounds
+//
+// The recorded workload need not leave the process: a Chain plus
+// Repartition rebuild and hot-swap the partitioning online. The chain
+// keeps one live head sketch (absorbing all updates) and freezes each
+// displaced generation; an edge's true frequency over the whole stream is
+// exactly the sum of its per-generation frequencies, which gives the
+// combination rule for answers gathered across a chain of k generations:
+//
+//   - estimates sum: each generation's CountMin upper-bounds its own
+//     segment, so Σ f̃_g upper-bounds the whole stream;
+//   - error bounds add: generation g's answer overshoots by at most
+//     ε·N_g with probability 1-δ_g, so the summed estimate overshoots by
+//     at most Σ ε·N_g when every generation's guarantee holds;
+//   - confidence is a union bound: all k guarantees hold together with
+//     probability at least 1 - Σ δ_g (floored at 0).
+//
+// The loop closes as record → rebuild → swap: the serving layer records
+// live queries, a Manager measures drift (total-variation divergence of
+// the live workload against the build-time baseline, plus the outlier
+// sketch's share of routed query traffic — see RouteCounts) and on
+// threshold or on demand rebuilds from fresh samples and rotates the
+// result in as the new head. Chain snapshots serialize every generation
+// in one container ((*Chain).WriteTo / LoadChain); pre-chain snapshots
+// load unchanged as single-generation chains.
+//
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)
 // lives in the internal packages and is documented in DESIGN.md.

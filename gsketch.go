@@ -3,6 +3,7 @@ package gsketch
 import (
 	"io"
 
+	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/query"
@@ -117,8 +118,49 @@ func Save(est Estimator, w io.Writer) (int64, error) { return core.Save(est, w) 
 
 // Load deserializes a gSketch previously saved with Save (or
 // (*GSketch).WriteTo — the formats are identical). Wrap the result in
-// NewConcurrent to resume serving shared traffic.
+// NewConcurrent to resume serving shared traffic. Generation-chain
+// snapshots (saved from a Chain) load with LoadChain instead.
 func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }
+
+// Chain is a generation-chained estimator for adaptive repartitioning: one
+// live head sketch absorbing the stream plus frozen prior generations
+// still answering for the segments they saw. Updates go to the head;
+// queries gather across every generation and combine soundly — estimates
+// sum, per-generation ε·N_i bounds add, confidence combines by a union
+// bound. Safe for concurrent use.
+type Chain = adapt.Chain
+
+// ChainConfig parameterizes a Chain (data-reservoir size and seed,
+// generation cap). The zero value selects defaults.
+type ChainConfig = adapt.ChainConfig
+
+// RouteCounts is a snapshot of routed traffic per partition plus the
+// outlier sketch — the raw drift signal adaptive repartitioning watches.
+type RouteCounts = core.RouteCounts
+
+// NewChain starts a generation chain with g as its only, live generation.
+// Serve it like any estimator; when the workload drifts, Repartition hot-
+// swaps a freshly partitioned generation in without forgetting the stream
+// already summarized.
+func NewChain(g *GSketch, cfg ChainConfig) *Chain { return adapt.NewChain(g, cfg) }
+
+// LoadChain deserializes a chain saved with (*Chain).WriteTo — or a plain
+// pre-chain snapshot, which loads as a single-generation chain.
+func LoadChain(r io.Reader, cfg ChainConfig) (*Chain, error) {
+	gens, err := core.ReadChain(r)
+	if err != nil {
+		return nil, err
+	}
+	return adapt.NewChainFrom(gens, cfg), nil
+}
+
+// Repartition rebuilds the partitioning from the chain's own data
+// reservoir and an optional fresh query-workload sample (nil selects the
+// data-only objective), then hot-swaps the result in as the chain's new
+// live generation. It returns the new head sketch.
+func Repartition(c *Chain, cfg Config, workload []Edge) (*GSketch, error) {
+	return adapt.Repartition(c, cfg, workload)
+}
 
 // EdgeQuery asks for the accumulated frequency of one directed edge. It is
 // both the unit of the batched estimator read path (EstimateBatch) and a

@@ -1,0 +1,316 @@
+// Package adapt is the online repartitioning subsystem: it keeps the
+// paper's workload-optimized partitioning (§4.2) good as the stream and the
+// query workload drift, without ever forgetting the stream already seen.
+//
+// gSketch builds its partitioning once, offline, from a data sample and a
+// query-workload sample. A long-lived server accumulates both continuously
+// — the serving layer records live /query traffic, and a chain-owned
+// reservoir samples the live stream — so the build inputs can be refreshed
+// at any time. What cannot be refreshed is the counters: a freshly
+// partitioned sketch is empty, and CountMin counters from differently
+// partitioned sketches cannot be merged cell-wise.
+//
+// The generation chain resolves this. A Chain is a core.Estimator holding
+// one live head sketch plus frozen prior generations. Updates go only to
+// the head; queries gather across every generation and combine soundly
+// (estimates sum, per-generation ε·N_i bounds add, confidence via a union
+// bound — see query.AccumulateResults). Repartitioning then becomes a hot
+// swap: build a new gSketch from fresh samples, push it as the new head,
+// and let the displaced head answer — frozen — for the stream it absorbed.
+//
+// The Manager closes the loop: it measures drift between the workload the
+// current partitioning was built from and the live recorded workload
+// (total-variation divergence over source-vertex query frequencies), plus
+// the share of query traffic the outlier sketch absorbs, and triggers a
+// rebuild + rotate when either crosses its threshold — or on demand.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/query"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// ErrMaxGenerations reports a rotation refused because the chain is at its
+// configured generation cap. Generations cannot be merged (their hash
+// layouts differ), so the cap bounds per-query gather cost; compact by
+// snapshotting and rebuilding offline if it is ever reached.
+var ErrMaxGenerations = errors.New("adapt: generation cap reached")
+
+// ErrEmptyReservoir reports a rebuild refused because no stream has been
+// sampled since the last swap — there is no data to partition from. The
+// retry-later signal: ingest more, then repartition.
+var ErrEmptyReservoir = errors.New("adapt: data reservoir is empty")
+
+// ChainConfig parameterizes a Chain. The zero value selects the defaults.
+type ChainConfig struct {
+	// SampleSize is the capacity of the chain's data reservoir — the fresh
+	// data sample a rebuild partitions from (default 4096). The reservoir
+	// resets on every rotation so the next rebuild sees the stream since
+	// the last swap.
+	SampleSize int
+	// Seed makes the reservoir deterministic.
+	Seed uint64
+	// MaxGenerations caps the chain length (default 8). Rotate fails with
+	// ErrMaxGenerations once reached.
+	MaxGenerations int
+}
+
+func (c ChainConfig) withDefaults() ChainConfig {
+	if c.SampleSize == 0 {
+		c.SampleSize = 4096
+	}
+	if c.MaxGenerations == 0 {
+		c.MaxGenerations = 8
+	}
+	return c
+}
+
+// generation pairs one sketch with its concurrency wrapper. The wrapper
+// stays attached for the generation's whole life: writers in flight during
+// a rotation may still land a final batch in a just-frozen generation
+// through its striped locks, and queries keep reading every generation.
+type generation struct {
+	g    *core.GSketch
+	conc *core.Concurrent
+}
+
+// Chain is a generation-chained estimator: one live head sketch absorbing
+// the stream plus zero or more frozen prior generations still answering for
+// the segments they saw. It implements core.Estimator (updates to the head,
+// batched queries gathered and combined across all generations) and
+// io.WriterTo (the version-3 chain container). All methods are safe for
+// concurrent use; per-partition write parallelism inside the head is the
+// wrapped Concurrent's usual striped locking.
+type Chain struct {
+	cfg ChainConfig
+
+	mu   sync.RWMutex // guards gens; held shared across estimator calls
+	gens []*generation
+
+	resMu sync.Mutex // guards res; independent of mu so sampling never blocks rotation
+	res   *stream.Reservoir
+}
+
+// NewChain starts a chain with g as its only (live) generation.
+func NewChain(g *core.GSketch, cfg ChainConfig) *Chain {
+	return NewChainFrom([]*core.GSketch{g}, cfg)
+}
+
+// NewChainFrom rebuilds a chain from deserialized generations, oldest
+// first — the shape core.ReadChain returns. The last element becomes the
+// live head. It panics on an empty slice.
+func NewChainFrom(gens []*core.GSketch, cfg ChainConfig) *Chain {
+	if len(gens) == 0 {
+		panic("adapt: chain needs at least one generation")
+	}
+	cfg = cfg.withDefaults()
+	c := &Chain{
+		cfg: cfg,
+		res: stream.NewReservoir(cfg.SampleSize, cfg.Seed),
+	}
+	for _, g := range gens {
+		c.gens = append(c.gens, &generation{g: g, conc: core.NewConcurrent(g)})
+	}
+	return c
+}
+
+// Config returns the chain's resolved configuration.
+func (c *Chain) Config() ChainConfig { return c.cfg }
+
+// head returns the live generation under the shared lock.
+func (c *Chain) head() *generation {
+	c.mu.RLock()
+	h := c.gens[len(c.gens)-1]
+	c.mu.RUnlock()
+	return h
+}
+
+// Update folds one edge arrival into the head and offers it to the data
+// reservoir. An update racing a rotation may land in the just-frozen
+// generation instead — harmless, since queries sum every generation.
+func (c *Chain) Update(e stream.Edge) {
+	c.head().conc.Update(e)
+	c.resMu.Lock()
+	c.res.Observe(e)
+	c.resMu.Unlock()
+}
+
+// UpdateBatch folds a batch into the head (sharded route-then-scatter under
+// the head's striped locks) and offers every edge to the data reservoir.
+func (c *Chain) UpdateBatch(edges []stream.Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	c.head().conc.UpdateBatch(edges)
+	c.resMu.Lock()
+	c.res.ObserveAll(edges)
+	c.resMu.Unlock()
+}
+
+// EstimateEdge answers an edge query as the sum of every generation's
+// estimate — each generation never underestimates its own stream segment,
+// so the sum never underestimates the whole stream.
+func (c *Chain) EstimateEdge(src, dst uint64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sum int64
+	for _, gen := range c.gens {
+		sum += gen.conc.EstimateEdge(src, dst)
+	}
+	return sum
+}
+
+// EstimateBatch answers a batch of edge queries across all generations: the
+// head answers first (its Results carry the provenance of the partitioning
+// currently serving), then every frozen generation's answers fold in via
+// query.AccumulateResults — estimates sum, ε·N_i bounds add, confidence
+// combines by union bound, stream totals sum to the chain-wide volume.
+func (c *Chain) EstimateBatch(qs []core.EdgeQuery) []core.Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := c.gens[len(c.gens)-1].conc.EstimateBatch(qs)
+	for i := len(c.gens) - 2; i >= 0; i-- {
+		query.AccumulateResults(out, c.gens[i].conc.EstimateBatch(qs))
+	}
+	return out
+}
+
+// Count returns the chain-wide stream volume: the sum over generations.
+func (c *Chain) Count() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sum int64
+	for _, gen := range c.gens {
+		sum += gen.conc.Count()
+	}
+	return sum
+}
+
+// MemoryBytes reports the summed counter footprint of all generations.
+func (c *Chain) MemoryBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, gen := range c.gens {
+		total += gen.conc.MemoryBytes()
+	}
+	return total
+}
+
+// NumShards reports the head generation's independent writer domains.
+func (c *Chain) NumShards() int { return c.head().conc.NumShards() }
+
+// Generations returns the current chain length.
+func (c *Chain) Generations() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.gens)
+}
+
+// AtCap reports whether the chain is at its generation cap, i.e. the next
+// Rotate would fail with ErrMaxGenerations. Callers check it before paying
+// for a rebuild.
+func (c *Chain) AtCap() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.gens) >= c.cfg.MaxGenerations
+}
+
+// Head returns the live generation's sketch, for callers reading layout or
+// routing statistics. The sketch is shared — treat it as read-only.
+func (c *Chain) Head() *core.GSketch { return c.head().g }
+
+// WriteRouteCounts forwards the head generation's routed write traffic.
+func (c *Chain) WriteRouteCounts() core.RouteCounts { return c.head().g.WriteRouteCounts() }
+
+// ReadRouteCounts forwards the head generation's routed query traffic.
+func (c *Chain) ReadRouteCounts() core.RouteCounts { return c.head().g.ReadRouteCounts() }
+
+// Sample returns a copy of the data reservoir — the fresh data sample a
+// rebuild partitions from.
+func (c *Chain) Sample() []stream.Edge {
+	c.resMu.Lock()
+	defer c.resMu.Unlock()
+	s := c.res.Sample()
+	out := make([]stream.Edge, len(s))
+	copy(out, s)
+	return out
+}
+
+// SampleSize returns the current data-reservoir fill without copying.
+func (c *Chain) SampleSize() int {
+	c.resMu.Lock()
+	defer c.resMu.Unlock()
+	return len(c.res.Sample())
+}
+
+// Rotate freezes the current head and installs g as the new live
+// generation, then resets the data reservoir so the next rebuild samples
+// only the stream after this swap. Updates racing the swap land in one
+// generation or the other, never nowhere; queries racing the swap see
+// either chain state, both of which cover the full stream.
+func (c *Chain) Rotate(g *core.GSketch) error {
+	gen := &generation{g: g, conc: core.NewConcurrent(g)}
+	c.mu.Lock()
+	if len(c.gens) >= c.cfg.MaxGenerations {
+		c.mu.Unlock()
+		return fmt.Errorf("%w (%d generations)", ErrMaxGenerations, len(c.gens))
+	}
+	c.gens = append(c.gens, gen)
+	c.mu.Unlock()
+	c.resMu.Lock()
+	c.res.Reset()
+	c.resMu.Unlock()
+	return nil
+}
+
+// WriteTo serializes the whole chain as a version-3 container: every
+// generation's consistent snapshot (stripe read locks per generation),
+// oldest first. ReadChain + NewChainFrom restore it; a single-generation
+// pre-chain snapshot also restores via the same path.
+func (c *Chain) WriteTo(w io.Writer) (int64, error) {
+	c.mu.RLock()
+	writers := make([]io.WriterTo, len(c.gens))
+	for i, gen := range c.gens {
+		writers[i] = gen.conc
+	}
+	c.mu.RUnlock()
+	return core.WriteChain(w, writers)
+}
+
+// Repartition builds a new generation from the chain's own data reservoir
+// and the supplied query-workload sample (nil selects the data-only §4.1
+// objective), then rotates it in as the live head. It returns the new
+// head. Callers wanting drift-triggered rebuilds use a Manager instead.
+func Repartition(c *Chain, cfg core.Config, workload []stream.Edge) (*core.GSketch, error) {
+	// Check the cap up front: a build is expensive and Rotate would refuse
+	// it anyway. Rotate re-checks under the lock, so a racing rotation
+	// still cannot push the chain past the cap.
+	if c.AtCap() {
+		return nil, fmt.Errorf("%w (%d generations)", ErrMaxGenerations, c.Generations())
+	}
+	sample := c.Sample()
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("%w; nothing to partition from", ErrEmptyReservoir)
+	}
+	g, err := core.BuildGSketch(cfg, sample, workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Rotate(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+var (
+	_ core.Estimator        = (*Chain)(nil)
+	_ core.RouteStatsSource = (*Chain)(nil)
+	_ io.WriterTo           = (*Chain)(nil)
+)

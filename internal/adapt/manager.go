@@ -1,0 +1,308 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// ManagerConfig parameterizes a Manager. The zero value selects the
+// defaults: drift evaluated against a 0.5 divergence / 0.25 outlier-share
+// threshold, rebuilds gated on minimum sample sizes, no auto-check loop.
+type ManagerConfig struct {
+	// Sketch is the build configuration of rebuilt generations (required:
+	// it must validate under core.Config rules).
+	Sketch core.Config
+	// DriftThreshold triggers a rebuild when the total-variation divergence
+	// between the baseline and live workload distributions reaches it
+	// (default 0.5; range [0,1]).
+	DriftThreshold float64
+	// OutlierThreshold triggers a rebuild when the share of query traffic
+	// answered by the head's outlier sketch since the last swap reaches it
+	// (default 0.25).
+	OutlierThreshold float64
+	// MinWorkload is the smallest live workload sample drift is evaluated
+	// on (default 64). Below it, ShouldRepartition always reports false.
+	MinWorkload int
+	// MinData is the smallest data reservoir a rebuild proceeds from
+	// (default 256).
+	MinData int
+	// Baseline is the query-workload sample the chain's current head was
+	// built from, if any — the distribution live traffic is compared
+	// against. Empty means the head encodes no workload knowledge, and any
+	// sufficient live workload reads as maximal divergence.
+	Baseline []stream.Edge
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.5
+	}
+	if c.OutlierThreshold == 0 {
+		c.OutlierThreshold = 0.25
+	}
+	if c.MinWorkload == 0 {
+		c.MinWorkload = 64
+	}
+	if c.MinData == 0 {
+		c.MinData = 256
+	}
+	return c
+}
+
+// Drift is one evaluation of how far live traffic has moved from the
+// workload the serving partitioning was optimized for.
+type Drift struct {
+	// WorkloadDivergence is the total-variation distance, in [0, 1],
+	// between the baseline and live source-vertex query distributions. 1
+	// when the head was built with no workload sample but live workload
+	// exists (the partitioning encodes no workload knowledge at all).
+	WorkloadDivergence float64 `json:"workload_divergence"`
+	// OutlierShare is the fraction of routed query traffic the head's
+	// outlier sketch absorbed since the last swap (or manager creation).
+	OutlierShare float64 `json:"outlier_share"`
+	// LiveWorkload is the size of the live workload sample evaluated.
+	LiveWorkload int `json:"live_workload"`
+	// DataSample is the current fill of the chain's data reservoir.
+	DataSample int `json:"data_sample"`
+}
+
+// RepartitionResult reports one completed rebuild + hot swap.
+type RepartitionResult struct {
+	// Generations is the chain length after the swap.
+	Generations int `json:"generations"`
+	// Partitions is the new head's localized-sketch count.
+	Partitions int `json:"partitions"`
+	// Before is the drift evaluation that preceded the swap.
+	Before Drift `json:"before"`
+	// BuildDuration is the time spent building and rotating the new
+	// generation — the hot-swap latency.
+	BuildDuration time.Duration `json:"-"`
+}
+
+// Manager watches drift between the workload the current partitioning was
+// built from and the live recorded workload, and rebuilds + hot-swaps a new
+// generation on threshold (via Check, typically driven by a ticker) or on
+// demand (Repartition). All methods are safe for concurrent use; rebuilds
+// are serialized.
+type Manager struct {
+	cfg   ManagerConfig
+	chain *Chain
+	// workload returns the live recorded query-workload sample (the serving
+	// layer's reservoir over /query traffic). Nil or empty disables the
+	// divergence signal; the outlier-share signal still works.
+	workload func() []stream.Edge
+
+	mu         sync.Mutex // serializes rebuilds and guards the baseline state
+	baseline   map[uint64]float64
+	readsBase  core.RouteCounts // head read counts at last swap (or creation)
+	lastResult *RepartitionResult
+
+	repartitions int64
+}
+
+// NewManager builds a manager over chain. workload supplies the live
+// recorded query sample and may be nil.
+func NewManager(chain *Chain, workload func() []stream.Edge, cfg ManagerConfig) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		chain:    chain,
+		workload: workload,
+	}
+	m.baseline = sourceDistribution(m.cfg.Baseline)
+	m.readsBase = chain.ReadRouteCounts()
+	return m
+}
+
+// Chain returns the chain the manager acts on.
+func (m *Manager) Chain() *Chain {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.chain
+}
+
+// Rebind points the manager at a replacement chain (a snapshot restore
+// swaps the serving chain wholesale), running swap — the caller's own
+// switchover, e.g. the serving-engine pointer flip — inside the manager's
+// rebuild lock. That makes the rebind atomic with respect to Check and
+// Repartition: any in-flight rebuild finishes against the old chain while
+// it is still serving, and none can start against a chain that has already
+// been displaced. Baseline bookkeeping resets to the new chain's state.
+func (m *Manager) Rebind(chain *Chain, baseline []stream.Edge, swap func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if swap != nil {
+		swap()
+	}
+	m.chain = chain
+	m.baseline = sourceDistribution(baseline)
+	m.readsBase = chain.ReadRouteCounts()
+}
+
+// Repartitions returns the number of completed swaps.
+func (m *Manager) Repartitions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repartitions
+}
+
+// LastResult returns the most recent swap's result, or nil before the
+// first.
+func (m *Manager) LastResult() *RepartitionResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastResult
+}
+
+// Drift evaluates the current drift signals without acting on them.
+func (m *Manager) Drift() Drift {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.driftLocked()
+}
+
+func (m *Manager) driftLocked() Drift {
+	var live []stream.Edge
+	if m.workload != nil {
+		live = m.workload()
+	}
+	d := Drift{
+		LiveWorkload: len(live),
+		DataSample:   m.chain.SampleSize(),
+	}
+	if len(live) >= m.cfg.MinWorkload {
+		d.WorkloadDivergence = divergence(m.baseline, sourceDistribution(live))
+	}
+	now := m.chain.ReadRouteCounts()
+	if dt := now.Total - m.readsBase.Total; dt > 0 {
+		d.OutlierShare = float64(now.Outlier-m.readsBase.Outlier) / float64(dt)
+	}
+	return d
+}
+
+// ShouldRepartition reports whether a drift evaluation crosses the
+// configured thresholds and the samples are big enough to rebuild from.
+func (m *Manager) ShouldRepartition(d Drift) bool {
+	if d.DataSample < m.cfg.MinData || d.LiveWorkload < m.cfg.MinWorkload {
+		return false
+	}
+	return d.WorkloadDivergence >= m.cfg.DriftThreshold || d.OutlierShare >= m.cfg.OutlierThreshold
+}
+
+// Check evaluates drift and repartitions if the thresholds are crossed. It
+// returns the swap result when one happened, nil otherwise — the auto-
+// trigger entry point. At the chain's generation cap Check is a cheap
+// no-op: drift cannot be acted on, so no rebuild is attempted (and none is
+// wasted).
+func (m *Manager) Check() (*RepartitionResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.chain.AtCap() {
+		return nil, nil
+	}
+	d := m.driftLocked()
+	if !m.ShouldRepartition(d) {
+		return nil, nil
+	}
+	return m.repartitionLocked(d)
+}
+
+// Repartition rebuilds and hot-swaps unconditionally (on demand), gated
+// only on a non-empty data reservoir. The live workload sample — whatever
+// its size — steers the new partitioning when present.
+func (m *Manager) Repartition() (*RepartitionResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repartitionLocked(m.driftLocked())
+}
+
+func (m *Manager) repartitionLocked(before Drift) (*RepartitionResult, error) {
+	var live []stream.Edge
+	if m.workload != nil {
+		live = m.workload()
+	}
+	start := time.Now()
+	g, err := Repartition(m.chain, m.cfg.Sketch, live)
+	if err != nil {
+		return nil, err
+	}
+	res := &RepartitionResult{
+		Generations:   m.chain.Generations(),
+		Partitions:    g.NumPartitions(),
+		Before:        before,
+		BuildDuration: time.Since(start),
+	}
+	// The new head was optimized for today's workload: it becomes the
+	// baseline tomorrow's drift is measured against, and the outlier share
+	// restarts from the new head's (zeroed) counters.
+	m.baseline = sourceDistribution(live)
+	m.readsBase = m.chain.ReadRouteCounts()
+	m.lastResult = res
+	m.repartitions++
+	return res, nil
+}
+
+// Run drives Check on a ticker until stop is closed — the embeddable
+// auto-trigger loop. Check errors are delivered to onErr when non-nil and
+// otherwise dropped (a failed rebuild leaves the serving chain untouched).
+func (m *Manager) Run(interval time.Duration, stop <-chan struct{}, onErr func(error)) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if _, err := m.Check(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
+// sourceDistribution normalizes a workload sample into a per-source-vertex
+// query frequency distribution. Empty input yields nil (no knowledge).
+func sourceDistribution(workload []stream.Edge) map[uint64]float64 {
+	if len(workload) == 0 {
+		return nil
+	}
+	dist := make(map[uint64]float64, len(workload))
+	inc := 1 / float64(len(workload))
+	for _, q := range workload {
+		dist[q.Src] += inc
+	}
+	return dist
+}
+
+// divergence is the total-variation distance ½·Σ|p(v)-q(v)| between two
+// source distributions, in [0, 1]. A nil baseline against a non-nil live
+// distribution is maximal drift: the serving partitioning encodes no
+// workload knowledge at all. Two nils are zero.
+func divergence(base, live map[uint64]float64) float64 {
+	if base == nil && live == nil {
+		return 0
+	}
+	if base == nil || live == nil {
+		return 1
+	}
+	var sum float64
+	for v, p := range base {
+		q := live[v]
+		if p > q {
+			sum += p - q
+		} else {
+			sum += q - p
+		}
+	}
+	for v, q := range live {
+		if _, seen := base[v]; !seen {
+			sum += q
+		}
+	}
+	if sum > 2 { // guard the [0,1] contract against float accumulation
+		sum = 2
+	}
+	return sum / 2
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// A pre-chain (PR 3-era) snapshot is exactly what GSketch.WriteTo still
+// produces: a version-2 stream. ReadChain must load it as a one-generation
+// chain answering byte-identically, and the on-disk version number must not
+// have moved — that is the backward-compat contract.
+func TestReadChainLoadsPreChainSnapshot(t *testing.T) {
+	edges := testStream(8000, 17)
+	g, err := BuildGSketch(Config{TotalBytes: 64 << 10, Seed: 7}, edges[:1000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Populate(g, edges)
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != gskVersion {
+		t.Fatalf("single-sketch snapshot version = %d, want %d (pre-chain byte streams must stay loadable)", v, gskVersion)
+	}
+
+	gens, err := ReadChain(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadChain on pre-chain stream: %v", err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("generations = %d, want 1", len(gens))
+	}
+	if gens[0].Count() != g.Count() {
+		t.Fatalf("count = %d, want %d", gens[0].Count(), g.Count())
+	}
+	for _, e := range edges[:200] {
+		if got, want := gens[0].EstimateEdge(e.Src, e.Dst), g.EstimateEdge(e.Src, e.Dst); got != want {
+			t.Fatalf("edge (%d,%d): restored %d != live %d", e.Src, e.Dst, got, want)
+		}
+	}
+}
+
+func TestWriteChainReadChainRoundTrip(t *testing.T) {
+	edges := testStream(10000, 19)
+	var gens []*GSketch
+	var writers []io.WriterTo
+	for i := 0; i < 3; i++ {
+		g, err := BuildGSketch(Config{TotalBytes: 32 << 10, Seed: uint64(i + 1)}, edges[i*1000:(i+1)*1000], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Populate(g, edges[i*3000:(i+1)*3000])
+		gens = append(gens, g)
+		writers = append(writers, g)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteChain(&buf, writers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChain(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(gens) {
+		t.Fatalf("generations = %d, want %d", len(got), len(gens))
+	}
+	for i := range gens {
+		if got[i].Count() != gens[i].Count() {
+			t.Fatalf("generation %d: count %d, want %d", i, got[i].Count(), gens[i].Count())
+		}
+		for _, e := range edges[:100] {
+			if a, b := got[i].EstimateEdge(e.Src, e.Dst), gens[i].EstimateEdge(e.Src, e.Dst); a != b {
+				t.Fatalf("generation %d edge (%d,%d): %d != %d", i, e.Src, e.Dst, a, b)
+			}
+		}
+	}
+}
+
+func TestReadChainRejectsCorruptContainers(t *testing.T) {
+	g, err := BuildGSketch(Config{TotalBytes: 16 << 10, Seed: 3}, testStream(500, 23), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteChain(&buf, []io.WriterTo{g}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Truncated mid-generation.
+	if _, err := ReadChain(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated chain loaded")
+	}
+	// Implausible generation count.
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(bad[8:16], 1<<20)
+	if _, err := ReadChain(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible generation count loaded")
+	}
+	// Unknown version.
+	bad = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[4:8], 99)
+	if _, err := ReadChain(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown version loaded")
+	}
+	// Bad magic.
+	bad = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[0:4], 0xdeadbeef)
+	if _, err := ReadChain(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic loaded")
+	}
+	// ReadGSketch stays strict: it must refuse the chain container.
+	if _, err := ReadGSketch(bytes.NewReader(raw)); err == nil {
+		t.Fatal("ReadGSketch accepted a chain container")
+	}
+	if _, err := WriteChain(io.Discard, nil); err == nil {
+		t.Fatal("WriteChain accepted an empty chain")
+	}
+	// Corruption errors carry the sketch.ErrCorrupt sentinel for errors.Is.
+	if _, err := ReadChain(bytes.NewReader(raw[:4])); !errors.Is(err, sketch.ErrCorrupt) {
+		t.Fatalf("truncated header error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+func TestRouteStats(t *testing.T) {
+	// Sample covers sources 0..9; everything else is outlier traffic.
+	var sample []stream.Edge
+	for i := uint64(0); i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			sample = append(sample, stream.Edge{Src: i, Dst: uint64(j), Weight: 1})
+		}
+	}
+	g, err := BuildGSketch(Config{TotalBytes: 32 << 10, Seed: 5}, sample, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(g)
+
+	// Writes: 100 routed edges batched, 1 outlier edge single-path.
+	c.UpdateBatch(sample)
+	c.Update(stream.Edge{Src: 999, Dst: 1, Weight: 1})
+	w := c.WriteRouteCounts()
+	if w.Total != int64(len(sample))+1 {
+		t.Fatalf("write total = %d, want %d", w.Total, len(sample)+1)
+	}
+	if w.Outlier != 1 {
+		t.Fatalf("write outlier = %d, want 1", w.Outlier)
+	}
+	var partSum int64
+	for _, n := range w.Partitions {
+		partSum += n
+	}
+	if partSum != int64(len(sample)) {
+		t.Fatalf("write partition hits = %d, want %d", partSum, len(sample))
+	}
+
+	// Reads: batched queries, half known half unknown, plus one single.
+	var qs []EdgeQuery
+	for i := 0; i < 40; i++ {
+		src := uint64(i % 10)
+		if i%2 == 1 {
+			src = uint64(500 + i)
+		}
+		qs = append(qs, EdgeQuery{Src: src, Dst: 0})
+	}
+	c.EstimateBatch(qs)
+	c.EstimateEdge(777, 0)
+	r := c.ReadRouteCounts()
+	if r.Total != 41 {
+		t.Fatalf("read total = %d, want 41", r.Total)
+	}
+	if r.Outlier != 21 {
+		t.Fatalf("read outlier = %d, want 21", r.Outlier)
+	}
+	if share := r.OutlierShare(); share < 0.5 || share > 0.52 {
+		t.Fatalf("read outlier share = %v, want ~21/41", share)
+	}
+	if (RouteCounts{}).OutlierShare() != 0 {
+		t.Fatal("zero RouteCounts share must be 0")
+	}
+}

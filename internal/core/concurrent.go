@@ -75,6 +75,7 @@ func (c *Concurrent) Update(e stream.Edge) {
 		w = 1
 	}
 	shard := c.g.Route(e.Src)
+	addShardHits(c.g.writeHits, shard, 1)
 	key := stream.EdgeKey(e.Src, e.Dst)
 	st := c.stripeOf(shard)
 	c.stripes[st].Lock()
@@ -130,6 +131,7 @@ func (c *Concurrent) EstimateEdge(src, dst uint64) int64 {
 		return c.est.EstimateEdge(src, dst)
 	}
 	shard := c.g.Route(src)
+	addShardHits(c.g.readHits, shard, 1)
 	key := stream.EdgeKey(src, dst)
 	st := c.stripeOf(shard)
 	c.stripes[st].RLock()

@@ -125,6 +125,9 @@ func (gt *gather) route(g *GSketch, qs []EdgeQuery) {
 		gt.grouped[gt.cursor[sh]] = k
 		gt.cursor[sh]++
 	}
+	for shard := range gt.count {
+		addShardHits(g.readHits, shard, int64(gt.count[shard]))
+	}
 }
 
 // gatherShard answers one shard's group in a single pass over its synopsis

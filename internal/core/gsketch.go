@@ -75,6 +75,14 @@ type GSketch struct {
 	// of EstimateBatch. Same lifecycle and (lack of) thread safety.
 	qscratch *gather
 
+	// writeHits / readHits count routed traffic per shard (outlier shard
+	// last), split by direction. They are atomic so the batch route passes —
+	// which run lock-free under Concurrent — can fold in per-shard group
+	// sizes without synchronization. Runtime observability only: they are
+	// not serialized.
+	writeHits []atomic.Int64
+	readHits  []atomic.Int64
+
 	outlierWidth int
 	totalWidth   int
 }
@@ -166,6 +174,7 @@ func buildFromStats(cfg Config, stats *vstats.Stats, order vstats.SortOrder) (*G
 		}
 		g.outlier = s
 	}
+	g.initRouteStats()
 	return g, nil
 }
 
@@ -217,7 +226,9 @@ func (g *GSketch) Update(e stream.Edge) {
 		w = 1
 	}
 	g.total.Add(w)
-	g.shardSynopsis(g.Route(e.Src)).Update(stream.EdgeKey(e.Src, e.Dst), w)
+	shard := g.Route(e.Src)
+	addShardHits(g.writeHits, shard, 1)
+	g.shardSynopsis(shard).Update(stream.EdgeKey(e.Src, e.Dst), w)
 }
 
 // UpdateBatch folds a batch of edge arrivals via route-then-scatter: the
@@ -243,7 +254,9 @@ func (g *GSketch) UpdateBatch(edges []stream.Edge) {
 // EstimateEdge answers an edge query from the localized sketch the edge's
 // source routes to.
 func (g *GSketch) EstimateEdge(src, dst uint64) int64 {
-	return g.shardSynopsis(g.Route(src)).Estimate(stream.EdgeKey(src, dst))
+	shard := g.Route(src)
+	addShardHits(g.readHits, shard, 1)
+	return g.shardSynopsis(shard).Estimate(stream.EdgeKey(src, dst))
 }
 
 // Count returns the total stream volume folded in.

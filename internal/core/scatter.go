@@ -43,6 +43,11 @@ func (sc *scatter) route(g *GSketch, edges []stream.Edge) int64 {
 		sc.keys[shard] = append(sc.keys[shard], hashutil.EdgeKeyMixed(mixed, e.Dst))
 		sc.counts[shard] = append(sc.counts[shard], w)
 	}
+	// One atomic add per touched shard records the batch in the routing
+	// stats (the drift signal of adaptive repartitioning).
+	for shard := range sc.keys {
+		addShardHits(g.writeHits, shard, int64(len(sc.keys[shard])))
+	}
 	return total
 }
 

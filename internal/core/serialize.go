@@ -34,8 +34,16 @@ const (
 	gskMagic = 0x47534b50 // "GSKP"
 	// gskVersion 2: the row-hash range reduction changed (see
 	// sketch.cmVersion), so counter cells written by version 1 are not
-	// addressable by the current hash family.
+	// addressable by the current hash family. A single gSketch still
+	// serializes as version 2, so pre-chain snapshots remain loadable
+	// byte for byte.
 	gskVersion = 2
+	// gskChainVersion 3: a generation-chain container. The header
+	// {magic, version, numGens} is followed by numGens self-delimiting
+	// version-2 gSketch streams, oldest generation first (the last one is
+	// the live head). ReadChain accepts both versions; ReadGSketch stays
+	// strict so callers that cannot answer from a chain fail loudly.
+	gskChainVersion = 3
 )
 
 // WriteTo serializes the gSketch: layout, router and all counter state.
@@ -138,9 +146,91 @@ func Save(est Estimator, w io.Writer) (int64, error) {
 	return wt.WriteTo(w)
 }
 
+// WriteChain serializes a generation chain: a version-3 container header
+// followed by every generation's full version-2 stream, oldest first. Each
+// gen is an io.WriterTo producing GSketch.WriteTo's format (a bare *GSketch
+// or a *Concurrent wrapper, which snapshots under its stripe read locks).
+func WriteChain(w io.Writer, gens []io.WriterTo) (int64, error) {
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("core: empty generation chain")
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], gskMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], gskChainVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(gens)))
+	k, err := w.Write(hdr[:])
+	n := int64(k)
+	if err != nil {
+		return n, err
+	}
+	for i, gen := range gens {
+		k, err := gen.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, fmt.Errorf("core: chain generation %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadChain deserializes a generation chain written by WriteChain — or a
+// plain pre-chain gSketch stream written by WriteTo, which loads as a
+// single-generation chain. The returned slice is oldest-first; the last
+// element is the generation that was live when the snapshot was taken.
+func ReadChain(r io.Reader) ([]*GSketch, error) {
+	br := bufio.NewReader(r)
+	hdr, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != gskMagic {
+		return nil, fmt.Errorf("%w: bad gSketch magic %#x", sketch.ErrCorrupt, magic)
+	}
+	switch version := binary.LittleEndian.Uint32(hdr[4:]); version {
+	case gskVersion:
+		g, err := readGSketch(br)
+		if err != nil {
+			return nil, err
+		}
+		return []*GSketch{g}, nil
+	case gskChainVersion:
+		if _, err := br.Discard(8); err != nil { // consume the peeked header
+			return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+		}
+		var numGens uint64
+		if err := binary.Read(br, binary.LittleEndian, &numGens); err != nil {
+			return nil, fmt.Errorf("%w: chain header: %v", sketch.ErrCorrupt, err)
+		}
+		const maxGens = 1 << 10
+		if numGens == 0 || numGens > maxGens {
+			return nil, fmt.Errorf("%w: implausible generation count %d", sketch.ErrCorrupt, numGens)
+		}
+		gens := make([]*GSketch, numGens)
+		for i := range gens {
+			// Every generation parse shares br: bufio.NewReader over an
+			// existing *bufio.Reader returns it unchanged, so no generation
+			// over-reads into the next one's bytes.
+			g, err := readGSketch(br)
+			if err != nil {
+				return nil, fmt.Errorf("chain generation %d: %w", i, err)
+			}
+			gens[i] = g
+		}
+		return gens, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported gSketch version %d", sketch.ErrCorrupt, version)
+	}
+}
+
 // ReadGSketch deserializes a gSketch written by WriteTo.
 func ReadGSketch(r io.Reader) (*GSketch, error) {
-	br := bufio.NewReader(r)
+	return readGSketch(bufio.NewReader(r))
+}
+
+// readGSketch parses one full version-2 gSketch stream (including magic and
+// version) from a shared buffered reader, leaving the reader positioned at
+// the first byte after the stream — the property chain parsing relies on.
+func readGSketch(br *bufio.Reader) (*GSketch, error) {
 	rd := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	var magic, version uint32
@@ -235,5 +325,6 @@ func ReadGSketch(r io.Reader) (*GSketch, error) {
 		}
 		g.outlier = cm
 	}
+	g.initRouteStats()
 	return g, nil
 }

@@ -1,0 +1,98 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// PivotConfig parameterizes ZipfPivotStream: a two-phase stream whose
+// source popularity pivots mid-way — the workload-shift scenario adaptive
+// repartitioning exists for.
+type PivotConfig struct {
+	// Vertices is the source-vertex population size.
+	Vertices int
+	// Destinations is the destination population per source (uniform).
+	Destinations int
+	// Edges is the total stream length across both phases.
+	Edges int
+	// Alpha is the Zipf skew of source popularity in both phases.
+	Alpha float64
+	// PivotFraction is the stream position, in (0, 1), at which the pivot
+	// happens: before it, rank k maps to vertex k; after it, rank k maps to
+	// vertex Vertices-1-k, so the cold tail becomes the hot head overnight.
+	PivotFraction float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c PivotConfig) Validate() error {
+	if c.Vertices < 2 || c.Destinations < 1 || c.Edges < 2 {
+		return fmt.Errorf("graphgen: pivot stream needs ≥2 vertices, ≥1 destinations, ≥2 edges (got %d/%d/%d)",
+			c.Vertices, c.Destinations, c.Edges)
+	}
+	if c.Alpha <= 0 {
+		return fmt.Errorf("graphgen: pivot stream needs alpha > 0 (got %v)", c.Alpha)
+	}
+	if c.PivotFraction <= 0 || c.PivotFraction >= 1 {
+		return fmt.Errorf("graphgen: pivot fraction %v out of (0, 1)", c.PivotFraction)
+	}
+	return nil
+}
+
+// PivotAt returns the index of the first post-pivot edge.
+func (c PivotConfig) PivotAt() int { return int(float64(c.Edges) * c.PivotFraction) }
+
+// SourceAt maps a popularity rank to its vertex id in the given phase
+// (0 = pre-pivot, 1 = post-pivot). Rank 0 is the hottest source.
+func (c PivotConfig) SourceAt(phase, rank int) uint64 {
+	if phase == 0 {
+		return uint64(rank)
+	}
+	return uint64(c.Vertices - 1 - rank)
+}
+
+// ZipfPivotStream generates the two-phase stream. Timestamps are arrival
+// indices; all weights are 1.
+func ZipfPivotStream(c PivotConfig) ([]stream.Edge, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := hashutil.NewRNG(c.Seed)
+	z := NewZipf(c.Vertices, c.Alpha, rng)
+	pivot := c.PivotAt()
+	edges := make([]stream.Edge, c.Edges)
+	for i := range edges {
+		phase := 0
+		if i >= pivot {
+			phase = 1
+		}
+		edges[i] = stream.Edge{
+			Src:    c.SourceAt(phase, z.Draw()),
+			Dst:    uint64(uniform(rng, c.Destinations)),
+			Weight: 1,
+			Time:   int64(i),
+		}
+	}
+	return edges, nil
+}
+
+// PivotQueries draws a query workload over one phase's popularity
+// distribution: sources Zipf-ranked through that phase's mapping,
+// destinations uniform — the shape a recorder in front of phase traffic
+// would sample.
+func (c PivotConfig) PivotQueries(phase, n int, seed uint64) []stream.Edge {
+	rng := hashutil.NewRNG(seed)
+	z := NewZipf(c.Vertices, c.Alpha, rng)
+	out := make([]stream.Edge, n)
+	for i := range out {
+		out[i] = stream.Edge{
+			Src:    c.SourceAt(phase, z.Draw()),
+			Dst:    uint64(uniform(rng, c.Destinations)),
+			Weight: 1,
+		}
+	}
+	return out
+}

@@ -244,6 +244,40 @@ func unionConfidence(res []core.Result) float64 {
 	return 1 - deltas
 }
 
+// AccumulateResults folds one more generation's batch answers into acc,
+// position-wise. It is the sound cross-generation combination the adaptive
+// chain relies on: a stream split across k sketch generations has per-edge
+// frequency equal to the sum of per-generation frequencies, so
+//
+//   - point estimates sum (each generation's CountMin never underestimates
+//     its own segment, so the sum never underestimates the whole stream);
+//   - the additive ε·N_i bounds add — the combined estimate is off by at
+//     most the sum of the per-generation overcounts;
+//   - confidence combines by a union bound over the per-generation failure
+//     probabilities: 1 - Σ δ_g, floored at 0;
+//   - stream-total snapshots sum to the chain-wide volume.
+//
+// Provenance (Partition, Outlier) stays acc's — by convention the live
+// head generation answers first, so combined results carry the routing of
+// the partitioning currently serving.
+func AccumulateResults(acc, gen []core.Result) {
+	if len(gen) != len(acc) {
+		panic(fmt.Sprintf("query: generation answered %d results, want %d", len(gen), len(acc)))
+	}
+	for i := range acc {
+		g := gen[i]
+		acc[i].Estimate += g.Estimate
+		acc[i].ErrorBound += g.ErrorBound
+		deltas := (1 - acc[i].Confidence) + (1 - g.Confidence)
+		if deltas >= 1 {
+			acc[i].Confidence = 0
+		} else {
+			acc[i].Confidence = 1 - deltas
+		}
+		acc[i].StreamTotal += g.StreamTotal
+	}
+}
+
 // Answer resolves any Query against an estimator in one batched pass: the
 // query is decomposed into constituent edge queries, the estimator answers
 // them all with a single EstimateBatch call, and the aggregate plus the

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+func newTestChain(t *testing.T, sample []stream.Edge) *adapt.Chain {
+	t.Helper()
+	return adapt.NewChain(buildTestGSketch(t, sample), adapt.ChainConfig{SampleSize: 2048, Seed: 7})
+}
+
+// The full loop over HTTP: ingest, shifted queries recorded into the
+// workload reservoir, POST /repartition hot-swapping a second generation,
+// sound answers over the whole stream afterwards, and snapshot → restore
+// with the chain intact.
+func TestRepartitionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	edges := testStream(20000, 51)
+	srv, ts := newTestServer(t, Config{
+		Estimator:    newTestChain(t, edges[:1500]),
+		SnapshotPath: filepath.Join(dir, "chain.gsk"),
+		Adapt:        adapt.ManagerConfig{Sketch: testSketchConfig()},
+	})
+
+	ingestAll(t, ts.URL, edges[:10000])
+
+	// Shifted live workload: query sources the partitioning sample never
+	// saw, so the recorder sample diverges from the (empty) baseline.
+	var qs []core.EdgeQuery
+	for _, e := range edges[10000:10200] {
+		qs = append(qs, core.EdgeQuery{Src: e.Src, Dst: e.Dst})
+	}
+	before := queryBatch(t, ts.URL, qs)
+
+	resp, err := http.Post(ts.URL+"/repartition", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repartition: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"generations":2`)) {
+		t.Fatalf("repartition reply: %s", body)
+	}
+
+	// Stream the rest through the new head; answers must cover the WHOLE
+	// stream (CountMin never underestimates, and the chain sums
+	// generations), with bounds and confidence attached.
+	ingestAll(t, ts.URL, edges[10000:])
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+	after := queryBatch(t, ts.URL, qs)
+	for i, q := range qs {
+		truth := exact.EdgeFrequency(q.Src, q.Dst)
+		if after[i].Estimate < truth {
+			t.Fatalf("edge (%d,%d): post-swap estimate %d < truth %d", q.Src, q.Dst, after[i].Estimate, truth)
+		}
+		if after[i].Estimate < before[i].Estimate {
+			t.Fatalf("edge (%d,%d): estimate shrank across swap: %d -> %d",
+				q.Src, q.Dst, before[i].Estimate, after[i].Estimate)
+		}
+		if after[i].ErrorBound <= 0 || after[i].Confidence <= 0 {
+			t.Fatalf("edge (%d,%d): missing combined guarantee: %+v", q.Src, q.Dst, after[i])
+		}
+	}
+
+	// Stats carry the adaptive gauges.
+	st := getStats(t, ts.URL)
+	if st["generations"].(float64) != 2 {
+		t.Fatalf("stats generations = %v, want 2", st["generations"])
+	}
+	if st["repartitions"].(float64) != 1 {
+		t.Fatalf("stats repartitions = %v, want 1", st["repartitions"])
+	}
+	for _, k := range []string{"drift_workload_divergence", "drift_outlier_share",
+		"route_read_outlier_share", "route_write_outlier_share"} {
+		if _, ok := st[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, st)
+		}
+	}
+
+	// Snapshot the chain, restore it, and check the generations and the
+	// answers survive.
+	resp, err = http.Post(ts.URL+"/snapshot/save", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot save: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/snapshot/restore", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot restore: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"generations":2`)) {
+		t.Fatalf("restore reply: %s", body)
+	}
+	restored := queryBatch(t, ts.URL, qs)
+	for i := range qs {
+		if restored[i].Estimate != after[i].Estimate {
+			t.Fatalf("query %d: restored estimate %d != live %d", i, restored[i].Estimate, after[i].Estimate)
+		}
+	}
+	_ = srv
+}
+
+// A drift past the threshold triggers a rebuild without any POST: the
+// auto-trigger loop closes the record → rebuild → swap loop by itself.
+func TestAutoRepartitionOnDrift(t *testing.T) {
+	edges := testStream(20000, 53)
+	_, ts := newTestServer(t, Config{
+		Estimator: newTestChain(t, edges[:1500]),
+		Adapt: adapt.ManagerConfig{
+			Sketch:      testSketchConfig(),
+			MinWorkload: 32,
+			MinData:     64,
+		},
+		AdaptInterval: 5 * time.Millisecond,
+	})
+
+	ingestAll(t, ts.URL, edges[:10000])
+	// All-new query sources: baseline is empty, so divergence is maximal
+	// once the recorder holds MinWorkload queries.
+	var qs []core.EdgeQuery
+	for i := 0; i < 64; i++ {
+		qs = append(qs, core.EdgeQuery{Src: uint64(1 << 40), Dst: uint64(i)})
+	}
+	queryBatch(t, ts.URL, qs)
+
+	waitFor(t, "auto repartition", func() bool {
+		st := getStats(t, ts.URL)
+		v, ok := st["repartitions"].(float64)
+		return ok && v >= 1
+	})
+}
+
+// A non-adaptive server must refuse a multi-generation snapshot: it has no
+// chain to answer it soundly from.
+func TestNonAdaptiveServerRefusesChainSnapshot(t *testing.T) {
+	edges := testStream(8000, 57)
+	chain := newTestChain(t, edges[:1000])
+	core.Populate(chain, edges[:4000])
+	if _, err := adapt.Repartition(chain, testSketchConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	core.Populate(chain, edges[4000:])
+	var snap bytes.Buffer
+	if _, err := chain.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chain.gsk")
+	if err := os.WriteFile(path, snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Estimator:    buildTestGSketch(t, edges[:1000]),
+		SnapshotPath: path,
+	})
+	resp, err := http.Post(ts.URL+"/snapshot/restore", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d (%s), want 409 refusal", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("not adaptive")) {
+		t.Fatalf("unexpected refusal body: %s", body)
+	}
+
+	// POST /repartition is not mounted without a chain.
+	resp, err = http.Post(ts.URL+"/repartition", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("repartition on non-adaptive server: status %d, want 404", resp.StatusCode)
+	}
+}

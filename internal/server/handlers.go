@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -33,7 +34,36 @@ func (s *Server) routes() *http.ServeMux {
 	if s.cfg.Window != nil {
 		mux.HandleFunc("POST /query/window", s.handleWindowQuery)
 	}
+	if s.mgr != nil {
+		mux.HandleFunc("POST /repartition", s.handleRepartition)
+	}
 	return mux
+}
+
+// handleRepartition rebuilds the partitioning from the chain's live data
+// reservoir and the recorded query workload, and hot-swaps the result in as
+// a new sketch generation — the on-demand end of the record → rebuild →
+// swap loop (the auto-trigger end is Config.AdaptInterval).
+func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	s.stats.repartitionRequests.Add(1)
+	res, err := s.mgr.Repartition()
+	if err != nil {
+		code := http.StatusInternalServerError
+		// Both are client-retriable states, not server faults: the
+		// generation cap needs an operator decision, an empty reservoir
+		// just needs more stream before the next attempt.
+		if errors.Is(err, adapt.ErrMaxGenerations) || errors.Is(err, adapt.ErrEmptyReservoir) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "repartition: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generations": res.Generations,
+		"partitions":  res.Partitions,
+		"build_ms":    float64(res.BuildDuration.Microseconds()) / 1e3,
+		"drift":       res.Before,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -271,19 +301,25 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 		defer f.Close()
 		src, from = f, path
 	}
-	g, err := core.ReadGSketch(src)
+	gens, err := core.ReadChain(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "snapshot restore from %s: %v", from, err)
 		return
 	}
-	eng, err := s.restoreSnapshot(g)
+	eng, err := s.restoreSnapshot(gens)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "snapshot restore: %v", err)
+		code := http.StatusInternalServerError
+		if errors.Is(err, errNotAdaptive) {
+			// The snapshot is fine; this server just cannot serve it.
+			code = http.StatusConflict
+		}
+		writeError(w, code, "snapshot restore: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"restored":     from,
-		"partitions":   g.NumPartitions(),
+		"generations":  len(gens),
+		"partitions":   gens[len(gens)-1].NumPartitions(),
 		"stream_total": eng.est.Count(),
 	})
 }
@@ -352,6 +388,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["workload_seen"] = s.rec.Seen()
 		stats["workload_sample"] = s.rec.Len()
 		stats["workload_capacity"] = s.rec.Capacity()
+	}
+	// Routing observability: per-partition hit counts and the outlier
+	// share, split by direction — the raw signal adaptive repartitioning
+	// watches.
+	if rs, ok := eng.est.(core.RouteStatsSource); ok {
+		reads, writes := rs.ReadRouteCounts(), rs.WriteRouteCounts()
+		stats["route_read_hits"] = reads.Partitions
+		stats["route_read_outlier"] = reads.Outlier
+		stats["route_read_outlier_share"] = reads.OutlierShare()
+		stats["route_write_hits"] = writes.Partitions
+		stats["route_write_outlier"] = writes.Outlier
+		stats["route_write_outlier_share"] = writes.OutlierShare()
+	}
+	if s.mgr != nil && eng.chain != nil {
+		d := s.mgr.Drift()
+		stats["generations"] = eng.chain.Generations()
+		stats["repartitions"] = s.mgr.Repartitions()
+		stats["drift_workload_divergence"] = d.WorkloadDivergence
+		stats["drift_outlier_share"] = d.OutlierShare
+		stats["adapt_data_sample"] = d.DataSample
 	}
 	if ns := s.snapNanos.Load(); ns > 0 {
 		stats["snapshot_age_seconds"] = float64(now.UnixNano()-ns) / 1e9

@@ -20,6 +20,9 @@
 //	                       carry no window state)
 //	GET  /workload         the recorded query-workload sample, in the text
 //	                       edge format BuildGSketch accepts
+//	POST /repartition      rebuild the partitioning from live samples and
+//	                       hot-swap it in as a new sketch generation (when
+//	                       the estimator is an adapt.Chain)
 //	GET  /healthz          liveness
 //	GET  /stats            expvar counters + live gauges
 //
@@ -33,6 +36,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -41,8 +45,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/window"
 )
 
@@ -71,6 +77,17 @@ type Config struct {
 	// handler (the store is not safe for concurrent use; the server
 	// serializes access).
 	Window *window.Store
+	// Adapt configures the adaptive repartitioning manager, which is
+	// mounted (with POST /repartition and the drift gauges in /stats)
+	// whenever Estimator is an *adapt.Chain. Rebuilt generations use
+	// Adapt.Sketch; the zero value leaves every threshold at the adapt
+	// package defaults but makes rebuilds impossible (an invalid sketch
+	// config), so set Adapt.Sketch when serving a chain.
+	Adapt adapt.ManagerConfig
+	// AdaptInterval enables the auto-trigger loop: drift is evaluated every
+	// interval and a rebuild + hot swap fires when a threshold is crossed.
+	// 0 leaves repartitioning on-demand only (POST /repartition).
+	AdaptInterval time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// FlushTimeout bounds the wait of sync requests (?sync=1 ingests and
@@ -97,11 +114,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// serveEstimator is what the handlers need from the serving estimator:
+// the batched estimator surface, a consistent snapshot, and the shard
+// gauge. Both *core.Concurrent and *adapt.Chain satisfy it.
+type serveEstimator interface {
+	core.Estimator
+	io.WriterTo
+	NumShards() int
+}
+
 // engine is the swappable serving state: the estimator and the pipeline
 // feeding it. Snapshot restore builds a fresh engine and swaps it in.
 type engine struct {
-	est *core.Concurrent
+	est serveEstimator
 	ing *ingest.Ingestor
+	// chain is non-nil when est is an adaptive generation chain; the
+	// repartitioning manager acts on it.
+	chain *adapt.Chain
 }
 
 // Server is the serving runtime. Create with New; all exported methods are
@@ -110,10 +139,13 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	stats *counters
-	rec   *Recorder // nil when recording is disabled
+	rec   *Recorder      // nil when recording is disabled
+	mgr   *adapt.Manager // nil when the estimator is not a chain
 
 	mu  sync.RWMutex // guards eng swap (snapshot restore)
 	eng *engine
+
+	autoStop chan struct{} // stops the auto-repartition loop; nil when off
 
 	winMu sync.Mutex // serializes window-store access
 
@@ -151,6 +183,15 @@ func New(cfg Config) (*Server, error) {
 		now := func() int64 { return s.cfg.Now().Unix() }
 		s.rec = NewRecorder(cfg.WorkloadSampleSize, cfg.WorkloadSeed, now)
 	}
+	if eng.chain != nil {
+		// The manager reads the live workload straight from the recorder
+		// reservoir — the record → rebuild → swap loop closed in-process.
+		s.mgr = adapt.NewManager(eng.chain, s.recordedWorkload, cfg.Adapt)
+		if cfg.AdaptInterval > 0 {
+			s.autoStop = make(chan struct{})
+			go s.mgr.Run(cfg.AdaptInterval, s.autoStop, nil)
+		}
+	}
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{
 		Handler: s.mux,
@@ -162,15 +203,33 @@ func New(cfg Config) (*Server, error) {
 }
 
 func newEngine(est core.Estimator, icfg ingest.Config) (*engine, error) {
-	conc, ok := est.(*core.Concurrent)
-	if !ok {
-		conc = core.NewConcurrent(est)
+	var se serveEstimator
+	var chain *adapt.Chain
+	switch v := est.(type) {
+	case *adapt.Chain:
+		// The chain owns its own synchronization (a Concurrent per
+		// generation); wrapping it again would serialize every reader and
+		// writer behind one mutex.
+		se, chain = v, v
+	case *core.Concurrent:
+		se = v
+	default:
+		se = core.NewConcurrent(est)
 	}
-	ing, err := ingest.New(conc, icfg)
+	ing, err := ingest.New(se, icfg)
 	if err != nil {
 		return nil, err
 	}
-	return &engine{est: conc, ing: ing}, nil
+	return &engine{est: se, ing: ing, chain: chain}, nil
+}
+
+// recordedWorkload is the manager's live workload source: the recorder's
+// current reservoir sample, or nil when recording is disabled.
+func (s *Server) recordedWorkload() []stream.Edge {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Sample()
 }
 
 // engine returns the current serving state under the read lock.
@@ -212,6 +271,9 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
+		if s.autoStop != nil {
+			close(s.autoStop)
+		}
 		if err := s.httpSrv.Shutdown(ctx); err != nil {
 			s.closeErr = err
 			// Fall through: the ingest queue still drains below.
@@ -267,22 +329,56 @@ func (s *Server) saveSnapshot(path string) (int64, error) {
 	return n, nil
 }
 
-// restoreSnapshot loads a sketch and swaps it in as the serving state: a
-// fresh ingest pipeline is built around the restored estimator, the swap
-// happens under the engine write lock (which the ingest handler holds
-// shared across its push, so no edge is 200-acked into a pipeline that is
-// already displaced), and the old pipeline is closed afterwards. Restore
-// deliberately replaces the live state: edges accepted after the snapshot
-// being restored was taken are discarded with it.
-func (s *Server) restoreSnapshot(g *core.GSketch) (*engine, error) {
-	neu, err := newEngine(core.NewConcurrent(g), s.cfg.Ingest)
+// restoreSnapshot swaps in a restored estimator as the serving state: a
+// fresh ingest pipeline is built around it, the swap happens under the
+// engine write lock (which the ingest handler holds shared across its push,
+// so no edge is 200-acked into a pipeline that is already displaced), and
+// the old pipeline is closed afterwards. Restore deliberately replaces the
+// live state: edges accepted after the snapshot being restored was taken
+// are discarded with it.
+//
+// The snapshot carries one or more sketch generations (core.ReadChain
+// loads both pre-chain and chain containers). A server serving an adaptive
+// chain restores any snapshot as a chain — the repartitioning manager is
+// rebound to it with the current recorded workload as the new drift
+// baseline. A non-adaptive server refuses multi-generation snapshots: it
+// has no chain to answer them soundly from.
+func (s *Server) restoreSnapshot(gens []*core.GSketch) (*engine, error) {
+	s.mu.RLock()
+	cur := s.eng
+	s.mu.RUnlock()
+
+	var est core.Estimator
+	var chain *adapt.Chain
+	if cur.chain != nil {
+		chain = adapt.NewChainFrom(gens, cur.chain.Config())
+		est = chain
+	} else {
+		if len(gens) != 1 {
+			return nil, fmt.Errorf("%w: snapshot carries %d generations", errNotAdaptive, len(gens))
+		}
+		est = core.NewConcurrent(gens[0])
+	}
+	neu, err := newEngine(est, s.cfg.Ingest)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	old := s.eng
-	s.eng = neu
-	s.mu.Unlock()
+	var old *engine
+	swap := func() {
+		s.mu.Lock()
+		old = s.eng
+		s.eng = neu
+		s.mu.Unlock()
+	}
+	if s.mgr != nil && chain != nil {
+		// The engine flip runs inside the manager's rebuild lock: an
+		// in-flight drift check or repartition finishes against the old
+		// chain while it is still serving, and none can start against a
+		// displaced one.
+		s.mgr.Rebind(chain, s.recordedWorkload(), swap)
+	} else {
+		swap()
+	}
 	if err := old.ing.Close(); err != nil {
 		return neu, fmt.Errorf("server: draining displaced pipeline: %w", err)
 	}
@@ -298,6 +394,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
 }
+
+// errNotAdaptive reports a restore of a multi-generation chain snapshot
+// against a server without a chain to answer it soundly from — a request
+// condition (restart with -adapt), not a server fault.
+var errNotAdaptive = errors.New("server is not adaptive; restart with a chain (-adapt) to serve this snapshot")
 
 // errorJSON is the error envelope of non-2xx replies.
 type errorJSON struct {

@@ -11,14 +11,15 @@ import "expvar"
 type counters struct {
 	vars *expvar.Map
 
-	ingestRequests    *expvar.Int // POST /ingest requests handled
-	edgesAccepted     *expvar.Int // edges accepted into the pipeline
-	edgesRejected     *expvar.Int // edges shed with 429 (queue full)
-	queryRequests     *expvar.Int // POST /query requests handled
-	queriesAnswered   *expvar.Int // individual edge queries answered
-	windowQueries     *expvar.Int // POST /query/window requests handled
-	snapshotsSaved    *expvar.Int // successful snapshot saves
-	snapshotsRestored *expvar.Int // successful snapshot restores
+	ingestRequests      *expvar.Int // POST /ingest requests handled
+	edgesAccepted       *expvar.Int // edges accepted into the pipeline
+	edgesRejected       *expvar.Int // edges shed with 429 (queue full)
+	queryRequests       *expvar.Int // POST /query requests handled
+	queriesAnswered     *expvar.Int // individual edge queries answered
+	windowQueries       *expvar.Int // POST /query/window requests handled
+	snapshotsSaved      *expvar.Int // successful snapshot saves
+	snapshotsRestored   *expvar.Int // successful snapshot restores
+	repartitionRequests *expvar.Int // POST /repartition requests handled
 }
 
 func newCounters() *counters {
@@ -36,5 +37,6 @@ func newCounters() *counters {
 	c.windowQueries = mk("window_query_requests")
 	c.snapshotsSaved = mk("snapshots_saved")
 	c.snapshotsRestored = mk("snapshots_restored")
+	c.repartitionRequests = mk("repartition_requests")
 	return c
 }

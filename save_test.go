@@ -69,6 +69,60 @@ func TestSaveLoadRoundTripThroughFacade(t *testing.T) {
 	}
 }
 
+// TestChainRoundTripThroughFacade drives the adaptive public API: build a
+// chain, repartition mid-stream, save the whole chain, and reload it with
+// identical answers — including loading a plain pre-chain snapshot as a
+// one-generation chain.
+func TestChainRoundTripThroughFacade(t *testing.T) {
+	edges := synthetic(20_000)
+	g, err := gsketch.New(gsketch.Config{TotalBytes: 64 << 10, Seed: 7}, edges[:2000], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := gsketch.NewChain(g, gsketch.ChainConfig{SampleSize: 1024, Seed: 3})
+	gsketch.Populate(chain, edges[:10_000])
+	if _, err := gsketch.Repartition(chain, gsketch.Config{TotalBytes: 64 << 10, Seed: 8}, edges[:200]); err != nil {
+		t.Fatal(err)
+	}
+	gsketch.Populate(chain, edges[10_000:])
+	if chain.Generations() != 2 {
+		t.Fatalf("generations = %d, want 2", chain.Generations())
+	}
+
+	var buf bytes.Buffer
+	if _, err := chain.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsketch.LoadChain(bytes.NewReader(buf.Bytes()), chain.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]gsketch.EdgeQuery, 0, 500)
+	for i := 0; i < 500; i++ {
+		qs = append(qs, gsketch.EdgeQuery{Src: edges[i].Src, Dst: edges[i].Dst})
+	}
+	want := gsketch.EstimateBatch(chain, qs)
+	got := gsketch.EstimateBatch(restored, qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: restored %+v != live %+v", i, got[i], want[i])
+		}
+	}
+
+	// A pre-chain snapshot (plain Save) loads as a one-generation chain.
+	var plain bytes.Buffer
+	if _, err := gsketch.Save(g, &plain); err != nil {
+		t.Fatal(err)
+	}
+	single, err := gsketch.LoadChain(bytes.NewReader(plain.Bytes()), gsketch.ChainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Generations() != 1 {
+		t.Fatalf("pre-chain snapshot loaded as %d generations", single.Generations())
+	}
+}
+
 // TestSaveRejectsUnserializableEstimator checks the typed failure instead
 // of a garbage write.
 func TestSaveRejectsUnserializableEstimator(t *testing.T) {

@@ -79,4 +79,67 @@ if ! wait "$PID"; then
 fi
 PID=""
 
+# ---------------------------------------------------------------------------
+# Adaptive chain flow: ingest -> workload shift -> POST /repartition ->
+# query -> snapshot -> restore of a multi-generation chain.
+
+"$BIN" -addr "$ADDR" -adapt -sample "$TMP/sample.txt" -snapshot "$TMP/chain.gsk" \
+  -workers 2 -batch 64 &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$PID" 2>/dev/null || fail "adaptive server exited during startup"
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "adaptive server never became healthy"
+
+# Ingest known-source traffic, then a burst from sources the partitioning
+# sample never saw — the drifted stream the next generation must cover.
+{
+  for _ in 1 2 3 4 5; do echo '{"src":1,"dst":101}'; done
+  for _ in 1 2 3 4; do echo '{"src":500,"dst":7}'; done
+} > "$TMP/shifted.ndjson"
+ingest=$(curl -sf -X POST --data-binary @"$TMP/shifted.ndjson" "$BASE/ingest?sync=1")
+grep -q '"accepted":9' <<<"$ingest" || fail "adaptive ingest reply: $ingest"
+
+# Shifted query workload: hammer the unknown source so the recorder sample
+# diverges from the build-time baseline.
+shiftq='{"queries":[{"src":500,"dst":7},{"src":500,"dst":8}],"sync":true}'
+for _ in 1 2 3 4 5; do
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$shiftq" "$BASE/query" >/dev/null
+done
+
+# On-demand repartition: a second generation hot-swaps in.
+repart=$(curl -sf -X POST "$BASE/repartition")
+grep -q '"generations":2' <<<"$repart" || fail "repartition reply: $repart"
+
+# Post-swap, answers still cover the pre-swap stream (generations sum):
+# edge (1,101) was ingested before the swap and must still estimate >= 5.
+q='{"queries":[{"src":1,"dst":101},{"src":500,"dst":7}],"sync":true}'
+ans=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$q" "$BASE/query")
+est=$(grep -o '"estimate":[0-9]*' <<<"$ans" | head -1 | cut -d: -f2)
+[[ -n "$est" && "$est" -ge 5 ]] || fail "post-swap estimate for (1,101) = '$est', want >= 5 ($ans)"
+
+# Ingest through the new head, then snapshot the full chain and restore it.
+echo '{"src":500,"dst":7}' | curl -sf -X POST --data-binary @- "$BASE/ingest?sync=1" >/dev/null
+curl -sf -X POST "$BASE/snapshot/save" >/dev/null
+[[ -s "$TMP/chain.gsk" ]] || fail "chain snapshot missing after save"
+restore=$(curl -sf -X POST "$BASE/snapshot/restore")
+grep -q '"generations":2' <<<"$restore" || fail "chain restore reply: $restore"
+grep -q '"stream_total":10' <<<"$restore" || fail "chain restore total: $restore"
+
+# The restored chain answers identically, and /stats reports the chain.
+ans2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$q" "$BASE/query")
+est2=$(grep -o '"estimate":[0-9]*' <<<"$ans2" | head -1 | cut -d: -f2)
+[[ "$est2" == "$est" ]] || fail "answers differ after chain restore: $est vs $est2"
+stats=$(curl -sf "$BASE/stats")
+grep -q '"generations":2' <<<"$stats" || fail "adaptive stats: $stats"
+grep -q '"repartition_requests":1' <<<"$stats" || fail "adaptive stats: $stats"
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  fail "adaptive server exited non-zero on SIGTERM"
+fi
+PID=""
+
 echo "serve-smoke: OK"
