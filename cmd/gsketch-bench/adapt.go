@@ -1,13 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"time"
 
-	"github.com/graphstream/gsketch/internal/adapt"
-	"github.com/graphstream/gsketch/internal/core"
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/graphgen"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -80,55 +80,75 @@ func runAdaptBench(nEdges, vertices, nQueries int, alpha float64, jsonPath strin
 		}
 	}
 
-	// Both runs bootstrap identically: partitioned from a pre-pivot prefix
-	// sample under the pre-pivot query workload (§4.2 objective).
-	sketchCfg := core.Config{TotalBytes: 1 << 20, Seed: 42}
+	// Both runs bootstrap identically through the one-handle engine:
+	// partitioned from a pre-pivot prefix sample under the pre-pivot query
+	// workload (§4.2 objective).
+	ctx := context.Background()
+	sketchCfg := gsketch.Config{TotalBytes: 1 << 20, Seed: 42}
 	preWorkload := cfg.PivotQueries(0, 4096, 1)
 	postWorkload := cfg.PivotQueries(1, 4096, 2)
-	buildInitial := func() (*core.GSketch, error) {
-		sample := edges[:pivot]
-		if len(sample) > 1<<14 {
-			sample = sample[:1<<14]
-		}
-		return core.BuildGSketch(sketchCfg, sample, preWorkload)
+	prefixSample := edges[:pivot]
+	if len(prefixSample) > 1<<14 {
+		prefixSample = prefixSample[:1<<14]
+	}
+	bootstrap := []gsketch.Option{
+		gsketch.WithSample(prefixSample),
+		gsketch.WithWorkloadSample(preWorkload),
 	}
 
 	// Baseline: no repartitioning, whole stream into the initial sketch.
-	base, err := buildInitial()
+	base, err := gsketch.Open(sketchCfg, bootstrap...)
 	if err != nil {
 		return err
 	}
-	core.Populate(base, edges)
-	baseAcc := query.EvaluateEdgeQueries(base, exact, evalQs, query.DefaultG0)
+	defer base.Close()
+	if err := base.Ingest(ctx, edges...); err != nil {
+		return err
+	}
+	baseAcc := query.EvaluateEdgeQueries(base.Estimator(), exact, evalQs, query.DefaultG0)
 
-	// Adaptive: same start, drift-checked swap shortly after the pivot.
-	g0, err := buildInitial()
+	// Adaptive: same start as a generation chain, drift-checked swap
+	// shortly after the pivot. The engine's workload recorder is the live
+	// drift source: the shifted query traffic served below is what the
+	// rebuild partitions for — the record → rebuild → swap loop end to end.
+	adaptive, err := gsketch.Open(sketchCfg, append(bootstrap,
+		gsketch.WithAdaptive(
+			gsketch.ChainConfig{SampleSize: 8192, Seed: 7},
+			gsketch.AdaptConfig{Sketch: sketchCfg, Baseline: preWorkload},
+		),
+		gsketch.WithWorkloadRecorder(len(postWorkload)+len(evalQs), 2),
+	)...)
 	if err != nil {
 		return err
 	}
-	chain := adapt.NewChain(g0, adapt.ChainConfig{SampleSize: 8192, Seed: 7})
-	mgr := adapt.NewManager(chain, func() []stream.Edge { return postWorkload }, adapt.ManagerConfig{
-		Sketch:   sketchCfg,
-		Baseline: preWorkload,
-	})
-	core.Populate(chain, edges[:swapAt])
-	// Serve the shifted query traffic through the stale head before the
-	// swap, as a live server would: this is what populates the read-side
-	// routing counters the outlier-share drift signal is computed from.
-	preQs := make([]core.EdgeQuery, len(evalQs))
-	for i, q := range evalQs {
-		preQs[i] = core.EdgeQuery(q)
+	defer adaptive.Close()
+	if err := adaptive.Ingest(ctx, edges[:swapAt]...); err != nil {
+		return err
 	}
-	chain.EstimateBatch(preQs)
-	drift := mgr.Drift()
+	// Serve the shifted query traffic through the stale head before the
+	// swap, as a live server would: this populates both the read-side
+	// routing counters (the outlier-share drift signal) and the workload
+	// reservoir the rebuild optimizes for.
+	postQs := make([]query.EdgeQuery, len(postWorkload))
+	for i, e := range postWorkload {
+		postQs[i] = query.EdgeQuery{Src: e.Src, Dst: e.Dst}
+	}
+	adaptive.QueryBatch(postQs)
+	adaptive.QueryBatch(evalQs)
+	drift, err := adaptive.Drift()
+	if err != nil {
+		return err
+	}
 	t0 := time.Now()
-	res, err := mgr.Repartition()
+	res, err := adaptive.Repartition()
 	if err != nil {
 		return fmt.Errorf("repartition at edge %d: %w", swapAt, err)
 	}
 	swap := time.Since(t0)
-	core.Populate(chain, edges[swapAt:])
-	adaptAcc := query.EvaluateEdgeQueries(chain, exact, evalQs, query.DefaultG0)
+	if err := adaptive.Ingest(ctx, edges[swapAt:]...); err != nil {
+		return err
+	}
+	adaptAcc := query.EvaluateEdgeQueries(adaptive.Estimator(), exact, evalQs, query.DefaultG0)
 
 	recovery := 0.0
 	if adaptAcc.AvgRelErr > 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,8 +9,8 @@ import (
 	"sync"
 	"time"
 
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/core"
-	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
@@ -54,12 +55,32 @@ func ingestStream(n int) []stream.Edge {
 	return edges
 }
 
-func buildIngestSketch(edges []stream.Edge) (*core.GSketch, error) {
-	sample := edges
-	if len(sample) > 1<<15 {
-		sample = sample[:1<<15]
+// ingestSketchConfig is the shared sketch budget of the ingest and serve
+// benches.
+func ingestSketchConfig() gsketch.Config {
+	return gsketch.Config{TotalBytes: 1 << 20, Seed: 42}
+}
+
+// ingestSample bounds the partitioning sample like the pre-Engine benches
+// did.
+func ingestSample(edges []stream.Edge) []stream.Edge {
+	if len(edges) > 1<<15 {
+		return edges[:1<<15]
 	}
-	return core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 42}, sample, nil)
+	return edges
+}
+
+// openIngestEngine constructs the bench estimator through the one-handle
+// path (gsketch.Open) and hands back both the engine and the underlying
+// striped-lock Concurrent the measured loops drive directly — so the
+// numbers stay comparable with the pre-Engine reports.
+func openIngestEngine(edges []stream.Edge, opts ...gsketch.Option) (*gsketch.Engine, *core.Concurrent, error) {
+	opts = append([]gsketch.Option{gsketch.WithSample(ingestSample(edges))}, opts...)
+	eng, err := gsketch.Open(ingestSketchConfig(), opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, eng.Estimator().(*core.Concurrent), nil
 }
 
 // measure runs fn over the edge count and reports throughput plus the
@@ -100,28 +121,21 @@ func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
 	edges := ingestStream(nEdges)
 	n := int64(len(edges))
 
-	fresh := func() (*core.Concurrent, *core.GSketch, error) {
-		g, err := buildIngestSketch(edges)
-		if err != nil {
-			return nil, nil, err
-		}
-		return core.NewConcurrent(g), g, nil
-	}
-
 	var results []ingestResult
 
-	c, g, err := fresh()
+	eng, c, err := openIngestEngine(edges)
 	if err != nil {
 		return err
 	}
-	partitions := g.NumPartitions()
+	partitions := c.Unwrap().(*core.GSketch).NumPartitions()
 	results = append(results, measure("per-edge", 1, n, func() {
 		for _, e := range edges {
 			c.Update(e)
 		}
 	}))
+	_ = eng.Close()
 
-	c, _, err = fresh()
+	eng, c, err = openIngestEngine(edges)
 	if err != nil {
 		return err
 	}
@@ -134,18 +148,16 @@ func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
 			c.UpdateBatch(edges[lo:hi])
 		}
 	}))
+	_ = eng.Close()
 
-	c, _, err = fresh()
+	eng, _, err = openIngestEngine(edges,
+		gsketch.WithIngest(gsketch.IngestConfig{Workers: workers, BatchSize: batchSize}))
 	if err != nil {
 		return err
 	}
 	var ingErr error
 	results = append(results, measure("sharded-parallel", workers, n, func() {
-		ing, err := ingest.New(c, ingest.Config{Workers: workers, BatchSize: batchSize})
-		if err != nil {
-			ingErr = err
-			return
-		}
+		ctx := context.Background()
 		var wg sync.WaitGroup
 		producers := workers
 		stripe := (len(edges) + producers - 1) / producers
@@ -161,11 +173,11 @@ func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
 			wg.Add(1)
 			go func(part []stream.Edge) {
 				defer wg.Done()
-				_ = ing.PushBatch(part)
+				_ = eng.Ingest(ctx, part...)
 			}(edges[lo:hi])
 		}
 		wg.Wait()
-		ingErr = ing.Close()
+		ingErr = eng.Close()
 	}))
 	if ingErr != nil {
 		return ingErr

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/sketch"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -182,21 +184,32 @@ func runQueryBench(nQueries, batchSize, readers, maxPartitions int, jsonPath str
 		readers = runtime.GOMAXPROCS(0)
 	}
 	edges := ingestStream(1 << 20)
-	g, err := core.BuildGSketch(core.Config{
-		TotalBytes: 1 << 20, Seed: 42, MaxPartitions: maxPartitions,
-	}, edges[:1<<15], nil)
+	cfg := gsketch.Config{TotalBytes: 1 << 20, Seed: 42, MaxPartitions: maxPartitions}
+	eng, err := gsketch.Open(cfg, gsketch.WithSample(edges[:1<<15]))
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
+	// The measured loops drive the striped-lock estimator directly, so the
+	// numbers stay comparable with the pre-Engine reports; the engine is
+	// the construction path.
+	shared := eng.Estimator().(*core.Concurrent)
+	g := shared.Unwrap().(*core.GSketch)
 	partitions := g.NumPartitions()
-	shared := core.NewConcurrent(g)
-	core.Populate(shared, edges)
+	if err := eng.Ingest(context.Background(), edges...); err != nil {
+		return err
+	}
 
 	seed, err := newSeedReadSketch(g, 16384)
 	if err != nil {
 		return err
 	}
-	seedShared := core.NewConcurrent(seed)
+	seedEng, err := gsketch.Open(gsketch.Config{}, gsketch.WithEstimator(seed))
+	if err != nil {
+		return err
+	}
+	defer seedEng.Close()
+	seedShared := seedEng.Estimator().(*core.Concurrent)
 	for _, e := range edges {
 		seed.Update(e)
 	}

@@ -12,7 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/graphstream/gsketch/internal/ingest"
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
 )
@@ -49,14 +49,13 @@ func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, jsonPat
 		return fmt.Errorf("need at least conns*chunk = %d edges (got %d)", conns*ingestChunk, nEdges)
 	}
 	edges := ingestStream(nEdges)
-	g, err := buildIngestSketch(edges)
+	eng, _, err := openIngestEngine(edges,
+		gsketch.WithIngest(gsketch.IngestConfig{BatchSize: 8192}),
+		gsketch.WithWorkloadRecorder(4096, 0))
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Estimator: g,
-		Ingest:    ingest.Config{BatchSize: 8192},
-	})
+	srv, err := server.New(server.Config{Engine: eng})
 	if err != nil {
 		return err
 	}
@@ -122,7 +121,7 @@ func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, jsonPat
 	for _, e := range edges {
 		total += e.Weight
 	}
-	if got := g.Count(); got != total {
+	if got := eng.Estimator().Count(); got != total {
 		return fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
 	}
 
@@ -185,7 +184,7 @@ func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, jsonPat
 		IngestChunk: ingestChunk,
 		QueryBatch:  queryBatch,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Partitions:  g.NumPartitions(),
+		Partitions:  eng.Sketch().NumPartitions(),
 
 		IngestSeconds:      ingestSecs,
 		IngestEdgesPerSec:  float64(nEdges) / ingestSecs,

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,29 +52,24 @@ func main() {
 	)
 	flag.Parse()
 
-	var est gsketch.Estimator
+	// Everything constructs through the one-handle engine: the bootstrap
+	// source (snapshot, partitioned build or global baseline) is an Open
+	// option, and ingest/query/save all go through the same handle.
+	cfg := gsketch.Config{TotalBytes: *memory, Seed: *seed}
+	var eng *gsketch.Engine
+	var edges []gsketch.Edge
 	switch {
 	case *load != "":
-		f, err := os.Open(*load)
-		if err != nil {
-			fatal("open: %v", err)
-		}
-		g, err := gsketch.Load(f)
-		f.Close()
+		var err error
+		eng, err = gsketch.Open(cfg, gsketch.WithRestoreFile(*load))
 		if err != nil {
 			fatal("load: %v", err)
 		}
-		est = g
 	case *streamPath != "":
-		edges := readEdges(*streamPath)
-		cfg := gsketch.Config{TotalBytes: *memory, Seed: *seed}
+		edges = readEdges(*streamPath)
+		var err error
 		if *global {
-			g, err := gsketch.NewGlobal(cfg)
-			if err != nil {
-				fatal("build: %v", err)
-			}
-			gsketch.Populate(g, edges)
-			est = g
+			eng, err = gsketch.Open(cfg, gsketch.WithGlobal())
 		} else {
 			n := int(float64(len(edges)) * *sampleFrac)
 			if n < 1 {
@@ -83,30 +79,28 @@ func main() {
 			for _, e := range edges {
 				res.Observe(e)
 			}
-			g, err := gsketch.New(cfg, res.Sample(), nil)
-			if err != nil {
-				fatal("build: %v", err)
-			}
-			gsketch.Populate(g, edges)
-			fmt.Fprintf(os.Stderr, "gsketch-query: %d partitions over %d sampled vertices, %d bytes\n",
-				g.NumPartitions(), len(res.Sample()), g.MemoryBytes())
+			eng, err = gsketch.Open(cfg, gsketch.WithSample(res.Sample()))
+		}
+		if err != nil {
+			fatal("build: %v", err)
+		}
+		if err := eng.Ingest(context.Background(), edges...); err != nil {
+			fatal("ingest: %v", err)
+		}
+		if !*global {
+			st := eng.Stats()
+			fmt.Fprintf(os.Stderr, "gsketch-query: %d shards, %d bytes\n",
+				st.Partitions, st.MemoryBytes)
 			if *save != "" {
-				f, err := os.Create(*save)
-				if err != nil {
-					fatal("create: %v", err)
-				}
-				if _, err := g.WriteTo(f); err != nil {
-					fatal("save: %v", err)
-				}
-				if err := f.Close(); err != nil {
+				if _, err := eng.SaveSnapshot(*save); err != nil {
 					fatal("save: %v", err)
 				}
 			}
-			est = g
 		}
 	default:
 		fatal("need -stream or -load (see -h)")
 	}
+	defer eng.Close()
 
 	// Collect every query — command-line edge plus the -queries file — and
 	// answer them all with one batched, bound-carrying pass.
@@ -132,7 +126,7 @@ func main() {
 	if len(queries) == 0 {
 		return
 	}
-	results := gsketch.EstimateBatch(est, queries)
+	results := eng.QueryBatch(queries)
 	for i, q := range queries {
 		r := results[i]
 		if !*bounds {

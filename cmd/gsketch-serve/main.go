@@ -1,6 +1,7 @@
 // Command gsketch-serve runs the gSketch serving subsystem: an HTTP/JSON
-// frontend over the sharded batch-ingest pipeline and the striped-lock
-// estimator, with snapshot persistence and live query-workload capture.
+// frontend over a gsketch.Engine — the one-handle facade owning the sharded
+// batch-ingest pipeline, the striped-lock estimator, snapshot persistence
+// and live query-workload capture.
 //
 // Usage:
 //
@@ -25,7 +26,7 @@
 //	POST /repartition       rebuild + hot-swap a new generation (-adapt)
 //	GET  /healthz, /stats   liveness and counters
 //
-// With -adapt the estimator is a generation chain: POST /repartition (or
+// With -adapt the engine serves a generation chain: POST /repartition (or
 // the -adapt-interval auto-trigger, when drift crosses -adapt-drift /
 // -adapt-outlier) rebuilds the partitioning from the live data reservoir
 // and the recorded query workload and hot-swaps it in as a new generation;
@@ -51,12 +52,9 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/graphstream/gsketch/internal/adapt"
-	"github.com/graphstream/gsketch/internal/core"
-	"github.com/graphstream/gsketch/internal/ingest"
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
-	"github.com/graphstream/gsketch/internal/window"
 )
 
 func main() {
@@ -96,53 +94,73 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.Config{
+	cfg := gsketch.Config{
 		TotalBytes:    *totalBytes,
 		Depth:         *depth,
 		Seed:          *seed,
 		MaxPartitions: *partitions,
 	}
-	var chainCfg *adapt.ChainConfig
-	if *adaptOn {
-		chainCfg = &adapt.ChainConfig{
-			SampleSize:     *adaptSample,
-			Seed:           *seed,
-			MaxGenerations: *adaptMaxGens,
-		}
-	}
-	est, workload, err := bootstrap(cfg, *restorePath, *samplePath, *workloadPath, *global, *sampleCap, chainCfg)
+	opts, err := engineOptions(cfg, bootstrapFlags{
+		restorePath:  *restorePath,
+		samplePath:   *samplePath,
+		workloadPath: *workloadPath,
+		global:       *global,
+		sampleCap:    *sampleCap,
+		adapt:        *adaptOn,
+		adaptSample:  *adaptSample,
+		adaptMaxGens: *adaptMaxGens,
+		adaptDrift:   *adaptDrift,
+		adaptOutlier: *adaptOutlier,
+		seed:         *seed,
+	})
 	if err != nil {
 		log.Fatalf("gsketch-serve: %v", err)
 	}
 
-	var win *window.Store
+	opts = append(opts,
+		gsketch.WithIngest(gsketch.IngestConfig{Workers: *workers, BatchSize: *batchSize, QueueDepth: *queue}),
+		gsketch.WithSnapshotFile(*snapshotPath),
+	)
+	if *workloadCap >= 0 {
+		rcap := *workloadCap
+		if rcap == 0 { // pre-Engine behavior: 0 falls through to the default
+			rcap = 4096
+		}
+		opts = append(opts, gsketch.WithWorkloadRecorder(rcap, *seed))
+	}
 	if *windowSpan > 0 {
-		win, err = window.NewStore(window.StoreConfig{
+		opts = append(opts, gsketch.WithWindows(gsketch.WindowConfig{
 			Span:       *windowSpan,
 			SampleSize: *windowSample,
 			Sketch:     cfg,
 			Seed:       *seed,
-		})
-		if err != nil {
-			log.Fatalf("gsketch-serve: window store: %v", err)
+		}))
+	}
+	if *adaptInterval > 0 {
+		opts = append(opts, gsketch.WithAutoRepartition(*adaptInterval, func(err error) {
+			log.Printf("gsketch-serve: auto repartition: %v", err)
+		}))
+	}
+
+	eng, err := gsketch.Open(cfg, opts...)
+	if err != nil {
+		if errors.Is(err, gsketch.ErrNotAdaptive) {
+			log.Fatalf("gsketch-serve: %v; run with -adapt to serve it", err)
 		}
+		log.Fatalf("gsketch-serve: %v", err)
+	}
+	st := eng.Stats()
+	if g := eng.Sketch(); g != nil {
+		log.Printf("gsketch-serve: engine up (%d generation(s), %d partitions (order %v), stream total %d, %d bytes)",
+			eng.Generations(), g.NumPartitions(), g.Order(), st.StreamTotal, st.MemoryBytes)
+	} else {
+		log.Printf("gsketch-serve: engine up (global baseline, stream total %d, %d bytes)",
+			st.StreamTotal, st.MemoryBytes)
 	}
 
 	srv, err := server.New(server.Config{
-		Estimator:          est,
-		Ingest:             ingest.Config{Workers: *workers, BatchSize: *batchSize, QueueDepth: *queue},
-		SnapshotPath:       *snapshotPath,
+		Engine:             eng,
 		SnapshotOnShutdown: *snapshotOnExit,
-		WorkloadSampleSize: *workloadCap,
-		WorkloadSeed:       *seed,
-		Window:             win,
-		Adapt: adapt.ManagerConfig{
-			Sketch:           cfg,
-			DriftThreshold:   *adaptDrift,
-			OutlierThreshold: *adaptOutlier,
-			Baseline:         workload,
-		},
-		AdaptInterval: *adaptInterval,
 	})
 	if err != nil {
 		log.Fatalf("gsketch-serve: %v", err)
@@ -172,80 +190,77 @@ func main() {
 	}
 }
 
-// bootstrap resolves the estimator from exactly one of the three sources.
-// With a non-nil chainCfg (-adapt) the result is a generation chain: a
-// restored snapshot keeps every generation it carries, a sample-built
-// sketch starts a fresh single-generation chain. It also returns the
-// workload sample used for partitioning, if any — the drift baseline.
-func bootstrap(cfg core.Config, restorePath, samplePath, workloadPath string, global bool, sampleCap int, chainCfg *adapt.ChainConfig) (core.Estimator, []stream.Edge, error) {
+// bootstrapFlags is the bootstrap slice of the flag set.
+type bootstrapFlags struct {
+	restorePath, samplePath, workloadPath string
+	global                                bool
+	sampleCap                             int
+	adapt                                 bool
+	adaptSample, adaptMaxGens             int
+	adaptDrift, adaptOutlier              float64
+	seed                                  uint64
+}
+
+// engineOptions resolves exactly one bootstrap source (plus the adaptive
+// wiring) into gsketch.Open options.
+func engineOptions(cfg gsketch.Config, f bootstrapFlags) ([]gsketch.Option, error) {
 	set := 0
-	for _, on := range []bool{restorePath != "", samplePath != "", global} {
+	for _, on := range []bool{f.restorePath != "", f.samplePath != "", f.global} {
 		if on {
 			set++
 		}
 	}
 	if set != 1 {
-		return nil, nil, errors.New("pick exactly one of -restore, -sample or -global")
+		return nil, errors.New("pick exactly one of -restore, -sample or -global")
 	}
+
+	var opts []gsketch.Option
+	var workload []stream.Edge
 
 	switch {
-	case restorePath != "":
-		f, err := os.Open(restorePath)
-		if err != nil {
-			return nil, nil, err
+	case f.restorePath != "":
+		opts = append(opts, gsketch.WithRestoreFile(f.restorePath))
+	case f.global:
+		if f.adapt {
+			return nil, errors.New("-adapt needs a partitioned gSketch; it is incompatible with -global")
 		}
-		defer f.Close()
-		gens, err := core.ReadChain(f)
-		if err != nil {
-			return nil, nil, fmt.Errorf("restore %s: %w", restorePath, err)
-		}
-		if chainCfg != nil {
-			chain := adapt.NewChainFrom(gens, *chainCfg)
-			log.Printf("gsketch-serve: restored %s (%d generations, %d head partitions, stream total %d)",
-				restorePath, chain.Generations(), chain.Head().NumPartitions(), chain.Count())
-			return chain, nil, nil
-		}
-		if len(gens) != 1 {
-			return nil, nil, fmt.Errorf("restore %s: snapshot carries %d generations; run with -adapt to serve it", restorePath, len(gens))
-		}
-		g := gens[0]
-		log.Printf("gsketch-serve: restored %s (%d partitions, stream total %d)",
-			restorePath, g.NumPartitions(), g.Count())
-		return g, nil, nil
-
-	case global:
-		if chainCfg != nil {
-			return nil, nil, errors.New("-adapt needs a partitioned gSketch; it is incompatible with -global")
-		}
-		gl, err := core.BuildGlobalSketch(cfg)
-		return gl, nil, err
-
+		opts = append(opts, gsketch.WithGlobal())
 	default:
-		sample, err := readEdgeFile(samplePath)
+		sample, err := readEdgeFile(f.samplePath)
 		if err != nil {
-			return nil, nil, fmt.Errorf("sample %s: %w", samplePath, err)
+			return nil, fmt.Errorf("sample %s: %w", f.samplePath, err)
 		}
-		if len(sample) > sampleCap {
-			sample = sample[:sampleCap]
+		if len(sample) > f.sampleCap {
+			sample = sample[:f.sampleCap]
 		}
-		var workload []stream.Edge
-		if workloadPath != "" {
-			workload, err = readEdgeFile(workloadPath)
+		if f.workloadPath != "" {
+			workload, err = readEdgeFile(f.workloadPath)
 			if err != nil {
-				return nil, nil, fmt.Errorf("workload %s: %w", workloadPath, err)
+				return nil, fmt.Errorf("workload %s: %w", f.workloadPath, err)
 			}
 		}
-		g, err := core.BuildGSketch(cfg, sample, workload)
-		if err != nil {
-			return nil, nil, err
+		opts = append(opts, gsketch.WithSample(sample))
+		if workload != nil {
+			opts = append(opts, gsketch.WithWorkloadSample(workload))
 		}
-		log.Printf("gsketch-serve: partitioned over %d sample edges → %d partitions (order %v)",
-			len(sample), g.NumPartitions(), g.Order())
-		if chainCfg != nil {
-			return adapt.NewChain(g, *chainCfg), workload, nil
-		}
-		return g, workload, nil
 	}
+
+	if f.adapt {
+		opts = append(opts, gsketch.WithAdaptive(
+			gsketch.ChainConfig{
+				SampleSize:     f.adaptSample,
+				Seed:           f.seed,
+				MaxGenerations: f.adaptMaxGens,
+			},
+			gsketch.AdaptConfig{
+				Sketch:           cfg,
+				DriftThreshold:   f.adaptDrift,
+				OutlierThreshold: f.adaptOutlier,
+				Baseline:         workload,
+			},
+		))
+	}
+	return opts, nil
 }
 
 // readEdgeFile loads a text or binary edge file, sniffing the "GSED" magic.

@@ -26,21 +26,44 @@
 // computed by a recursive pivot-scan over the paper's expected relative
 // error objective.
 //
-// # Usage
+// # Usage: the one-handle Engine
 //
-// Build an estimator from a sample, stream edges through it, query any
-// time:
+// Open builds the Engine — the single lifecycle-managed handle that owns
+// the estimator, the concurrency wrapper, the batch-ingest pipeline,
+// snapshot persistence, live workload capture and (optionally) adaptive
+// repartitioning. One construction path scales from the paper's bare
+// estimator to a full serving engine:
 //
 //	sample := edges[:100_000] // or a stream.Reservoir sample
-//	g, err := gsketch.New(gsketch.Config{TotalBytes: 1 << 20, Seed: 42}, sample, nil)
+//	eng, err := gsketch.Open(gsketch.Config{TotalBytes: 1 << 20, Seed: 42},
+//		gsketch.WithSample(sample),                  // partitioning sample (§4.1)
+//		gsketch.WithWorkloadSample(workload),        // §4.2 objective (optional)
+//		gsketch.WithIngest(gsketch.IngestConfig{}),  // parallel pipeline (optional)
+//		gsketch.WithSnapshotDir("/var/lib/gsketch")) // persistence home (optional)
 //	if err != nil { ... }
-//	gsketch.Populate(g, edges)
-//	resp := gsketch.Answer(g, gsketch.EdgeQuery{Src: alice, Dst: bob})
+//	defer eng.Close()
+//
+//	_ = eng.Ingest(ctx, edges...)                // context-aware, batched
+//	res := eng.Query(alice, bob)                 // bound-carrying Result
+//	resp := eng.Answer(gsketch.SubgraphQuery{Edges: qs, Agg: gsketch.Sum})
 //	fmt.Printf("%.0f ±%.0f\n", resp.Value, resp.ErrorBound)
 //
-// Passing a workload sample as the third argument of New switches the
-// partitioner to the workload-aware objective (§4.2 of the paper), which
-// improves accuracy when query popularity is skewed.
+// Exactly one bootstrap option picks the estimator: WithSample (the
+// paper's partitioned gSketch), WithGlobal (the §3.2 baseline),
+// WithRestore/WithRestoreFile (resume a snapshot) or WithEstimator (adopt
+// one built elsewhere). Everything else composes: WithAdaptive +
+// WithAutoRepartition mount the generation chain and its drift manager,
+// WithWindows the §5 time-window store, WithWorkloadRecorder the live
+// query-workload reservoir. With WithIngest, Ingest blocks with
+// backpressure (and honors ctx cancellation while blocked); TryIngest
+// never blocks and returns the typed ErrIngestQueueFull shed signal.
+// Drain waits — bounded by ctx — until accepted edges are applied; Close
+// stops the adaptive loop, drains the pipeline, and (with
+// WithSnapshotOnClose) persists a final snapshot.
+//
+// The pre-Engine free functions (New, NewConcurrent, NewIngestor, Save,
+// Load, NewChain, ...) remain as thin deprecated shims that answer
+// byte-identically; see the migration table in README.md.
 //
 // # Querying
 //
@@ -117,20 +140,19 @@
 //
 // # Serving and the workload-capture loop
 //
-// cmd/gsketch-serve (backed by internal/server) exposes the whole stack
-// over HTTP/JSON as a long-lived process: NDJSON batch ingest with
-// backpressure mapped to 429 (the non-blocking TryPush/TryPushBatch path
-// and its typed ErrIngestQueueFull), batched bound-carrying queries,
-// consistent snapshots (Save works on a live Concurrent, under all lock
-// stripes' read locks; Load reopens them), and graceful drain-then-stop
-// shutdown.
+// cmd/gsketch-serve (backed by internal/server) exposes an Engine over
+// HTTP/JSON as a long-lived process: NDJSON batch ingest with backpressure
+// mapped to 429 (Engine.TryIngest and its typed ErrIngestQueueFull),
+// batched bound-carrying queries, consistent snapshots (Engine.Save under
+// all lock stripes' read locks, Engine.Restore to swap one back in), and
+// graceful drain-then-stop shutdown via Engine.Close.
 //
-// The server also closes the paper's sample-collection loop: §4.2 assumes
+// The engine also closes the paper's sample-collection loop: §4.2 assumes
 // a query-workload sample is simply "available", and the serving layer is
-// where it actually comes from. A reservoir over the live /query traffic
-// (GET /workload) exports the sample in the exact text edge format New
-// accepts as workloadSample, so a recorded workload feeds an offline
-// rebuild with the workload-aware partitioning objective.
+// where it actually comes from. WithWorkloadRecorder mounts a reservoir
+// over served queries (exported by GET /workload and Engine.Workload) in
+// the exact text edge format WithWorkloadSample accepts, so a recorded
+// workload feeds a rebuild with the workload-aware partitioning objective.
 //
 // # Adaptive repartitioning and generation bounds
 //
@@ -149,14 +171,15 @@
 //   - confidence is a union bound: all k guarantees hold together with
 //     probability at least 1 - Σ δ_g (floored at 0).
 //
-// The loop closes as record → rebuild → swap: the serving layer records
-// live queries, a Manager measures drift (total-variation divergence of
-// the live workload against the build-time baseline, plus the outlier
-// sketch's share of routed query traffic — see RouteCounts) and on
-// threshold or on demand rebuilds from fresh samples and rotates the
+// The loop closes as record → rebuild → swap, entirely inside an adaptive
+// engine: Engine.QueryBatch records live queries, the manager measures
+// drift (total-variation divergence of the live workload against the
+// build-time baseline, plus the outlier sketch's share of routed query
+// traffic — see RouteCounts) and on threshold (WithAutoRepartition) or on
+// demand (Engine.Repartition) rebuilds from fresh samples and rotates the
 // result in as the new head. Chain snapshots serialize every generation
-// in one container ((*Chain).WriteTo / LoadChain); pre-chain snapshots
-// load unchanged as single-generation chains.
+// in one container (Engine.Save on an adaptive engine); pre-chain
+// snapshots load unchanged as single-generation chains.
 //
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)

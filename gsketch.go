@@ -68,17 +68,26 @@ type Leaf = core.Leaf
 // (nil selects the data-only objective of §4.1, non-nil the workload-aware
 // objective of §4.2). The samples steer partitioning only; populate the
 // estimator afterwards with Update.
+//
+// Deprecated: use Open(cfg, WithSample(dataSample),
+// WithWorkloadSample(workloadSample)) — the one-handle Engine owns
+// concurrency, ingest and snapshots too, and answers byte-identically.
 func New(cfg Config, dataSample, workloadSample []Edge) (*GSketch, error) {
 	return core.BuildGSketch(cfg, dataSample, workloadSample)
 }
 
 // NewGlobal builds the Global Sketch baseline with the same budget
 // semantics as New.
+//
+// Deprecated: use Open(cfg, WithGlobal()).
 func NewGlobal(cfg Config) (*GlobalSketch, error) {
 	return core.BuildGlobalSketch(cfg)
 }
 
 // NewConcurrent wraps an estimator for concurrent use.
+//
+// Deprecated: Open wraps its estimator automatically; use Open(cfg,
+// WithEstimator(est)) to adopt one built elsewhere.
 func NewConcurrent(est Estimator) *Concurrent { return core.NewConcurrent(est) }
 
 // Populate streams a slice of edges into an estimator in batches.
@@ -104,6 +113,10 @@ var ErrIngestQueueFull = ingest.ErrQueueFull
 
 // NewIngestor starts a batch-ingestion pipeline feeding est. Close (or
 // Flush) it before reading final results from est.
+//
+// Deprecated: use Open(cfg, ..., WithIngest(icfg)) — Engine.Ingest and
+// Engine.TryIngest front the same pipeline with context-aware
+// backpressure, and Engine.Close owns the drain.
 func NewIngestor(est Estimator, cfg IngestConfig) (*Ingestor, error) {
 	return ingest.New(est, cfg)
 }
@@ -114,12 +127,18 @@ func NewIngestor(est Estimator, cfg IngestConfig) (*Ingestor, error) {
 // restored sketch answers byte-identically to the live one at save time.
 // Estimators without a serialized form (GlobalSketch, custom synopses)
 // return an error.
+//
+// Deprecated: use Engine.Save (or Engine.SaveSnapshot for atomic
+// tmp+rename persistence); the byte format is identical.
 func Save(est Estimator, w io.Writer) (int64, error) { return core.Save(est, w) }
 
 // Load deserializes a gSketch previously saved with Save (or
 // (*GSketch).WriteTo — the formats are identical). Wrap the result in
 // NewConcurrent to resume serving shared traffic. Generation-chain
 // snapshots (saved from a Chain) load with LoadChain instead.
+//
+// Deprecated: use Open(cfg, WithRestore(r)) — it loads single-sketch and
+// chain snapshots alike and hands back a serving engine.
 func Load(r io.Reader) (*GSketch, error) { return core.ReadGSketch(r) }
 
 // Chain is a generation-chained estimator for adaptive repartitioning: one
@@ -138,14 +157,40 @@ type ChainConfig = adapt.ChainConfig
 // outlier sketch — the raw drift signal adaptive repartitioning watches.
 type RouteCounts = core.RouteCounts
 
+// AdaptConfig parameterizes the adaptive repartitioning manager mounted by
+// Open(..., WithAdaptive(...)): rebuild sketch configuration, drift and
+// outlier-share thresholds, minimum sample sizes and the drift baseline.
+type AdaptConfig = adapt.ManagerConfig
+
+// Drift is one evaluation of how far live traffic has moved from the
+// workload the serving partitioning was optimized for.
+type Drift = adapt.Drift
+
+// RepartitionResult reports one completed rebuild + hot swap.
+type RepartitionResult = adapt.RepartitionResult
+
+// ErrMaxGenerations reports a repartition refused because the chain is at
+// its configured generation cap.
+var ErrMaxGenerations = adapt.ErrMaxGenerations
+
+// ErrEmptyReservoir reports a rebuild refused because no stream has been
+// sampled since the last swap — ingest more, then repartition.
+var ErrEmptyReservoir = adapt.ErrEmptyReservoir
+
 // NewChain starts a generation chain with g as its only, live generation.
 // Serve it like any estimator; when the workload drifts, Repartition hot-
 // swaps a freshly partitioned generation in without forgetting the stream
 // already summarized.
+//
+// Deprecated: use Open(cfg, WithSample(...), WithAdaptive(cfg, mc)) — the
+// engine owns the chain, its repartition manager and the workload
+// recorder feeding it.
 func NewChain(g *GSketch, cfg ChainConfig) *Chain { return adapt.NewChain(g, cfg) }
 
 // LoadChain deserializes a chain saved with (*Chain).WriteTo — or a plain
 // pre-chain snapshot, which loads as a single-generation chain.
+//
+// Deprecated: use Open(cfg, WithRestore(r), WithAdaptive(cc, mc)).
 func LoadChain(r io.Reader, cfg ChainConfig) (*Chain, error) {
 	gens, err := core.ReadChain(r)
 	if err != nil {
@@ -158,14 +203,18 @@ func LoadChain(r io.Reader, cfg ChainConfig) (*Chain, error) {
 // reservoir and an optional fresh query-workload sample (nil selects the
 // data-only objective), then hot-swaps the result in as the chain's new
 // live generation. It returns the new head sketch.
+//
+// Deprecated: use Engine.Repartition — it rebuilds from the recorded live
+// workload and reports drift and swap latency.
 func Repartition(c *Chain, cfg Config, workload []Edge) (*GSketch, error) {
 	return adapt.Repartition(c, cfg, workload)
 }
 
 // EdgeQuery asks for the accumulated frequency of one directed edge. It is
 // both the unit of the batched estimator read path (EstimateBatch) and a
-// Query variant for Answer.
-type EdgeQuery = query.EdgeQuery
+// Query variant for Answer — one type end to end, so batched reads cross
+// the facade without a conversion copy.
+type EdgeQuery = core.EdgeQuery
 
 // SubgraphQuery asks for the aggregate frequency behaviour of a bag of
 // edges.
@@ -213,11 +262,7 @@ const (
 // locking (under Concurrent) and per-partition counter passes are
 // amortized across the batch.
 func EstimateBatch(est Estimator, qs []EdgeQuery) []Result {
-	cqs := make([]core.EdgeQuery, len(qs))
-	for i, q := range qs {
-		cqs[i] = core.EdgeQuery(q)
-	}
-	return est.EstimateBatch(cqs)
+	return est.EstimateBatch(qs)
 }
 
 // Answer resolves any Query — edge, subgraph or node — against an
@@ -279,9 +324,5 @@ func NewWindowStore(cfg WindowConfig) (*WindowStore, error) {
 // overlap, so the per-window counters are touched once per batch instead of
 // once per query. Values are identical to per-query WindowStore.EstimateEdge.
 func EstimateWindowBatch(s *WindowStore, qs []EdgeQuery, t1, t2 int64) []float64 {
-	cqs := make([]core.EdgeQuery, len(qs))
-	for i, q := range qs {
-		cqs[i] = core.EdgeQuery(q)
-	}
-	return s.EstimateBatch(cqs, t1, t2)
+	return s.EstimateBatch(qs, t1, t2)
 }

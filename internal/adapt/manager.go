@@ -86,16 +86,22 @@ type RepartitionResult struct {
 // built from and the live recorded workload, and rebuilds + hot-swaps a new
 // generation on threshold (via Check, typically driven by a ticker) or on
 // demand (Repartition). All methods are safe for concurrent use; rebuilds
-// are serialized.
+// are serialized, and the drift gauges (Drift, Repartitions, LastResult)
+// never wait behind an in-flight rebuild — a monitoring endpoint stays
+// responsive during the swap it is watching.
 type Manager struct {
-	cfg   ManagerConfig
-	chain *Chain
+	cfg ManagerConfig
 	// workload returns the live recorded query-workload sample (the serving
 	// layer's reservoir over /query traffic). Nil or empty disables the
 	// divergence signal; the outlier-share signal still works.
 	workload func() []stream.Edge
 
-	mu         sync.Mutex // serializes rebuilds and guards the baseline state
+	// rebuildMu serializes rebuilds and rebinds — the only lock held
+	// across a (potentially long) partitioning build.
+	rebuildMu sync.Mutex
+	// mu guards the fields below and is never held across a build.
+	mu         sync.Mutex
+	chain      *Chain
 	baseline   map[uint64]float64
 	readsBase  core.RouteCounts // head read counts at last swap (or creation)
 	lastResult *RepartitionResult
@@ -131,6 +137,8 @@ func (m *Manager) Chain() *Chain {
 // it is still serving, and none can start against a chain that has already
 // been displaced. Baseline bookkeeping resets to the new chain's state.
 func (m *Manager) Rebind(chain *Chain, baseline []stream.Edge, swap func()) {
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if swap != nil {
@@ -156,30 +164,39 @@ func (m *Manager) LastResult() *RepartitionResult {
 	return m.lastResult
 }
 
-// Drift evaluates the current drift signals without acting on them.
+// Drift evaluates the current drift signals without acting on them. It
+// never waits behind an in-flight rebuild.
 func (m *Manager) Drift() Drift {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.driftLocked()
+	d, _ := m.drift()
+	return d
 }
 
-func (m *Manager) driftLocked() Drift {
+// drift evaluates the signals under the light state lock only, and also
+// returns the live workload sample it evaluated — so a rebuild triggered
+// by this evaluation partitions for exactly the workload the reported
+// drift describes, with a single reservoir copy.
+func (m *Manager) drift() (Drift, []stream.Edge) {
 	var live []stream.Edge
 	if m.workload != nil {
 		live = m.workload()
 	}
+	m.mu.Lock()
+	chain := m.chain
+	baseline := m.baseline
+	readsBase := m.readsBase
+	m.mu.Unlock()
 	d := Drift{
 		LiveWorkload: len(live),
-		DataSample:   m.chain.SampleSize(),
+		DataSample:   chain.SampleSize(),
 	}
 	if len(live) >= m.cfg.MinWorkload {
-		d.WorkloadDivergence = divergence(m.baseline, sourceDistribution(live))
+		d.WorkloadDivergence = divergence(baseline, sourceDistribution(live))
 	}
-	now := m.chain.ReadRouteCounts()
-	if dt := now.Total - m.readsBase.Total; dt > 0 {
-		d.OutlierShare = float64(now.Outlier-m.readsBase.Outlier) / float64(dt)
+	now := chain.ReadRouteCounts()
+	if dt := now.Total - readsBase.Total; dt > 0 {
+		d.OutlierShare = float64(now.Outlier-readsBase.Outlier) / float64(dt)
 	}
-	return d
+	return d, live
 }
 
 // ShouldRepartition reports whether a drift evaluation crosses the
@@ -197,39 +214,40 @@ func (m *Manager) ShouldRepartition(d Drift) bool {
 // no-op: drift cannot be acted on, so no rebuild is attempted (and none is
 // wasted).
 func (m *Manager) Check() (*RepartitionResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.chain.AtCap() {
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+	if m.Chain().AtCap() {
 		return nil, nil
 	}
-	d := m.driftLocked()
+	d, live := m.drift()
 	if !m.ShouldRepartition(d) {
 		return nil, nil
 	}
-	return m.repartitionLocked(d)
+	return m.repartition(d, live)
 }
 
 // Repartition rebuilds and hot-swaps unconditionally (on demand), gated
 // only on a non-empty data reservoir. The live workload sample — whatever
 // its size — steers the new partitioning when present.
 func (m *Manager) Repartition() (*RepartitionResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.repartitionLocked(m.driftLocked())
+	m.rebuildMu.Lock()
+	defer m.rebuildMu.Unlock()
+	d, live := m.drift()
+	return m.repartition(d, live)
 }
 
-func (m *Manager) repartitionLocked(before Drift) (*RepartitionResult, error) {
-	var live []stream.Edge
-	if m.workload != nil {
-		live = m.workload()
-	}
+// repartition runs the rebuild + swap; the caller holds rebuildMu, so the
+// chain cannot be rebound mid-build and rebuilds are serialized. live is
+// the same sample before describes.
+func (m *Manager) repartition(before Drift, live []stream.Edge) (*RepartitionResult, error) {
+	chain := m.Chain()
 	start := time.Now()
-	g, err := Repartition(m.chain, m.cfg.Sketch, live)
+	g, err := Repartition(chain, m.cfg.Sketch, live)
 	if err != nil {
 		return nil, err
 	}
 	res := &RepartitionResult{
-		Generations:   m.chain.Generations(),
+		Generations:   chain.Generations(),
 		Partitions:    g.NumPartitions(),
 		Before:        before,
 		BuildDuration: time.Since(start),
@@ -237,10 +255,12 @@ func (m *Manager) repartitionLocked(before Drift) (*RepartitionResult, error) {
 	// The new head was optimized for today's workload: it becomes the
 	// baseline tomorrow's drift is measured against, and the outlier share
 	// restarts from the new head's (zeroed) counters.
+	m.mu.Lock()
 	m.baseline = sourceDistribution(live)
-	m.readsBase = m.chain.ReadRouteCounts()
+	m.readsBase = chain.ReadRouteCounts()
 	m.lastResult = res
 	m.repartitions++
+	m.mu.Unlock()
 	return res, nil
 }
 

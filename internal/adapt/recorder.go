@@ -1,4 +1,4 @@
-package server
+package adapt
 
 import (
 	"io"
@@ -11,10 +11,11 @@ import (
 // Recorder reservoir-samples the live query workload into the paper's
 // query-workload-sample format — a bag of edges whose source vertices are
 // the queried ones, exactly what vstats.ApplyWorkload (and therefore the
-// §4.2 workload-aware partitioning objective) consumes. A server running in
-// front of real traffic thus produces the sample the paper assumes is
-// "available" for partitioning: record for a while, export with /workload,
-// and feed the file back into an offline rebuild.
+// §4.2 workload-aware partitioning objective) consumes. An engine serving
+// real traffic thus produces the sample the paper assumes is "available"
+// for partitioning: record for a while, export the sample, and feed it
+// into a rebuild — the record → rebuild → swap loop the Manager closes
+// in-process.
 //
 // Sampling is uniform over all queries seen (Vitter's Algorithm R via
 // stream.Reservoir), so heavily queried vertices appear proportionally more
@@ -83,18 +84,7 @@ func (r *Recorder) Capacity() int {
 // time" lines) that stream.ReadTextEdges parses and BuildGSketch accepts as
 // a workloadSample — the sample-collection loop closed.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
+	cw := &stream.CountingWriter{W: w}
 	err := stream.WriteTextEdges(cw, r.Sample())
-	return cw.n, err
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return cw.N, err
 }

@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// Query is the sealed sum of the supported query kinds — EdgeQuery,
+// SubgraphQuery and NodeQuery (§3.1 of the paper). Every kind decomposes
+// into constituent edge queries and is resolved through the batched read
+// path by query.Answer / query.AnswerBatch; the unexported marker keeps the
+// set closed to this package.
+type Query interface {
+	isQuery()
+}
+
+func (EdgeQuery) isQuery() {}
+
+// Aggregate is the Γ(·) of an aggregate subgraph or node query.
+type Aggregate int
+
+// Supported aggregates. SUM is the paper's experimental default.
+const (
+	Sum Aggregate = iota
+	Min
+	Max
+	Average
+	Count
+)
+
+// String implements fmt.Stringer.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Average:
+		return "AVERAGE"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Apply folds a slice of edge frequencies with the aggregate. An empty
+// input yields 0.
+func (a Aggregate) Apply(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	switch a {
+	case Sum:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s
+	case Min:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case Max:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case Average:
+		s := 0.0
+		for _, v := range values {
+			s += v
+		}
+		return s / float64(len(values))
+	case Count:
+		return float64(len(values))
+	default:
+		panic(fmt.Sprintf("core: unknown aggregate %d", int(a)))
+	}
+}
+
+// SubgraphQuery asks for the aggregate frequency behaviour of the
+// constituent edges of a subgraph (a bag of edges, per §3.1).
+type SubgraphQuery struct {
+	Edges []EdgeQuery
+	Agg   Aggregate
+}
+
+func (SubgraphQuery) isQuery() {}
+
+// NodeQuery asks for the aggregate frequency behaviour of one source
+// vertex's edges toward an explicit destination set — the vertex-centric
+// special case of an aggregate subgraph query. Because every constituent
+// edge shares the source vertex, the whole query routes to a single
+// localized sketch and its answer carries that one partition's guarantee.
+type NodeQuery struct {
+	// Node is the shared source vertex.
+	Node uint64
+	// Out lists the destination vertices queried.
+	Out []uint64
+	// Agg is the aggregate Γ folded over the per-edge frequencies.
+	Agg Aggregate
+}
+
+func (NodeQuery) isQuery() {}

@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"context"
+
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// PushCtx is Push with cancellation: it buffers one edge, and when doing so
+// completes a batch that must be enqueued, honors ctx while blocked on a
+// full queue. On cancellation the edge stays accepted (it is re-buffered,
+// and a later push or Flush carries it through); the returned error is the
+// context's.
+func (in *Ingestor) PushCtx(ctx context.Context, e stream.Edge) error {
+	_, err := in.PushBatchCtx(ctx, []stream.Edge{e})
+	return err
+}
+
+// PushBatchCtx is PushBatch with cancellation. It copies edges into the
+// pipeline exactly like PushBatch, but a producer blocked on a full queue
+// unblocks when ctx is cancelled instead of waiting forever. It returns the
+// number of edges accepted — on a clean return, all of them.
+//
+// Cancellation never loses accepted edges: a completed batch that could not
+// be enqueued is folded back into the pending buffer, where the next push
+// or Flush moves it along. The error is ctx.Err() on cancellation,
+// ErrClosed after Close, nil otherwise.
+func (in *Ingestor) PushBatchCtx(ctx context.Context, edges []stream.Edge) (int, error) {
+	accepted := 0
+	for len(edges) > 0 {
+		if err := ctx.Err(); err != nil {
+			return accepted, err
+		}
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return accepted, ErrClosed
+		}
+		if in.pending == nil {
+			in.pending = in.bufPool.Get().([]stream.Edge)
+		}
+		room := in.cfg.BatchSize - len(in.pending)
+		if room > len(edges) {
+			room = len(edges)
+		}
+		if room > 0 {
+			in.pending = append(in.pending, edges[:room]...)
+			edges = edges[room:]
+			accepted += room
+		}
+		var full []stream.Edge
+		if len(in.pending) >= in.cfg.BatchSize {
+			full = in.pending
+			in.pending = nil
+			in.addInflight()
+		}
+		in.mu.Unlock()
+		if full != nil {
+			if err := in.sendCtx(ctx, full); err != nil {
+				return accepted, err
+			}
+		}
+	}
+	return accepted, nil
+}
+
+// sendCtx enqueues a completed batch, unblocking on ctx cancellation. A
+// cancelled send re-buffers the batch under the lock (prepended, preserving
+// arrival order as far as a concurrent producer allows) and retracts its
+// inflight registration, so no accepted edge is lost and Flush still
+// drains it.
+func (in *Ingestor) sendCtx(ctx context.Context, full []stream.Edge) error {
+	select {
+	case in.ch <- full:
+		return nil
+	case <-ctx.Done():
+	}
+	in.mu.Lock()
+	if in.closed {
+		// A racing Close is parked on this batch's inflight registration
+		// and no future push or Flush can run: re-buffering would strand
+		// the batch forever. Finish the send instead — the workers stay up
+		// until every inflight batch lands, so this blocks only until the
+		// queue drains, exactly like Close itself.
+		in.mu.Unlock()
+		in.ch <- full
+		return ctx.Err()
+	}
+	if len(in.pending) > 0 {
+		full = append(full, in.pending...)
+		in.bufPool.Put(in.pending[:0])
+	}
+	in.pending = full
+	in.mu.Unlock()
+	in.subInflight()
+	return ctx.Err()
+}
+
+// FlushCtx is Flush with cancellation: it enqueues any partial batch
+// (honoring ctx while blocked on a full queue) and waits for the pipeline
+// to drain or the context to be cancelled, whichever comes first. A
+// cancelled wait returns ctx.Err(); everything already accepted still
+// drains in the background — a partial batch whose enqueue was cut short
+// is handed to a detached sender rather than re-buffered, so it applies
+// as soon as the workers catch up, with no further traffic needed.
+func (in *Ingestor) FlushCtx(ctx context.Context) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	partial := in.pending
+	in.pending = nil
+	if len(partial) > 0 {
+		in.addInflight()
+	}
+	in.mu.Unlock()
+	if len(partial) > 0 {
+		select {
+		case in.ch <- partial:
+		case <-ctx.Done():
+			// The batch keeps its inflight registration, so Close cannot
+			// close the channel before this send lands: the flush's drain
+			// guarantee survives the caller's deadline.
+			go func() { in.ch <- partial }()
+			return ctx.Err()
+		}
+	} else if partial != nil {
+		in.bufPool.Put(partial[:0])
+	}
+	return in.waitDrainedCtx(ctx)
+}
+
+// waitDrainedCtx waits on the drain condition until inflight hits zero or
+// ctx is cancelled. context.AfterFunc pokes the condition variable on
+// cancellation so the waiter re-checks instead of sleeping through it.
+func (in *Ingestor) waitDrainedCtx(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		in.inflightMu.Lock()
+		in.drained.Broadcast()
+		in.inflightMu.Unlock()
+	})
+	defer stop()
+	in.inflightMu.Lock()
+	defer in.inflightMu.Unlock()
+	for in.inflight > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in.drained.Wait()
+	}
+	return nil
+}

@@ -201,7 +201,13 @@ func (in *Ingestor) PushBatch(edges []stream.Edge) error {
 		if in.pending == nil {
 			in.pending = in.bufPool.Get().([]stream.Edge)
 		}
+		// A cancelled PushBatchCtx may have re-buffered an over-full batch,
+		// so room can be negative: buffer nothing this round and let the
+		// enqueue below push the oversized pending through.
 		room := in.cfg.BatchSize - len(in.pending)
+		if room < 0 {
+			room = 0
+		}
 		if room > len(edges) {
 			room = len(edges)
 		}

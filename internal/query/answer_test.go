@@ -187,7 +187,7 @@ func TestEvaluateGuardsInfiniteRelativeError(t *testing.T) {
 	// overEstimator reports 5 for every edge, including zero-truth ones.
 	est := constantEstimator{5}
 
-	queries := []EdgeQuery{{1, 2}, {8, 9}} // (8,9) has zero truth
+	queries := []EdgeQuery{{Src: 1, Dst: 2}, {Src: 8, Dst: 9}} // (8,9) has zero truth
 	acc := EvaluateEdgeQueries(est, c, queries, DefaultG0)
 	if acc.Total != 1 || acc.Skipped != 1 {
 		t.Fatalf("total=%d skipped=%d, want 1/1", acc.Total, acc.Skipped)
@@ -205,8 +205,8 @@ func TestEvaluateGuardsInfiniteRelativeError(t *testing.T) {
 	// Subgraph flavour: MIN over a bag whose true minimum is zero but whose
 	// estimate is positive → truth 0, skipped; the aggregates stay finite.
 	sub := []SubgraphQuery{
-		{Edges: []EdgeQuery{{1, 2}, {8, 9}}, Agg: Min},
-		{Edges: []EdgeQuery{{1, 2}}, Agg: Sum},
+		{Edges: []EdgeQuery{{Src: 1, Dst: 2}, {Src: 8, Dst: 9}}, Agg: Min},
+		{Edges: []EdgeQuery{{Src: 1, Dst: 2}}, Agg: Sum},
 	}
 	sacc := EvaluateSubgraphQueries(est, c, sub, DefaultG0)
 	if sacc.Total != 1 || sacc.Skipped != 1 {

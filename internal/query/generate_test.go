@@ -69,7 +69,7 @@ func TestZipfSharedPermutation(t *testing.T) {
 
 	wCount := make(map[EdgeQuery]int)
 	for _, e := range workload {
-		wCount[EdgeQuery{e.Src, e.Dst}]++
+		wCount[EdgeQuery{Src: e.Src, Dst: e.Dst}]++
 	}
 	qCount := make(map[EdgeQuery]int)
 	for _, q := range queries {

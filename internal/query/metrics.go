@@ -65,11 +65,7 @@ func EvaluateEdgeQueries(est core.Estimator, exact *stream.ExactCounter, queries
 	if len(queries) == 0 {
 		return acc
 	}
-	batch := make([]core.EdgeQuery, len(queries))
-	for i, q := range queries {
-		batch[i] = core.EdgeQuery(q)
-	}
-	res := est.EstimateBatch(batch)
+	res := est.EstimateBatch(queries)
 
 	var sum float64
 	for i, q := range queries {

@@ -1,11 +1,13 @@
 // Package query implements the paper's query model (§3.1) and evaluation
-// methodology (§6.2): a sealed Query sum type covering edge queries,
-// aggregate subgraph queries with a pluggable aggregate Γ and vertex
-// aggregate (node) queries, all resolved through the batched estimator
-// read path by a single Answer entry point; plus generators for uniform
-// query sets, Zipf-skewed workload samples and BFS-grown subgraph queries,
-// and the two accuracy metrics — average relative error (Eq. 12–13) and
-// number of effective queries (Eq. 14).
+// methodology (§6.2): the sealed Query sum type (edge queries, aggregate
+// subgraph queries with a pluggable aggregate Γ and vertex aggregate (node)
+// queries — the types themselves live in internal/core so an edge query IS
+// the unit of the batched read path, with no conversion layer), all
+// resolved through the batched estimator read path by a single Answer entry
+// point; plus generators for uniform query sets, Zipf-skewed workload
+// samples and BFS-grown subgraph queries, and the two accuracy metrics —
+// average relative error (Eq. 12–13) and number of effective queries
+// (Eq. 14).
 package query
 
 import (
@@ -18,115 +20,33 @@ import (
 // Query is the sealed sum of the supported query kinds: EdgeQuery,
 // SubgraphQuery and NodeQuery. Every kind decomposes into constituent edge
 // queries and is resolved by Answer (or AnswerBatch) in one batched
-// estimator pass; the unexported marker keeps the set closed to this
-// package.
-type Query interface {
-	isQuery()
-}
+// estimator pass.
+type Query = core.Query
 
-// EdgeQuery asks for the accumulated frequency of one directed edge.
-type EdgeQuery struct {
-	Src, Dst uint64
-}
-
-func (EdgeQuery) isQuery() {}
+// EdgeQuery asks for the accumulated frequency of one directed edge. It is
+// the same type as the batched read path's unit — a []EdgeQuery feeds
+// Estimator.EstimateBatch directly, with no conversion copy.
+type EdgeQuery = core.EdgeQuery
 
 // Aggregate is the Γ(·) of an aggregate subgraph query.
-type Aggregate int
+type Aggregate = core.Aggregate
 
 // Supported aggregates. SUM is the paper's experimental default.
 const (
-	Sum Aggregate = iota
-	Min
-	Max
-	Average
-	Count
+	Sum     = core.Sum
+	Min     = core.Min
+	Max     = core.Max
+	Average = core.Average
+	Count   = core.Count
 )
-
-// String implements fmt.Stringer.
-func (a Aggregate) String() string {
-	switch a {
-	case Sum:
-		return "SUM"
-	case Min:
-		return "MIN"
-	case Max:
-		return "MAX"
-	case Average:
-		return "AVERAGE"
-	case Count:
-		return "COUNT"
-	default:
-		return fmt.Sprintf("Aggregate(%d)", int(a))
-	}
-}
-
-// Apply folds a slice of edge frequencies with the aggregate. An empty
-// input yields 0.
-func (a Aggregate) Apply(values []float64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
-	switch a {
-	case Sum:
-		s := 0.0
-		for _, v := range values {
-			s += v
-		}
-		return s
-	case Min:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v < m {
-				m = v
-			}
-		}
-		return m
-	case Max:
-		m := values[0]
-		for _, v := range values[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		return m
-	case Average:
-		s := 0.0
-		for _, v := range values {
-			s += v
-		}
-		return s / float64(len(values))
-	case Count:
-		return float64(len(values))
-	default:
-		panic(fmt.Sprintf("query: unknown aggregate %d", int(a)))
-	}
-}
 
 // SubgraphQuery asks for the aggregate frequency behaviour of the
 // constituent edges of a subgraph (a bag of edges, per §3.1).
-type SubgraphQuery struct {
-	Edges []EdgeQuery
-	Agg   Aggregate
-}
-
-func (SubgraphQuery) isQuery() {}
+type SubgraphQuery = core.SubgraphQuery
 
 // NodeQuery asks for the aggregate frequency behaviour of one source
-// vertex's edges toward an explicit destination set — the vertex-centric
-// special case of an aggregate subgraph query. Because every constituent
-// edge shares the source vertex, the whole query routes to a single
-// localized sketch and its answer carries that one partition's guarantee.
-type NodeQuery struct {
-	// Node is the shared source vertex.
-	Node uint64
-	// Out lists the destination vertices queried.
-	Out []uint64
-	// Agg is the aggregate Γ folded over the per-edge frequencies.
-	Agg Aggregate
-}
-
-func (NodeQuery) isQuery() {}
+// vertex's edges toward an explicit destination set.
+type NodeQuery = core.NodeQuery
 
 // Response is a resolved Query: the aggregate value plus the per-edge
 // batched results it folded and the combined accuracy guarantee.
@@ -154,19 +74,16 @@ type Response struct {
 func appendConstituents(dst []core.EdgeQuery, q Query) []core.EdgeQuery {
 	switch q := q.(type) {
 	case EdgeQuery:
-		return append(dst, core.EdgeQuery(q))
+		return append(dst, q)
 	case SubgraphQuery:
-		for _, e := range q.Edges {
-			dst = append(dst, core.EdgeQuery(e))
-		}
-		return dst
+		return append(dst, q.Edges...)
 	case NodeQuery:
 		for _, d := range q.Out {
 			dst = append(dst, core.EdgeQuery{Src: q.Node, Dst: d})
 		}
 		return dst
 	default:
-		// Unreachable: Query is sealed to this package's types.
+		// Unreachable: Query is sealed to the core package's types.
 		panic(fmt.Sprintf("query: unknown query kind %T", q))
 	}
 }

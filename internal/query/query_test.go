@@ -76,7 +76,7 @@ func TestEstimateSubgraph(t *testing.T) {
 	c.Observe(stream.Edge{Src: 2, Dst: 3, Weight: 20})
 	est := exactEstimator{c}
 	q := SubgraphQuery{
-		Edges: []EdgeQuery{{1, 2}, {2, 3}},
+		Edges: []EdgeQuery{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}},
 		Agg:   Sum,
 	}
 	if got := EstimateSubgraph(est, q); got != 30 {
@@ -114,7 +114,7 @@ func TestEvaluateSkipsZeroTruth(t *testing.T) {
 	c := stream.NewExactCounter()
 	c.Observe(stream.Edge{Src: 1, Dst: 2, Weight: 5})
 	est := exactEstimator{c}
-	queries := []EdgeQuery{{1, 2}, {9, 9}}
+	queries := []EdgeQuery{{Src: 1, Dst: 2}, {Src: 9, Dst: 9}}
 	acc := EvaluateEdgeQueries(est, c, queries, DefaultG0)
 	if acc.Total != 1 || acc.Skipped != 1 {
 		t.Errorf("total=%d skipped=%d, want 1/1", acc.Total, acc.Skipped)
@@ -146,7 +146,7 @@ func TestEvaluateMetricsArithmetic(t *testing.T) {
 	c.Observe(stream.Edge{Src: 1, Dst: 2, Weight: 10})
 	c.Observe(stream.Edge{Src: 3, Dst: 4, Weight: 10})
 	est := biasedEstimator{c, 3} // relative error = 2 everywhere
-	queries := []EdgeQuery{{1, 2}, {3, 4}}
+	queries := []EdgeQuery{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}
 	acc := EvaluateEdgeQueries(est, c, queries, DefaultG0)
 	if acc.AvgRelErr != 2 {
 		t.Errorf("ARE = %v, want 2", acc.AvgRelErr)
@@ -184,7 +184,7 @@ func TestEvaluateFiltered(t *testing.T) {
 	c.Observe(stream.Edge{Src: 1, Dst: 2, Weight: 10})
 	c.Observe(stream.Edge{Src: 3, Dst: 4, Weight: 10})
 	est := exactEstimator{c}
-	queries := []EdgeQuery{{1, 2}, {3, 4}}
+	queries := []EdgeQuery{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}
 	acc := EvaluateEdgeQueriesFiltered(est, c, queries, DefaultG0, func(q EdgeQuery) bool {
 		return q.Src == 1
 	})

@@ -199,3 +199,71 @@ func TestNonAdaptiveServerRefusesChainSnapshot(t *testing.T) {
 		t.Fatalf("repartition on non-adaptive server: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// Shutdown must stop the adapt auto-trigger goroutine before the final
+// snapshot (the engine's Close ordering), so a rebuild can never race the
+// save. Run under -race in CI: the auto loop ticks aggressively, manual
+// repartitions and ingest stay in flight, and the shutdown snapshot must
+// come out a loadable, consistent chain.
+func TestShutdownDuringAutoRepartition(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "final-chain.gsk")
+	edges := testStream(20000, 59)
+	srv, ts := newTestServer(t, Config{
+		Estimator:    newTestChain(t, edges[:1500]),
+		SnapshotPath: snap,
+		Adapt: adapt.ManagerConfig{
+			Sketch:         testSketchConfig(),
+			DriftThreshold: 0.01,
+			MinWorkload:    8,
+			MinData:        8,
+		},
+		AdaptInterval:      time.Millisecond,
+		SnapshotOnShutdown: true,
+	})
+
+	ingestAll(t, ts.URL, edges[:5000])
+	var qs []core.EdgeQuery
+	for i := 0; i < 64; i++ {
+		qs = append(qs, core.EdgeQuery{Src: uint64(1 << 41), Dst: uint64(i)})
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // keep drift high and swaps firing while shutdown lands
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			queryBatch(t, ts.URL, qs)
+			postIngest(t, ts.URL, edges[5000+(i*100)%10000:5000+(i*100)%10000+100], false)
+			resp, err := http.Post(ts.URL+"/repartition", "application/json", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	time.Sleep(15 * time.Millisecond) // let the auto loop overlap the traffic
+	if err := srv.Close(); err != nil {
+		t.Fatalf("shutdown during auto repartition: %v", err)
+	}
+	close(stop)
+	<-done
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+	defer f.Close()
+	gens, err := core.ReadChain(f)
+	if err != nil {
+		t.Fatalf("final snapshot unreadable: %v", err)
+	}
+	if len(gens) < 1 {
+		t.Fatalf("final snapshot carries no generations")
+	}
+}

@@ -5,16 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
-	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"github.com/graphstream/gsketch/internal/adapt"
-	"github.com/graphstream/gsketch/internal/core"
-	"github.com/graphstream/gsketch/internal/ingest"
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
@@ -28,31 +25,31 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
 	mux.HandleFunc("POST /snapshot/restore", s.handleSnapshotRestore)
-	if s.rec != nil {
+	if s.eng.RecordsWorkload() {
 		mux.HandleFunc("GET /workload", s.handleWorkload)
 	}
-	if s.cfg.Window != nil {
+	if s.eng.HasWindow() {
 		mux.HandleFunc("POST /query/window", s.handleWindowQuery)
 	}
-	if s.mgr != nil {
+	if s.eng.Adaptive() {
 		mux.HandleFunc("POST /repartition", s.handleRepartition)
 	}
 	return mux
 }
 
-// handleRepartition rebuilds the partitioning from the chain's live data
+// handleRepartition rebuilds the partitioning from the engine's live data
 // reservoir and the recorded query workload, and hot-swaps the result in as
 // a new sketch generation — the on-demand end of the record → rebuild →
-// swap loop (the auto-trigger end is Config.AdaptInterval).
+// swap loop (the auto-trigger end is the engine's WithAutoRepartition).
 func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	s.stats.repartitionRequests.Add(1)
-	res, err := s.mgr.Repartition()
+	res, err := s.eng.Repartition()
 	if err != nil {
 		code := http.StatusInternalServerError
 		// Both are client-retriable states, not server faults: the
 		// generation cap needs an operator decision, an empty reservoir
 		// just needs more stream before the next attempt.
-		if errors.Is(err, adapt.ErrMaxGenerations) || errors.Is(err, adapt.ErrEmptyReservoir) {
+		if errors.Is(err, gsketch.ErrMaxGenerations) || errors.Is(err, gsketch.ErrEmptyReservoir) {
 			code = http.StatusConflict
 		}
 		writeError(w, code, "repartition: %v", err)
@@ -74,10 +71,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleIngest accepts an NDJSON edge batch and hands it to the pipeline
+// handleIngest accepts an NDJSON edge batch and hands it to the engine
 // without ever blocking the handler on a full queue: backpressure becomes
 // HTTP 429 with the accepted prefix length, so clients retry only what was
-// shed. ?sync=1 additionally flushes before replying (read-your-writes).
+// shed. ?sync=1 additionally drains before replying (read-your-writes).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.ingestRequests.Add(1)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -91,19 +88,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "ingest: %v", err)
 		return
 	}
-	// The engine read lock is held across the (non-blocking) push so a
-	// concurrent snapshot restore cannot swap the engine between the ack
-	// and the enqueue — every 200-acked edge lands in the engine that
-	// serves subsequent queries, not a displaced pipeline.
-	s.mu.RLock()
-	eng := s.eng
-	accepted, err := eng.ing.TryPushBatch(edges)
-	s.mu.RUnlock()
+	// TryIngest holds the engine's state read lock across the push, so a
+	// concurrent snapshot restore cannot swap the pipeline between the ack
+	// and the enqueue — every 200-acked edge lands in the engine state
+	// that serves subsequent queries.
+	accepted, err := s.eng.TryIngest(edges)
 	s.stats.edgesAccepted.Add(int64(accepted))
-	s.observeWindow(edges[:accepted])
 	rejected := len(edges) - accepted
 	switch {
-	case errors.Is(err, ingest.ErrClosed):
+	case errors.Is(err, gsketch.ErrEngineClosed):
 		// The accepted prefix (if any) was still taken by the pipeline;
 		// report it so a retrying client does not double-send it.
 		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
@@ -112,7 +105,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Error:    "ingest pipeline closed",
 		})
 		return
-	case errors.Is(err, ingest.ErrQueueFull):
+	case errors.Is(err, gsketch.ErrIngestQueueFull):
 		s.stats.edgesRejected.Add(int64(rejected))
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ingestResponse{
@@ -126,7 +119,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("sync") != "" {
-		if err := s.flushBounded(r, eng); err != nil {
+		if err := s.drainBounded(r); err != nil {
 			writeError(w, http.StatusServiceUnavailable, "ingest: flush: %v", err)
 			return
 		}
@@ -134,43 +127,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
 }
 
-// flushBounded flushes the pipeline with a deadline: Ingestor.Flush waits
-// on the global drain condition, which under sustained ingest traffic may
-// not quiesce — a handler must not hang on it indefinitely. The flush
-// goroutine itself runs to completion either way; only the wait is bounded
-// (by Config.FlushTimeout and the client disconnecting).
-func (s *Server) flushBounded(r *http.Request, eng *engine) error {
+// drainBounded drains the engine pipeline with a deadline: the drain
+// condition is global, and under sustained ingest traffic it may not
+// quiesce — a handler must not hang on it indefinitely.
+func (s *Server) drainBounded(r *http.Request) error {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FlushTimeout)
 	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- eng.ing.Flush() }()
-	select {
-	case err := <-done:
-		if err != nil && !errors.Is(err, ingest.ErrClosed) {
-			return err
-		}
+	err := s.eng.Drain(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errors.New("drain did not quiesce: " + err.Error())
+	}
+	if errors.Is(err, gsketch.ErrEngineClosed) {
 		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("drain did not quiesce: %w", ctx.Err())
 	}
-}
-
-// observeWindow feeds accepted edges to the optional window store. The
-// store is single-writer, so access is serialized; ordering violations are
-// the client's (the store requires nondecreasing window indices) and are
-// swallowed after counting — the primary estimator already absorbed the
-// edges.
-func (s *Server) observeWindow(edges []stream.Edge) {
-	if s.cfg.Window == nil || len(edges) == 0 {
-		return
-	}
-	s.winMu.Lock()
-	_ = s.cfg.Window.ObserveBatch(edges)
-	s.winMu.Unlock()
+	return err
 }
 
 // handleQuery answers a batch of edge queries with the bound-carrying
-// batched read path and records the batch into the workload reservoir.
+// batched read path; the engine records the batch into the workload
+// reservoir.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.queryRequests.Add(1)
 	var req queryRequest
@@ -183,18 +158,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query: empty batch")
 		return
 	}
-	eng := s.engine()
 	if req.Sync {
-		if err := s.flushBounded(r, eng); err != nil {
+		if err := s.drainBounded(r); err != nil {
 			writeError(w, http.StatusServiceUnavailable, "query: flush: %v", err)
 			return
 		}
 	}
 	qs := toEdgeQueries(req.Queries)
-	if s.rec != nil {
-		s.rec.Record(qs)
-	}
-	results := eng.est.EstimateBatch(qs)
+	results := s.eng.QueryBatch(qs)
 	s.stats.queriesAnswered.Add(int64(len(results)))
 	resp := queryResponse{Results: make([]resultJSON, len(results))}
 	for i, res := range results {
@@ -225,25 +196,25 @@ func (s *Server) handleWindowQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "window query: empty batch")
 		return
 	}
-	qs := toEdgeQueries(req.Queries)
-	s.winMu.Lock()
-	values := s.cfg.Window.EstimateBatch(qs, req.T1, req.T2)
-	s.winMu.Unlock()
+	values, err := s.eng.QueryWindow(toEdgeQueries(req.Queries), req.T1, req.T2)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "window query: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, windowQueryResponse{Values: values})
 }
 
 // handleSnapshotGet streams the serialized sketch, snapshotted under the
 // striped read locks, directly to the client.
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
-	eng := s.engine()
 	// Write through a counter so an error before the first byte (an
 	// estimator without a serial form, say) can still become a clean 500
 	// instead of a 200 with an empty body the client mistakes for a
 	// snapshot.
 	w.Header().Set("Content-Type", "application/octet-stream")
-	cw := &countingWriter{w: w}
-	if _, err := eng.est.WriteTo(cw); err != nil {
-		if cw.n == 0 {
+	cw := &stream.CountingWriter{W: w}
+	if _, err := s.eng.Save(cw); err != nil {
+		if cw.N == 0 {
 			// Headers not sent yet: writeError still owns the status line.
 			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 			return
@@ -256,33 +227,28 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshotSave persists a snapshot to disk. The target path comes
-// from the JSON body or falls back to the configured SnapshotPath.
+// from the JSON body or falls back to the engine's configured path.
 func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
 	path, ok := s.snapshotPath(w, r)
 	if !ok {
 		return
 	}
-	n, err := s.saveSnapshot(path)
+	n, err := s.eng.SaveSnapshot(path)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot save: %v", err)
 		return
 	}
+	s.stats.snapshotsSaved.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"path": path, "bytes": n})
 }
 
 // handleSnapshotRestore swaps the serving state for a snapshot, read from
 // the raw request body (Content-Type: application/octet-stream) or from a
-// path on disk.
+// path on disk. The engine owns the swap semantics: an adaptive engine
+// restores any snapshot as a chain and rebinds its manager; a non-adaptive
+// engine refuses multi-generation snapshots; a windowed engine refuses all
+// restores (snapshots carry no window state).
 func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
-	// Snapshots carry no window-store state, so swapping the estimator
-	// under a mounted window store would leave /query and /query/window
-	// answering from different histories. Refuse loudly; restore into a
-	// fresh process without -window-span instead.
-	if s.cfg.Window != nil {
-		writeError(w, http.StatusConflict,
-			"snapshot restore: refused while a window store is mounted (snapshots do not carry window state)")
-		return
-	}
 	var src io.Reader
 	var from string
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
@@ -301,34 +267,45 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 		defer f.Close()
 		src, from = f, path
 	}
-	gens, err := core.ReadChain(src)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "snapshot restore from %s: %v", from, err)
+	if err := s.eng.Restore(src); err != nil {
+		// Default to a server fault: non-sentinel failures (a displaced
+		// pipeline that would not drain, say) can arrive after the swap
+		// took effect, and a 4xx would wrongly invite a blind retry.
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, gsketch.ErrBadSnapshot):
+			code = http.StatusBadRequest
+		case errors.Is(err, gsketch.ErrNotAdaptive), errors.Is(err, gsketch.ErrWindowMounted):
+			// The snapshot may be fine; this server just cannot serve it.
+			code = http.StatusConflict
+		case errors.Is(err, gsketch.ErrEngineClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "snapshot restore from %s: %v", from, err)
 		return
 	}
-	eng, err := s.restoreSnapshot(gens)
-	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, errNotAdaptive) {
-			// The snapshot is fine; this server just cannot serve it.
-			code = http.StatusConflict
-		}
-		writeError(w, code, "snapshot restore: %v", err)
-		return
+	s.stats.snapshotsRestored.Add(1)
+	st := s.eng.Stats()
+	// The reply reports localized-sketch partitions (like the pre-Engine
+	// server), not shard count — the two differ by the outlier shard.
+	partitions := st.Partitions
+	if g := s.eng.Sketch(); g != nil {
+		partitions = g.NumPartitions()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"restored":     from,
-		"generations":  len(gens),
-		"partitions":   gens[len(gens)-1].NumPartitions(),
-		"stream_total": eng.est.Count(),
+		"generations":  s.eng.Generations(),
+		"partitions":   partitions,
+		"stream_total": st.StreamTotal,
 	})
 }
 
-// snapshotPath resolves the snapshot path from the request body or config,
-// writing the error reply itself when none is usable. A request-supplied
-// path is confined to the directory of Config.SnapshotPath: without the
-// restriction, any HTTP client could write (save clobbers via rename) or
-// probe (restore opens) arbitrary filesystem paths the process can reach.
+// snapshotPath resolves the snapshot path from the request body or the
+// engine default, writing the error reply itself when none is usable. A
+// request-supplied path is confined to the directory of the engine's
+// snapshot path: without the restriction, any HTTP client could write
+// (save clobbers via rename) or probe (restore opens) arbitrary filesystem
+// paths the process can reach.
 func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, bool) {
 	var req snapshotRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -336,18 +313,19 @@ func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, b
 		writeError(w, http.StatusBadRequest, "snapshot: %v", err)
 		return "", false
 	}
+	deflt := s.eng.SnapshotPath()
 	if req.Path == "" {
-		if s.cfg.SnapshotPath == "" {
-			writeError(w, http.StatusBadRequest, "snapshot: no path (set Config.SnapshotPath or pass {\"path\": ...})")
+		if deflt == "" {
+			writeError(w, http.StatusBadRequest, "snapshot: no path (configure a snapshot path or pass {\"path\": ...})")
 			return "", false
 		}
-		return s.cfg.SnapshotPath, true
+		return deflt, true
 	}
-	if s.cfg.SnapshotPath == "" {
-		writeError(w, http.StatusForbidden, "snapshot: request paths are disabled (no Config.SnapshotPath to confine them to)")
+	if deflt == "" {
+		writeError(w, http.StatusForbidden, "snapshot: request paths are disabled (no configured snapshot path to confine them to)")
 		return "", false
 	}
-	allowedDir, err := filepath.Abs(filepath.Dir(s.cfg.SnapshotPath))
+	allowedDir, err := filepath.Abs(filepath.Dir(deflt))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return "", false
@@ -364,53 +342,52 @@ func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, b
 // edge format the partitioning builder consumes.
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = s.rec.WriteTo(w)
+	_, _ = s.eng.WriteWorkloadTo(w)
 }
 
-// handleStats reports the expvar counters plus live gauges of the engine,
-// queue and snapshot age.
+// handleStats reports the expvar counters plus the engine's live gauges.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	eng := s.engine()
+	es := s.eng.Stats()
 	now := s.cfg.Now()
 	stats := map[string]any{
-		"uptime_seconds":  now.Sub(s.start).Seconds(),
-		"stream_total":    eng.est.Count(),
-		"partitions":      eng.est.NumShards(),
-		"memory_bytes":    eng.est.MemoryBytes(),
-		"edges_applied":   eng.ing.Edges(),
-		"batches_applied": eng.ing.Batches(),
-		"queue_depth":     eng.ing.QueueDepth(),
-		"queue_cap":       eng.ing.QueueCap(),
-		"inflight":        eng.ing.Inflight(),
-		"pending_edges":   eng.ing.Pending(),
+		"uptime_seconds": now.Sub(s.start).Seconds(),
+		"stream_total":   es.StreamTotal,
+		"partitions":     es.Partitions,
+		"memory_bytes":   es.MemoryBytes,
 	}
-	if s.rec != nil {
-		stats["workload_seen"] = s.rec.Seen()
-		stats["workload_sample"] = s.rec.Len()
-		stats["workload_capacity"] = s.rec.Capacity()
+	if es.Ingest != nil {
+		stats["edges_applied"] = es.Ingest.EdgesApplied
+		stats["batches_applied"] = es.Ingest.BatchesApplied
+		stats["queue_depth"] = es.Ingest.QueueDepth
+		stats["queue_cap"] = es.Ingest.QueueCap
+		stats["inflight"] = es.Ingest.Inflight
+		stats["pending_edges"] = es.Ingest.PendingEdges
+	}
+	if es.Workload != nil {
+		stats["workload_seen"] = es.Workload.Seen
+		stats["workload_sample"] = es.Workload.Sample
+		stats["workload_capacity"] = es.Workload.Capacity
 	}
 	// Routing observability: per-partition hit counts and the outlier
 	// share, split by direction — the raw signal adaptive repartitioning
 	// watches.
-	if rs, ok := eng.est.(core.RouteStatsSource); ok {
-		reads, writes := rs.ReadRouteCounts(), rs.WriteRouteCounts()
-		stats["route_read_hits"] = reads.Partitions
-		stats["route_read_outlier"] = reads.Outlier
-		stats["route_read_outlier_share"] = reads.OutlierShare()
-		stats["route_write_hits"] = writes.Partitions
-		stats["route_write_outlier"] = writes.Outlier
-		stats["route_write_outlier_share"] = writes.OutlierShare()
+	if es.ReadRoutes != nil && es.WriteRoutes != nil {
+		stats["route_read_hits"] = es.ReadRoutes.Partitions
+		stats["route_read_outlier"] = es.ReadRoutes.Outlier
+		stats["route_read_outlier_share"] = es.ReadRoutes.OutlierShare()
+		stats["route_write_hits"] = es.WriteRoutes.Partitions
+		stats["route_write_outlier"] = es.WriteRoutes.Outlier
+		stats["route_write_outlier_share"] = es.WriteRoutes.OutlierShare()
 	}
-	if s.mgr != nil && eng.chain != nil {
-		d := s.mgr.Drift()
-		stats["generations"] = eng.chain.Generations()
-		stats["repartitions"] = s.mgr.Repartitions()
-		stats["drift_workload_divergence"] = d.WorkloadDivergence
-		stats["drift_outlier_share"] = d.OutlierShare
-		stats["adapt_data_sample"] = d.DataSample
+	if es.Adapt != nil {
+		stats["generations"] = es.Adapt.Generations
+		stats["repartitions"] = es.Adapt.Repartitions
+		stats["drift_workload_divergence"] = es.Adapt.Drift.WorkloadDivergence
+		stats["drift_outlier_share"] = es.Adapt.Drift.OutlierShare
+		stats["adapt_data_sample"] = es.Adapt.Drift.DataSample
 	}
-	if ns := s.snapNanos.Load(); ns > 0 {
-		stats["snapshot_age_seconds"] = float64(now.UnixNano()-ns) / 1e9
+	if !es.LastSnapshot.IsZero() {
+		stats["snapshot_age_seconds"] = now.Sub(es.LastSnapshot).Seconds()
 	} else {
 		stats["snapshot_age_seconds"] = -1.0
 	}

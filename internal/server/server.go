@@ -1,8 +1,9 @@
-// Package server is the serving subsystem: it wires the batch-ingest
-// pipeline (ingest.Ingestor) and the striped-lock estimator
-// (core.Concurrent) behind an HTTP/JSON API, owning the whole runtime
-// lifecycle — backpressure, snapshot persistence, live workload capture and
-// graceful drain-then-stop shutdown.
+// Package server is the HTTP serving subsystem: a thin frontend over
+// gsketch.Engine — the one-handle facade owning the estimator, the batch
+// ingest pipeline, snapshot persistence, live workload capture and
+// adaptive repartitioning. The server contributes the wire protocol,
+// request hygiene, HTTP error mapping and expvar counters; every stateful
+// concern lives in the engine.
 //
 // Endpoints:
 //
@@ -22,9 +23,9 @@
 //	                       edge format BuildGSketch accepts
 //	POST /repartition      rebuild the partitioning from live samples and
 //	                       hot-swap it in as a new sketch generation (when
-//	                       the estimator is an adapt.Chain)
+//	                       the engine is adaptive)
 //	GET  /healthz          liveness
-//	GET  /stats            expvar counters + live gauges
+//	GET  /stats            expvar counters + live engine gauges
 //
 // The server is embeddable: New + Handler slot into any http.Server or
 // test harness; ListenAndServe/Serve + Shutdown run it standalone.
@@ -36,58 +37,68 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
-	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/window"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Estimator is the estimator to serve (required). A *core.Concurrent is
-	// used as-is; anything else is wrapped in one, so handlers always go
-	// through the striped locks.
+	// Engine is the serving engine, constructed with gsketch.Open. When
+	// nil, the deprecated wiring fields below are assembled into one —
+	// the pre-Engine construction path, kept so embedders keep compiling.
+	Engine *gsketch.Engine
+
+	// Estimator is the estimator to serve. A *core.Concurrent or
+	// *adapt.Chain is used as-is; anything else is wrapped so handlers
+	// always go through the striped locks.
+	//
+	// Deprecated: build an Engine with gsketch.Open(cfg,
+	// gsketch.WithEstimator(est), ...) and set Engine instead.
 	Estimator core.Estimator
 	// Ingest parameterizes the batch pipeline between POST /ingest and the
 	// estimator. The zero value selects the ingest package defaults.
+	//
+	// Deprecated: gsketch.WithIngest.
 	Ingest ingest.Config
 	// SnapshotPath is the default target of POST /snapshot/save and the
 	// default source of POST /snapshot/restore.
+	//
+	// Deprecated: gsketch.WithSnapshotFile / gsketch.WithSnapshotDir.
 	SnapshotPath string
-	// SnapshotOnShutdown saves a final snapshot to SnapshotPath during
-	// Shutdown, after the ingest queue drains.
+	// SnapshotOnShutdown saves a final snapshot to the snapshot path
+	// during Shutdown, after the adaptive loop stops and the ingest queue
+	// drains.
 	SnapshotOnShutdown bool
 	// WorkloadSampleSize is the reservoir capacity of the live workload
 	// recorder (default 4096; negative disables recording).
+	//
+	// Deprecated: gsketch.WithWorkloadRecorder.
 	WorkloadSampleSize int
 	// WorkloadSeed makes the workload reservoir deterministic.
 	WorkloadSeed uint64
 	// Window optionally mounts POST /query/window over a windowed store.
-	// Ingested edges are observed by the store synchronously in the ingest
-	// handler (the store is not safe for concurrent use; the server
-	// serializes access).
+	//
+	// Deprecated: gsketch.WithWindows / gsketch.WithWindowStore.
 	Window *window.Store
-	// Adapt configures the adaptive repartitioning manager, which is
-	// mounted (with POST /repartition and the drift gauges in /stats)
-	// whenever Estimator is an *adapt.Chain. Rebuilt generations use
-	// Adapt.Sketch; the zero value leaves every threshold at the adapt
-	// package defaults but makes rebuilds impossible (an invalid sketch
-	// config), so set Adapt.Sketch when serving a chain.
+	// Adapt configures the adaptive repartitioning manager, applied when
+	// Estimator is an *adapt.Chain.
+	//
+	// Deprecated: gsketch.WithAdaptive.
 	Adapt adapt.ManagerConfig
-	// AdaptInterval enables the auto-trigger loop: drift is evaluated every
-	// interval and a rebuild + hot swap fires when a threshold is crossed.
-	// 0 leaves repartitioning on-demand only (POST /repartition).
+	// AdaptInterval enables the drift auto-trigger loop.
+	//
+	// Deprecated: gsketch.WithAutoRepartition.
 	AdaptInterval time.Duration
+
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// FlushTimeout bounds the wait of sync requests (?sync=1 ingests and
@@ -114,40 +125,46 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// serveEstimator is what the handlers need from the serving estimator:
-// the batched estimator surface, a consistent snapshot, and the shard
-// gauge. Both *core.Concurrent and *adapt.Chain satisfy it.
-type serveEstimator interface {
-	core.Estimator
-	io.WriterTo
-	NumShards() int
-}
-
-// engine is the swappable serving state: the estimator and the pipeline
-// feeding it. Snapshot restore builds a fresh engine and swaps it in.
-type engine struct {
-	est serveEstimator
-	ing *ingest.Ingestor
-	// chain is non-nil when est is an adaptive generation chain; the
-	// repartitioning manager acts on it.
-	chain *adapt.Chain
+// buildEngine assembles an Engine from the deprecated wiring fields — the
+// legacy construction path, expressed as one gsketch.Open call.
+func (c Config) buildEngine() (*gsketch.Engine, error) {
+	if c.Estimator == nil {
+		return nil, errors.New("server: nil estimator (set Config.Engine or Config.Estimator)")
+	}
+	opts := []gsketch.Option{
+		gsketch.WithEstimator(c.Estimator),
+		gsketch.WithIngest(c.Ingest),
+		gsketch.WithClock(c.Now),
+	}
+	if c.WorkloadSampleSize > 0 {
+		opts = append(opts, gsketch.WithWorkloadRecorder(c.WorkloadSampleSize, c.WorkloadSeed))
+	}
+	if c.Window != nil {
+		opts = append(opts, gsketch.WithWindowStore(c.Window))
+	}
+	if chain, ok := c.Estimator.(*adapt.Chain); ok {
+		opts = append(opts, gsketch.WithAdaptive(chain.Config(), c.Adapt))
+		if c.AdaptInterval > 0 {
+			opts = append(opts, gsketch.WithAutoRepartition(c.AdaptInterval, nil))
+		}
+	}
+	if c.SnapshotPath != "" {
+		opts = append(opts, gsketch.WithSnapshotFile(c.SnapshotPath))
+	}
+	// The sketch config only steers estimator construction, which
+	// WithEstimator bypasses — adaptive rebuild configs come in through
+	// Config.Adapt.Sketch (a zero value keeps rebuilds impossible, as the
+	// pre-Engine server documented).
+	return gsketch.Open(gsketch.Config{}, opts...)
 }
 
 // Server is the serving runtime. Create with New; all exported methods are
 // safe for concurrent use.
 type Server struct {
 	cfg   Config
+	eng   *gsketch.Engine
 	mux   *http.ServeMux
 	stats *counters
-	rec   *Recorder      // nil when recording is disabled
-	mgr   *adapt.Manager // nil when the estimator is not a chain
-
-	mu  sync.RWMutex // guards eng swap (snapshot restore)
-	eng *engine
-
-	autoStop chan struct{} // stops the auto-repartition loop; nil when off
-
-	winMu sync.Mutex // serializes window-store access
 
 	// httpSrv is created in New (not lazily in Serve) so a Shutdown racing
 	// startup still stops the listener: http.Server.Shutdown before Serve
@@ -155,42 +172,31 @@ type Server struct {
 	httpSrv *http.Server
 
 	start     time.Time
-	snapNanos atomic.Int64 // unix nanos of the last snapshot save/restore
 	closing   atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// New builds a server around an estimator. The server owns the ingest
-// pipeline it creates; callers must not push to the estimator directly
-// while the server runs.
+// New builds a server around an engine (or, on the deprecated path, an
+// estimator). The server owns the engine lifecycle: Shutdown stops the
+// adaptive loop, drains the pipeline and optionally persists a final
+// snapshot. Callers must not push to the estimator directly while the
+// server runs.
 func New(cfg Config) (*Server, error) {
-	if cfg.Estimator == nil {
-		return nil, errors.New("server: nil estimator")
-	}
 	cfg = cfg.withDefaults()
-	eng, err := newEngine(cfg.Estimator, cfg.Ingest)
-	if err != nil {
-		return nil, err
+	eng := cfg.Engine
+	if eng == nil {
+		var err error
+		eng, err = cfg.buildEngine()
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:   cfg,
-		stats: newCounters(),
 		eng:   eng,
+		stats: newCounters(),
 		start: cfg.Now(),
-	}
-	if cfg.WorkloadSampleSize > 0 {
-		now := func() int64 { return s.cfg.Now().Unix() }
-		s.rec = NewRecorder(cfg.WorkloadSampleSize, cfg.WorkloadSeed, now)
-	}
-	if eng.chain != nil {
-		// The manager reads the live workload straight from the recorder
-		// reservoir — the record → rebuild → swap loop closed in-process.
-		s.mgr = adapt.NewManager(eng.chain, s.recordedWorkload, cfg.Adapt)
-		if cfg.AdaptInterval > 0 {
-			s.autoStop = make(chan struct{})
-			go s.mgr.Run(cfg.AdaptInterval, s.autoStop, nil)
-		}
 	}
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{
@@ -202,43 +208,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func newEngine(est core.Estimator, icfg ingest.Config) (*engine, error) {
-	var se serveEstimator
-	var chain *adapt.Chain
-	switch v := est.(type) {
-	case *adapt.Chain:
-		// The chain owns its own synchronization (a Concurrent per
-		// generation); wrapping it again would serialize every reader and
-		// writer behind one mutex.
-		se, chain = v, v
-	case *core.Concurrent:
-		se = v
-	default:
-		se = core.NewConcurrent(est)
-	}
-	ing, err := ingest.New(se, icfg)
-	if err != nil {
-		return nil, err
-	}
-	return &engine{est: se, ing: ing, chain: chain}, nil
-}
-
-// recordedWorkload is the manager's live workload source: the recorder's
-// current reservoir sample, or nil when recording is disabled.
-func (s *Server) recordedWorkload() []stream.Edge {
-	if s.rec == nil {
-		return nil
-	}
-	return s.rec.Sample()
-}
-
-// engine returns the current serving state under the read lock.
-func (s *Server) engine() *engine {
-	s.mu.RLock()
-	e := s.eng
-	s.mu.RUnlock()
-	return e
-}
+// Engine returns the serving engine, for embedders that want the
+// programmatic surface next to the HTTP one.
+func (s *Server) Engine() *gsketch.Engine { return s.eng }
 
 // Handler returns the server's HTTP handler, for embedding in an existing
 // http.Server or test harness.
@@ -264,27 +236,28 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains and stops the server gracefully: mark unhealthy, stop
-// the listener (waiting for in-flight handlers), drain the ingest queue via
-// Close so every accepted edge is applied, then optionally persist a final
-// snapshot. Safe to call multiple times; later calls return the first
-// result.
+// the listener (waiting for in-flight handlers), close the engine — which
+// stops the adaptive auto-trigger loop first and then drains the ingest
+// queue, so no rebuild can race what follows — and finally persist a
+// snapshot when configured. Safe to call multiple times; later calls
+// return the first result.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
-		if s.autoStop != nil {
-			close(s.autoStop)
-		}
 		if err := s.httpSrv.Shutdown(ctx); err != nil {
 			s.closeErr = err
-			// Fall through: the ingest queue still drains below.
+			// Fall through: the engine still drains below.
 		}
-		eng := s.engine()
-		if err := eng.ing.Close(); err != nil && s.closeErr == nil {
+		if err := s.eng.Close(); err != nil && s.closeErr == nil {
 			s.closeErr = err
 		}
-		if s.cfg.SnapshotOnShutdown && s.cfg.SnapshotPath != "" {
-			if _, err := s.saveSnapshot(s.cfg.SnapshotPath); err != nil && s.closeErr == nil {
-				s.closeErr = err
+		if s.cfg.SnapshotOnShutdown && s.eng.SnapshotPath() != "" {
+			if _, err := s.eng.SaveSnapshot(""); err != nil {
+				if s.closeErr == nil {
+					s.closeErr = err
+				}
+			} else {
+				s.stats.snapshotsSaved.Add(1)
 			}
 		}
 	})
@@ -294,99 +267,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close is Shutdown without a deadline.
 func (s *Server) Close() error { return s.Shutdown(context.Background()) }
 
-// saveSnapshot writes a consistent snapshot to path via tmp-file + rename,
-// so a crash mid-save never clobbers the previous snapshot. It flushes the
-// ingest pipeline first: the snapshot covers every edge accepted by
-// /ingest before the save began.
-func (s *Server) saveSnapshot(path string) (int64, error) {
-	eng := s.engine()
-	if err := eng.ing.Flush(); err != nil && !errors.Is(err, ingest.ErrClosed) {
-		return 0, err
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".gsketch-snap-*")
-	if err != nil {
-		return 0, err
-	}
-	defer os.Remove(tmp.Name())
-	n, err := eng.est.WriteTo(tmp)
-	if err != nil {
-		tmp.Close()
-		return n, err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return n, err
-	}
-	if err := tmp.Close(); err != nil {
-		return n, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return n, err
-	}
-	s.snapNanos.Store(s.cfg.Now().UnixNano())
-	s.stats.snapshotsSaved.Add(1)
-	return n, nil
-}
-
-// restoreSnapshot swaps in a restored estimator as the serving state: a
-// fresh ingest pipeline is built around it, the swap happens under the
-// engine write lock (which the ingest handler holds shared across its push,
-// so no edge is 200-acked into a pipeline that is already displaced), and
-// the old pipeline is closed afterwards. Restore deliberately replaces the
-// live state: edges accepted after the snapshot being restored was taken
-// are discarded with it.
-//
-// The snapshot carries one or more sketch generations (core.ReadChain
-// loads both pre-chain and chain containers). A server serving an adaptive
-// chain restores any snapshot as a chain — the repartitioning manager is
-// rebound to it with the current recorded workload as the new drift
-// baseline. A non-adaptive server refuses multi-generation snapshots: it
-// has no chain to answer them soundly from.
-func (s *Server) restoreSnapshot(gens []*core.GSketch) (*engine, error) {
-	s.mu.RLock()
-	cur := s.eng
-	s.mu.RUnlock()
-
-	var est core.Estimator
-	var chain *adapt.Chain
-	if cur.chain != nil {
-		chain = adapt.NewChainFrom(gens, cur.chain.Config())
-		est = chain
-	} else {
-		if len(gens) != 1 {
-			return nil, fmt.Errorf("%w: snapshot carries %d generations", errNotAdaptive, len(gens))
-		}
-		est = core.NewConcurrent(gens[0])
-	}
-	neu, err := newEngine(est, s.cfg.Ingest)
-	if err != nil {
-		return nil, err
-	}
-	var old *engine
-	swap := func() {
-		s.mu.Lock()
-		old = s.eng
-		s.eng = neu
-		s.mu.Unlock()
-	}
-	if s.mgr != nil && chain != nil {
-		// The engine flip runs inside the manager's rebuild lock: an
-		// in-flight drift check or repartition finishes against the old
-		// chain while it is still serving, and none can start against a
-		// displaced one.
-		s.mgr.Rebind(chain, s.recordedWorkload(), swap)
-	} else {
-		swap()
-	}
-	if err := old.ing.Close(); err != nil {
-		return neu, fmt.Errorf("server: draining displaced pipeline: %w", err)
-	}
-	s.snapNanos.Store(s.cfg.Now().UnixNano())
-	s.stats.snapshotsRestored.Add(1)
-	return neu, nil
-}
-
 // writeJSON writes v with status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -395,11 +275,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errNotAdaptive reports a restore of a multi-generation chain snapshot
-// against a server without a chain to answer it soundly from — a request
-// condition (restart with -adapt), not a server fault.
-var errNotAdaptive = errors.New("server is not adaptive; restart with a chain (-adapt) to serve this snapshot")
-
 // errorJSON is the error envelope of non-2xx replies.
 type errorJSON struct {
 	Error string `json:"error"`
@@ -407,4 +282,17 @@ type errorJSON struct {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// Recorder re-exports the live workload recorder.
+//
+// Deprecated: use adapt.Recorder (or gsketch.WithWorkloadRecorder, which
+// mounts one inside the engine).
+type Recorder = adapt.Recorder
+
+// NewRecorder builds a standalone workload recorder.
+//
+// Deprecated: use adapt.NewRecorder.
+func NewRecorder(capacity int, seed uint64, now func() int64) *Recorder {
+	return adapt.NewRecorder(capacity, seed, now)
 }

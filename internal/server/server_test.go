@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -89,7 +90,7 @@ func TestIngestBackpressure429(t *testing.T) {
 	// estimator's write lock, so state polling goes straight to the
 	// ingestor counters (the /stats gauges that read the estimator would
 	// block, correctly, until the batch applies).
-	ing := srv.engine().ing
+	ingStats := func() gsketch.IngestStats { return *srv.Engine().IngestStats() }
 	edges := testStream(16, 3)
 
 	// Batch 1 → held by the gated worker.
@@ -97,7 +98,8 @@ func TestIngestBackpressure429(t *testing.T) {
 		t.Fatalf("first batch: code %d, %+v", code, ir)
 	}
 	waitFor(t, "worker pickup", func() bool {
-		return ing.QueueDepth() == 0 && ing.Inflight() == 1
+		st := ingStats()
+		return st.QueueDepth == 0 && st.Inflight == 1
 	})
 	// Batch 2 → fills the depth-1 queue.
 	if code, ir := postIngest(t, ts.URL, edges[4:8], false); code != http.StatusOK || ir.Accepted != 4 {
@@ -152,12 +154,11 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	eng := srv.engine()
 	var want int64
 	for _, e := range edges {
 		want += e.Weight
 	}
-	if got := eng.est.Count(); got != want {
+	if got := srv.Engine().Estimator().Count(); got != want {
 		t.Fatalf("drained Count = %d, want %d", got, want)
 	}
 

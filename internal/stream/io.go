@@ -138,3 +138,18 @@ func ReadBinaryEdges(r io.Reader) ([]Edge, error) {
 	}
 	return edges, nil
 }
+
+// CountingWriter counts bytes on their way to an io.Writer, so callers
+// can report written sizes (or tell "error before the first byte" from a
+// mid-stream failure) around APIs that do not return a count.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
+}
