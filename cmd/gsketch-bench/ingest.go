@@ -117,6 +117,14 @@ func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		// The sharded-parallel mode measures the pipeline's fan-out, not
+		// the scheduler: on a small GOMAXPROCS, 1 producer feeding 1 worker
+		// degenerates into the batch mode with a queue in the middle. Keep
+		// at least 4 so the mode exercises multi-producer contention even
+		// on single-core machines.
+		if workers < 4 {
+			workers = 4
+		}
 	}
 	edges := ingestStream(nEdges)
 	n := int64(len(edges))
@@ -155,8 +163,12 @@ func runIngestBench(nEdges, batchSize, workers int, jsonPath string) error {
 	if err != nil {
 		return err
 	}
+	// The mode truly runs producers+workers goroutines: `workers`
+	// producers striping the stream into the pipeline plus `workers`
+	// pipeline workers applying batches. Report that real count instead of
+	// the worker knob alone.
 	var ingErr error
-	results = append(results, measure("sharded-parallel", workers, n, func() {
+	results = append(results, measure("sharded-parallel", 2*workers, n, func() {
 		ctx := context.Background()
 		var wg sync.WaitGroup
 		producers := workers

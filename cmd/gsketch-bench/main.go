@@ -7,6 +7,8 @@
 //	gsketch-bench [-profile repro|small] [-run id[,id...]] [-list] [-csv dir]
 //	gsketch-bench -ingest [-ingest-edges n] [-ingest-batch n] [-ingest-workers n] [-ingest-json path]
 //	gsketch-bench -query [-query-count n] [-query-batch n] [-query-readers n] [-query-partitions n] [-query-json path]
+//	gsketch-bench -serve [-serve-proto json|wire|both] [-serve-json path]
+//	gsketch-bench -scaling [-cores 1,4,16] [-scaling-json path]
 //
 // Examples:
 //
@@ -22,7 +24,13 @@
 // across PRs. The -query mode is its read-side mirror: it compares the
 // seed-era per-edge bound-carrying query loop against the batched and
 // concurrent-reader EstimateBatch paths (queries/sec, allocs/query) and
-// writes BENCH_query.json.
+// writes BENCH_query.json. The -serve mode drives the serving subsystem
+// over loopback — the HTTP/JSON endpoints, the binary wire protocol, or
+// both for a head-to-head with p50/p99 request latencies — and writes
+// BENCH_serve.json. The -scaling mode re-runs the ingest and wire-serving
+// measurements at each GOMAXPROCS value of -cores and writes
+// BENCH_scaling.json (num_cpu records the host's real core count, so a
+// sweep past it is readable as scheduler pressure rather than speedup).
 package main
 
 import (
@@ -55,7 +63,14 @@ func main() {
 		serveConns   = flag.Int("serve-conns", 0, "concurrent HTTP clients for -serve (0 = GOMAXPROCS)")
 		serveChunk   = flag.Int("serve-chunk", 8192, "edges per NDJSON ingest request for -serve")
 		serveBatch   = flag.Int("serve-batch", 2048, "queries per /query request for -serve")
+		serveProto   = flag.String("serve-proto", "both", "serving protocol(s) to measure: json, wire or both")
 		serveJSON    = flag.String("serve-json", "BENCH_serve.json", "machine-readable serving report path")
+
+		scalingMode    = flag.Bool("scaling", false, "sweep GOMAXPROCS over -cores and re-run the ingest/serve benches")
+		coresSpec      = flag.String("cores", "1,4,16", "comma-separated GOMAXPROCS values for -scaling")
+		scalingEdges   = flag.Int("scaling-edges", 500_000, "stream length per sweep point for -scaling")
+		scalingQueries = flag.Int("scaling-queries", 200_000, "queries per sweep point for -scaling")
+		scalingJSON    = flag.String("scaling-json", "BENCH_scaling.json", "machine-readable scaling report path")
 
 		adaptMode     = flag.Bool("adapt", false, "run the adaptive repartitioning benchmark instead of experiments")
 		adaptEdges    = flag.Int("adapt-edges", 400_000, "two-phase pivot stream length for -adapt")
@@ -82,8 +97,16 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServeBench(*serveEdges, *serveQueries, *serveConns, *serveChunk, *serveBatch, *serveJSON); err != nil {
+		if err := runServeBench(*serveEdges, *serveQueries, *serveConns, *serveChunk, *serveBatch, *serveProto, *serveJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scalingMode {
+		if err := runScalingBench(*coresSpec, *scalingEdges, *scalingQueries, *scalingJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: scaling: %v\n", err)
 			os.Exit(1)
 		}
 		return

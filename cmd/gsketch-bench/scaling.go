@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// scalingRow is one (GOMAXPROCS, mode) cell of the core sweep.
+type scalingRow struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Mode       string  `json:"mode"`
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	SpeedupVs1 float64 `json:"speedup_vs_gomaxprocs_1"`
+}
+
+// scalingReport is the BENCH_scaling.json payload: the same measurements
+// re-run across GOMAXPROCS values, so contention shows up as a flat (or
+// inverted) curve instead of hiding inside one number. NumCPU records the
+// host's real core count — GOMAXPROCS beyond it adds scheduler pressure,
+// not parallelism, and the curve must be read against it.
+type scalingReport struct {
+	Schema  int          `json:"schema"`
+	NumCPU  int          `json:"num_cpu"`
+	Cores   []int        `json:"cores"`
+	Edges   int          `json:"edges"`
+	Queries int          `json:"queries"`
+	Note    string       `json:"note,omitempty"`
+	Rows    []scalingRow `json:"rows"`
+}
+
+// parseCores parses the -cores flag ("1,4,16") into a sorted list.
+func parseCores(spec string) ([]int, error) {
+	var cores []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cores entry %q (want positive integers)", f)
+		}
+		cores = append(cores, n)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("empty -cores list")
+	}
+	sort.Ints(cores)
+	return cores, nil
+}
+
+// runScalingBench sweeps GOMAXPROCS over cores and re-runs the ingest and
+// wire-serving measurements at each setting.
+func runScalingBench(coreSpec string, nEdges, nQueries int, jsonPath string) error {
+	cores, err := parseCores(coreSpec)
+	if err != nil {
+		return err
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	rep := scalingReport{
+		Schema:  1,
+		NumCPU:  runtime.NumCPU(),
+		Cores:   cores,
+		Edges:   nEdges,
+		Queries: nQueries,
+	}
+	if max := cores[len(cores)-1]; max > rep.NumCPU {
+		rep.Note = fmt.Sprintf("host has %d CPU(s); GOMAXPROCS settings above that cannot add parallelism", rep.NumCPU)
+	}
+
+	edges := ingestStream(nEdges)
+	for _, c := range cores {
+		runtime.GOMAXPROCS(c)
+		fmt.Printf("# GOMAXPROCS=%d (host CPUs: %d)\n", c, rep.NumCPU)
+
+		// Single-threaded UpdateBatch: the flat baseline any parallel curve
+		// is read against.
+		eng, est, err := openIngestEngine(edges)
+		if err != nil {
+			return err
+		}
+		r := measure("ingest-batch", 1, int64(nEdges), func() {
+			for lo := 0; lo < len(edges); lo += 8192 {
+				hi := lo + 8192
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				est.UpdateBatch(edges[lo:hi])
+			}
+		})
+		_ = eng.Close()
+		rep.Rows = append(rep.Rows, scalingRow{GoMaxProcs: c, Mode: r.Mode, Goroutines: 1, OpsPerSec: r.EdgesPerSec})
+
+		// The sharded pipeline with c producers and c workers.
+		eng, _, err = openIngestEngine(edges,
+			gsketch.WithIngest(gsketch.IngestConfig{Workers: c, BatchSize: 8192}))
+		if err != nil {
+			return err
+		}
+		var closeErr error
+		r = measure("ingest-parallel", 2*c, int64(nEdges), func() {
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			stripe := (len(edges) + c - 1) / c
+			for p := 0; p < c; p++ {
+				lo, hi := p*stripe, (p+1)*stripe
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(part []stream.Edge) {
+					defer wg.Done()
+					_ = eng.Ingest(ctx, part...)
+				}(edges[lo:hi])
+			}
+			wg.Wait()
+			closeErr = eng.Close()
+		})
+		if closeErr != nil {
+			return closeErr
+		}
+		rep.Rows = append(rep.Rows, scalingRow{GoMaxProcs: c, Mode: r.Mode, Goroutines: 2 * c, OpsPerSec: r.EdgesPerSec})
+
+		// End-to-end wire serving with c client connections.
+		res, _, err := runServeProto("wire", edges, nQueries, c, 8192, 2048)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows,
+			scalingRow{GoMaxProcs: c, Mode: "serve-wire-ingest", Goroutines: c, OpsPerSec: res.IngestEdgesPerSec},
+			scalingRow{GoMaxProcs: c, Mode: "serve-wire-query", Goroutines: c, OpsPerSec: res.QueriesPerSec})
+
+		for _, row := range rep.Rows[len(rep.Rows)-4:] {
+			fmt.Printf("%-20s %10d goroutines %14.0f ops/s\n", row.Mode, row.Goroutines, row.OpsPerSec)
+		}
+	}
+
+	// Speedups relative to each mode's GOMAXPROCS=1 row (or the lowest
+	// measured setting when 1 was not swept).
+	base := map[string]float64{}
+	for _, row := range rep.Rows {
+		if _, ok := base[row.Mode]; !ok && row.GoMaxProcs == cores[0] {
+			base[row.Mode] = row.OpsPerSec
+		}
+	}
+	for i := range rep.Rows {
+		if b := base[rep.Rows[i].Mode]; b > 0 {
+			rep.Rows[i].SpeedupVs1 = rep.Rows[i].OpsPerSec / b
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

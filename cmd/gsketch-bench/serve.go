@@ -8,17 +8,40 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/wire"
 )
 
-// serveReport is the BENCH_serve.json payload: sustained loopback ingest
-// and query throughput of the HTTP serving subsystem.
+// protoResult is one protocol's sustained loopback numbers: ingest and
+// query throughput plus per-request latency quantiles (a request is one
+// ingest chunk or one query batch, including any shed-retry rounds).
+type protoResult struct {
+	Proto string `json:"proto"` // "json" or "wire"
+
+	IngestSeconds     float64 `json:"ingest_seconds"`
+	IngestEdgesPerSec float64 `json:"ingest_edges_per_sec"`
+	IngestRetries     int64   `json:"ingest_retries"`
+	IngestP50Ms       float64 `json:"ingest_p50_ms"`
+	IngestP99Ms       float64 `json:"ingest_p99_ms"`
+
+	QuerySeconds       float64 `json:"query_seconds"`
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+	QueryBatchesPerSec float64 `json:"query_batches_per_sec"`
+	QueryP50Ms         float64 `json:"query_p50_ms"`
+	QueryP99Ms         float64 `json:"query_p99_ms"`
+}
+
+// serveReport is the BENCH_serve.json payload. Schema 2 replaces the flat
+// schema-1 layout with one protoResult per measured protocol and the
+// wire-vs-JSON speedups when both ran.
 type serveReport struct {
 	Schema      int `json:"schema"`
 	Edges       int `json:"edges"`
@@ -27,183 +50,352 @@ type serveReport struct {
 	IngestChunk int `json:"ingest_chunk"`
 	QueryBatch  int `json:"query_batch"`
 	GoMaxProcs  int `json:"gomaxprocs"`
+	NumCPU      int `json:"num_cpu"`
 	Partitions  int `json:"partitions"`
 
-	IngestSeconds      float64 `json:"ingest_seconds"`
-	IngestEdgesPerSec  float64 `json:"ingest_edges_per_sec"`
-	IngestRetries429   int64   `json:"ingest_retries_429"`
-	QuerySeconds       float64 `json:"query_seconds"`
-	QueriesPerSec      float64 `json:"queries_per_sec"`
-	QueryBatchesPerSec float64 `json:"query_batches_per_sec"`
+	Results []protoResult `json:"results"`
+
+	WireIngestSpeedup float64 `json:"wire_ingest_speedup_vs_json,omitempty"`
+	WireQuerySpeedup  float64 `json:"wire_query_speedup_vs_json,omitempty"`
 }
 
-// runServeBench starts the serving subsystem on a loopback listener and
-// drives it with conns concurrent HTTP clients: an NDJSON ingest phase
-// (with 429 retries counted) followed by a batched query phase. The final
-// state is cross-checked for lossless ingest before the report is written.
-func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, jsonPath string) error {
+// runServeBench drives the serving subsystem over loopback with conns
+// concurrent clients, once per requested protocol ("json", "wire" or
+// "both"), each against a fresh engine so the measured phases are
+// identical. The final state of every run is cross-checked for lossless
+// ingest before the report is written.
+func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, proto, jsonPath string) error {
 	if conns <= 0 {
 		conns = runtime.GOMAXPROCS(0)
 	}
 	if nEdges < conns*ingestChunk {
 		return fmt.Errorf("need at least conns*chunk = %d edges (got %d)", conns*ingestChunk, nEdges)
 	}
+	var protos []string
+	switch proto {
+	case "json", "wire":
+		protos = []string{proto}
+	case "both":
+		protos = []string{"json", "wire"}
+	default:
+		return fmt.Errorf("unknown -serve-proto %q (want json, wire or both)", proto)
+	}
+
 	edges := ingestStream(nEdges)
+	rep := serveReport{
+		Schema:      2,
+		Edges:       nEdges,
+		Queries:     nQueries,
+		Conns:       conns,
+		IngestChunk: ingestChunk,
+		QueryBatch:  queryBatch,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, p := range protos {
+		res, partitions, err := runServeProto(p, edges, nQueries, conns, ingestChunk, queryBatch)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		rep.Partitions = partitions
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("# serve bench [%s]: %d conns over loopback\n", p, conns)
+		fmt.Printf("ingest  %12.0f edges/s   (%.2fs, %d retries, p50 %.2fms p99 %.2fms)\n",
+			res.IngestEdgesPerSec, res.IngestSeconds, res.IngestRetries, res.IngestP50Ms, res.IngestP99Ms)
+		fmt.Printf("query   %12.0f queries/s (%.0f batches/s, p50 %.2fms p99 %.2fms)\n",
+			res.QueriesPerSec, res.QueryBatchesPerSec, res.QueryP50Ms, res.QueryP99Ms)
+	}
+	if len(rep.Results) == 2 {
+		rep.WireIngestSpeedup = rep.Results[1].IngestEdgesPerSec / rep.Results[0].IngestEdgesPerSec
+		rep.WireQuerySpeedup = rep.Results[1].QueriesPerSec / rep.Results[0].QueriesPerSec
+		fmt.Printf("# wire vs json: ingest %.2fx, query %.2fx\n", rep.WireIngestSpeedup, rep.WireQuerySpeedup)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// runServeProto measures one protocol against a fresh engine and server.
+func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChunk, queryBatch int) (protoResult, int, error) {
+	res := protoResult{Proto: proto}
 	eng, _, err := openIngestEngine(edges,
 		gsketch.WithIngest(gsketch.IngestConfig{BatchSize: 8192}),
 		gsketch.WithWorkloadRecorder(4096, 0))
 	if err != nil {
-		return err
+		return res, 0, err
 	}
 	srv, err := server.New(server.Config{Engine: eng})
 	if err != nil {
-		return err
+		return res, 0, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
 	defer srv.Close()
-	base := "http://" + ln.Addr().String()
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: conns,
-	}}
 
-	// Ingest phase: shard the stream across conns workers, each POSTing
-	// NDJSON chunks and retrying the shed suffix on 429.
+	var drive driver
+	switch proto {
+	case "json":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, 0, err
+		}
+		go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+		drive = &jsonDriver{
+			base: "http://" + ln.Addr().String(),
+			client: &http.Client{Transport: &http.Transport{
+				MaxIdleConnsPerHost: conns,
+			}},
+		}
+	case "wire":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, 0, err
+		}
+		go srv.ServeWire(ln) //nolint:errcheck // ErrServerClosed after shutdown
+		drive = &wireDriver{addr: ln.Addr().String()}
+	}
+
+	// Ingest phase: shard the stream across conns workers, each pushing
+	// chunks and retrying shed suffixes; per-chunk latencies feed p50/p99.
+	nEdges := len(edges)
 	var retries atomic.Int64
 	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	lats := make([][]float64, conns)
 	share := (nEdges + conns - 1) / conns
 	t0 := time.Now()
-	errs := make(chan error, conns)
 	for c := 0; c < conns; c++ {
 		lo, hi := c*share, (c+1)*share
 		if hi > nEdges {
 			hi = nEdges
 		}
 		wg.Add(1)
-		go func(part []stream.Edge) {
+		go func(id int, part []stream.Edge) {
 			defer wg.Done()
-			var buf bytes.Buffer
+			w, err := drive.worker()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer w.close()
 			for len(part) > 0 {
 				n := ingestChunk
 				if n > len(part) {
 					n = len(part)
 				}
-				buf.Reset()
-				for _, e := range part[:n] {
-					fmt.Fprintf(&buf, `{"src":%d,"dst":%d,"weight":%d}`+"\n", e.Src, e.Dst, e.Weight)
-				}
-				accepted, retried, err := postIngestChunk(client, base, buf.Bytes())
+				r0 := time.Now()
+				retried, err := w.ingestChunk(part[:n])
+				lats[id] = append(lats[id], time.Since(r0).Seconds()*1e3)
 				if err != nil {
 					errs <- err
 					return
 				}
 				retries.Add(retried)
-				part = part[accepted:]
+				part = part[n:]
 			}
-		}(edges[lo:hi])
+		}(c, edges[lo:hi])
 	}
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return err
+		return res, 0, err
 	default:
 	}
 	// Flush so the measured window covers every edge applied.
-	if err := syncFlush(client, base); err != nil {
-		return err
+	fw, err := drive.worker()
+	if err != nil {
+		return res, 0, err
 	}
-	ingestSecs := time.Since(t0).Seconds()
+	if err := fw.flush(); err != nil {
+		fw.close()
+		return res, 0, err
+	}
+	fw.close()
+	res.IngestSeconds = time.Since(t0).Seconds()
+	res.IngestEdgesPerSec = float64(nEdges) / res.IngestSeconds
+	res.IngestRetries = retries.Load()
+	res.IngestP50Ms, res.IngestP99Ms = percentiles(lats)
 
 	var total int64
 	for _, e := range edges {
 		total += e.Weight
 	}
 	if got := eng.Estimator().Count(); got != total {
-		return fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
+		return res, 0, fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
 	}
 
-	// Query phase: conns clients POST batched queries over the same key
+	// Query phase: conns clients issue batched queries over the same key
 	// population.
 	perConn := nQueries / conns
 	batches := perConn / queryBatch
 	if batches < 1 {
 		batches = 1
 	}
+	qlats := make([][]float64, conns)
 	t1 := time.Now()
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
-		go func(seed int) {
+		go func(id, seed int) {
 			defer wg.Done()
-			var buf bytes.Buffer
+			w, err := drive.worker()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer w.close()
+			qs := make([]core.EdgeQuery, queryBatch)
 			for b := 0; b < batches; b++ {
-				buf.Reset()
-				buf.WriteString(`{"queries":[`)
-				for i := 0; i < queryBatch; i++ {
-					if i > 0 {
-						buf.WriteByte(',')
-					}
+				for i := range qs {
 					e := edges[(seed+b*queryBatch+i)%len(edges)]
-					fmt.Fprintf(&buf, `{"src":%d,"dst":%d}`, e.Src, e.Dst)
+					qs[i] = core.EdgeQuery{Src: e.Src, Dst: e.Dst}
 				}
-				buf.WriteString(`]}`)
-				resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(buf.Bytes()))
+				r0 := time.Now()
+				err := w.queryChunk(qs)
+				qlats[id] = append(qlats[id], time.Since(r0).Seconds()*1e3)
 				if err != nil {
 					errs <- err
 					return
 				}
-				if err := json.NewDecoder(resp.Body).Decode(new(json.RawMessage)); err != nil {
-					resp.Body.Close()
-					errs <- err
-					return
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					errs <- fmt.Errorf("query status %d", resp.StatusCode)
-					return
-				}
 			}
-		}(c * 7919)
+		}(c, c*7919)
 	}
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return err
+		return res, 0, err
 	default:
 	}
-	querySecs := time.Since(t1).Seconds()
-	answered := int64(conns) * int64(batches) * int64(queryBatch)
+	res.QuerySeconds = time.Since(t1).Seconds()
+	answered := float64(conns) * float64(batches) * float64(queryBatch)
+	res.QueriesPerSec = answered / res.QuerySeconds
+	res.QueryBatchesPerSec = float64(conns*batches) / res.QuerySeconds
+	res.QueryP50Ms, res.QueryP99Ms = percentiles(qlats)
 
-	rep := serveReport{
-		Schema:      1,
-		Edges:       nEdges,
-		Queries:     int(answered),
-		Conns:       conns,
-		IngestChunk: ingestChunk,
-		QueryBatch:  queryBatch,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Partitions:  eng.Sketch().NumPartitions(),
+	return res, eng.Sketch().NumPartitions(), nil
+}
 
-		IngestSeconds:      ingestSecs,
-		IngestEdgesPerSec:  float64(nEdges) / ingestSecs,
-		IngestRetries429:   retries.Load(),
-		QuerySeconds:       querySecs,
-		QueriesPerSec:      float64(answered) / querySecs,
-		QueryBatchesPerSec: float64(conns*batches) / querySecs,
+// driver abstracts the two client protocols; worker() hands each bench
+// goroutine its own connection-owning client.
+type driver interface {
+	worker() (serveWorker, error)
+}
+
+type serveWorker interface {
+	ingestChunk(edges []stream.Edge) (retries int64, err error)
+	queryChunk(qs []core.EdgeQuery) error
+	flush() error
+	close()
+}
+
+// jsonDriver drives the NDJSON/JSON HTTP endpoints.
+type jsonDriver struct {
+	base   string
+	client *http.Client
+}
+
+func (d *jsonDriver) worker() (serveWorker, error) {
+	return &jsonWorker{d: d}, nil
+}
+
+type jsonWorker struct {
+	d   *jsonDriver
+	buf bytes.Buffer
+}
+
+func (w *jsonWorker) ingestChunk(edges []stream.Edge) (int64, error) {
+	w.buf.Reset()
+	for _, e := range edges {
+		fmt.Fprintf(&w.buf, `{"src":%d,"dst":%d,"weight":%d}`+"\n", e.Src, e.Dst, e.Weight)
 	}
-	fmt.Printf("# serve bench: %d conns over loopback\n", conns)
-	fmt.Printf("ingest  %12.0f edges/s   (%d edges, %.2fs, %d retries on 429)\n",
-		rep.IngestEdgesPerSec, nEdges, ingestSecs, rep.IngestRetries429)
-	fmt.Printf("query   %12.0f queries/s (%.0f batches/s, batch %d, %.2fs)\n",
-		rep.QueriesPerSec, rep.QueryBatchesPerSec, queryBatch, querySecs)
+	accepted, retried, err := postIngestChunk(w.d.client, w.d.base, w.buf.Bytes())
+	if err == nil && accepted != len(edges) {
+		err = fmt.Errorf("ingest accepted %d of %d", accepted, len(edges))
+	}
+	return retried, err
+}
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
+func (w *jsonWorker) queryChunk(qs []core.EdgeQuery) error {
+	w.buf.Reset()
+	w.buf.WriteString(`{"queries":[`)
+	for i, q := range qs {
+		if i > 0 {
+			w.buf.WriteByte(',')
+		}
+		fmt.Fprintf(&w.buf, `{"src":%d,"dst":%d}`, q.Src, q.Dst)
+	}
+	w.buf.WriteString(`]}`)
+	resp, err := w.d.client.Post(w.d.base+"/query", "application/json", bytes.NewReader(w.buf.Bytes()))
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(jsonPath, append(blob, '\n'), 0o644)
+	err = json.NewDecoder(resp.Body).Decode(new(json.RawMessage))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (w *jsonWorker) flush() error { return syncFlush(w.d.client, w.d.base) }
+func (w *jsonWorker) close()       {}
+
+// wireDriver drives the binary wire protocol over per-worker TCP
+// connections.
+type wireDriver struct{ addr string }
+
+func (d *wireDriver) worker() (serveWorker, error) {
+	c, err := wire.Dial(d.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &wireWorker{c: c}, nil
+}
+
+type wireWorker struct {
+	c       *wire.Client
+	results []core.Result
+}
+
+func (w *wireWorker) ingestChunk(edges []stream.Edge) (int64, error) {
+	return w.c.IngestAll(edges, len(edges))
+}
+
+func (w *wireWorker) queryChunk(qs []core.EdgeQuery) error {
+	rs, err := w.c.Query(w.results[:0], qs)
+	w.results = rs
+	if err == nil && len(rs) != len(qs) {
+		err = fmt.Errorf("query answered %d of %d", len(rs), len(qs))
+	}
+	return err
+}
+
+func (w *wireWorker) flush() error { return w.c.Flush() }
+func (w *wireWorker) close()       { w.c.Close() }
+
+// percentiles merges per-worker latency samples (milliseconds) and
+// returns the p50 and p99 request latency.
+func percentiles(lats [][]float64) (p50, p99 float64) {
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(all)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return at(0.50), at(0.99)
 }
 
 // postIngestChunk POSTs one NDJSON chunk, retrying the shed suffix until

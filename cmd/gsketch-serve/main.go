@@ -8,6 +8,7 @@
 //	gsketch-serve -addr :7071 -sample edges.txt [-workload workload.txt]
 //	gsketch-serve -addr :7071 -restore state.gsk
 //	gsketch-serve -addr :7071 -global
+//	gsketch-serve -addr :7071 -wire-addr :7072 -sample edges.txt
 //
 // Exactly one bootstrap source decides the estimator: -restore loads a
 // snapshot, -sample builds a partitioned gSketch from an edge file (plus an
@@ -25,6 +26,13 @@
 //	GET  /workload          recorded query-workload sample (text edges)
 //	POST /repartition       rebuild + hot-swap a new generation (-adapt)
 //	GET  /healthz, /stats   liveness and counters
+//
+// With -wire-addr the same operations are additionally served as the
+// binary wire protocol (see internal/wire) on a raw TCP listener —
+// batched fixed-width frames with none of the JSON cost, driven by
+// cmd/gsketch-wire or any client speaking the frame format. POST /ingest
+// and /query also accept wire-framed bodies with Content-Type
+// application/x-gsketch-wire.
 //
 // With -adapt the engine serves a generation chain: POST /repartition (or
 // the -adapt-interval auto-trigger, when drift crosses -adapt-drift /
@@ -59,7 +67,8 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":7071", "listen address")
+		addr     = flag.String("addr", ":7071", "listen address")
+		wireAddr = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = disabled)")
 
 		restorePath  = flag.String("restore", "", "bootstrap from this snapshot file")
 		samplePath   = flag.String("sample", "", "bootstrap a partitioned gSketch from this edge file (text or binary)")
@@ -169,9 +178,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	listeners := 1
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	log.Printf("gsketch-serve: listening on %s", *addr)
+	if *wireAddr != "" {
+		listeners++
+		go func() { errc <- srv.ListenAndServeWire(*wireAddr) }()
+		log.Printf("gsketch-serve: wire protocol on %s", *wireAddr)
+	}
 
 	select {
 	case <-ctx.Done():
@@ -181,7 +196,9 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Fatalf("gsketch-serve: shutdown: %v", err)
 		}
-		<-errc // ListenAndServe returns ErrServerClosed after Shutdown
+		for i := 0; i < listeners; i++ {
+			<-errc // both listeners return ErrServerClosed after Shutdown
+		}
 		log.Printf("gsketch-serve: drained, bye")
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

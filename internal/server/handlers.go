@@ -71,14 +71,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleIngest accepts an NDJSON edge batch and hands it to the engine
+// handleIngest accepts an edge batch — NDJSON, or wire-framed when the
+// body's Content-Type is the wire protocol's — and hands it to the engine
 // without ever blocking the handler on a full queue: backpressure becomes
 // HTTP 429 with the accepted prefix length, so clients retry only what was
 // shed. ?sync=1 additionally drains before replying (read-your-writes).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.ingestRequests.Add(1)
+	if isWireRequest(r) {
+		s.handleWireIngestHTTP(w, r)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	edges, err := decodeEdgesNDJSON(body)
+	buf := getEdgeBuf()
+	defer putEdgeBuf(buf)
+	edges, err := decodeEdgesNDJSON(body, *buf)
+	*buf = edges[:0]
 	if err != nil {
 		code := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
@@ -148,6 +156,10 @@ func (s *Server) drainBounded(r *http.Request) error {
 // reservoir.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.queryRequests.Add(1)
+	if isWireRequest(r) {
+		s.handleWireQueryHTTP(w, r)
+		return
+	}
 	var req queryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -164,7 +176,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	qs := toEdgeQueries(req.Queries)
+	qbuf := getQueryBuf()
+	defer putQueryBuf(qbuf)
+	qs := appendEdgeQueries(*qbuf, req.Queries)
+	*qbuf = qs[:0]
 	results := s.eng.QueryBatch(qs)
 	s.stats.queriesAnswered.Add(int64(len(results)))
 	resp := queryResponse{Results: make([]resultJSON, len(results))}
@@ -196,7 +211,11 @@ func (s *Server) handleWindowQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "window query: empty batch")
 		return
 	}
-	values, err := s.eng.QueryWindow(toEdgeQueries(req.Queries), req.T1, req.T2)
+	qbuf := getQueryBuf()
+	defer putQueryBuf(qbuf)
+	qs := appendEdgeQueries(*qbuf, req.Queries)
+	*qbuf = qs[:0]
+	values, err := s.eng.QueryWindow(qs, req.T1, req.T2)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "window query: %v", err)
 		return

@@ -85,13 +85,17 @@ type snapshotRequest struct {
 // maxNDJSONLine bounds one ingest line; far beyond any honest edge record.
 const maxNDJSONLine = 1 << 16
 
-// decodeEdgesNDJSON parses newline-delimited JSON edges. Blank lines are
-// skipped. The whole body is parsed before anything is returned, so a
-// syntax error rejects the request without a partial ingest.
-func decodeEdgesNDJSON(r io.Reader) ([]stream.Edge, error) {
+// decodeEdgesNDJSON parses newline-delimited JSON edges, appending to dst
+// (normally a pooled buffer). Blank lines are skipped. The whole body is
+// parsed before anything is returned, so a syntax error rejects the
+// request without a partial ingest. The scanner runs over a pooled buffer
+// sized to the line bound, so a warm server allocates no parse buffers
+// per request.
+func decodeEdgesNDJSON(r io.Reader, dst []stream.Edge) ([]stream.Edge, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 8192), maxNDJSONLine)
-	var edges []stream.Edge
+	sb := getScanBuf()
+	defer putScanBuf(sb)
+	sc.Buffer(*sb, maxNDJSONLine)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -101,21 +105,21 @@ func decodeEdgesNDJSON(r io.Reader) ([]stream.Edge, error) {
 		}
 		var e edgeJSON
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+			return dst, fmt.Errorf("line %d: %w", line, err)
 		}
-		edges = append(edges, stream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Time: e.Time})
+		dst = append(dst, stream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Time: e.Time})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("line %d: %w", line+1, err)
+		return dst, fmt.Errorf("line %d: %w", line+1, err)
 	}
-	return edges, nil
+	return dst, nil
 }
 
-// toEdgeQueries converts wire queries to the batched read path's unit.
-func toEdgeQueries(qs []queryJSON) []core.EdgeQuery {
-	out := make([]core.EdgeQuery, len(qs))
-	for i, q := range qs {
-		out[i] = core.EdgeQuery{Src: q.Src, Dst: q.Dst}
+// appendEdgeQueries converts JSON queries to the batched read path's
+// unit, appending to dst (normally a pooled buffer).
+func appendEdgeQueries(dst []core.EdgeQuery, qs []queryJSON) []core.EdgeQuery {
+	for _, q := range qs {
+		dst = append(dst, core.EdgeQuery{Src: q.Src, Dst: q.Dst})
 	}
-	return out
+	return dst
 }

@@ -171,6 +171,13 @@ type Server struct {
 	// makes the later Serve return ErrServerClosed immediately.
 	httpSrv *http.Server
 
+	// Wire-protocol listeners and connections (ServeWire), closed during
+	// Shutdown.
+	wireMu    sync.Mutex
+	wireLns   map[net.Listener]struct{}
+	wireConns map[net.Conn]struct{}
+	wireWg    sync.WaitGroup
+
 	start     time.Time
 	closing   atomic.Bool
 	closeOnce sync.Once
@@ -193,10 +200,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		stats: newCounters(),
-		start: cfg.Now(),
+		cfg:       cfg,
+		eng:       eng,
+		stats:     newCounters(),
+		start:     cfg.Now(),
+		wireLns:   make(map[net.Listener]struct{}),
+		wireConns: make(map[net.Conn]struct{}),
 	}
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{
@@ -248,6 +257,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.closeErr = err
 			// Fall through: the engine still drains below.
 		}
+		// Wire connections are long-lived streams with no request
+		// boundary to wait for: stop the listeners and cut the
+		// connections. Edges already accepted by the pipeline drain in
+		// the engine Close below.
+		s.closeWire()
 		if err := s.eng.Close(); err != nil && s.closeErr == nil {
 			s.closeErr = err
 		}

@@ -20,6 +20,13 @@ type counters struct {
 	snapshotsSaved      *expvar.Int // successful snapshot saves
 	snapshotsRestored   *expvar.Int // successful snapshot restores
 	repartitionRequests *expvar.Int // POST /repartition requests handled
+
+	// Wire-protocol counters, covering the TCP listener and wire-framed
+	// HTTP bodies alike.
+	wireFrames       *expvar.Int // request frames decoded
+	wireDecodeErrors *expvar.Int // frames rejected as malformed
+	wireBytesIn      *expvar.Int // bytes read off wire transports
+	wireBytesOut     *expvar.Int // bytes written to wire transports
 }
 
 func newCounters() *counters {
@@ -38,5 +45,9 @@ func newCounters() *counters {
 	c.snapshotsSaved = mk("snapshots_saved")
 	c.snapshotsRestored = mk("snapshots_restored")
 	c.repartitionRequests = mk("repartition_requests")
+	c.wireFrames = mk("wire_frames")
+	c.wireDecodeErrors = mk("wire_decode_errors")
+	c.wireBytesIn = mk("wire_bytes_in")
+	c.wireBytesOut = mk("wire_bytes_out")
 	return c
 }

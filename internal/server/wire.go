@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/wire"
+)
+
+// The binary wire protocol endpoint: the same ingest/query/flush
+// operations as the HTTP/JSON API, framed as fixed-width records (see
+// internal/wire) and served over a raw TCP listener. Each connection runs
+// a two-stage pipeline — a decode goroutine parses frame k+1 while the
+// apply goroutine scatters frame k into the engine — so parsing and
+// counter updates overlap instead of alternating.
+
+// wirePipelineDepth is the decoded-frame channel bound per connection:
+// deep enough to keep the apply stage fed, shallow enough that a slow
+// consumer backpressures the decoder (and through it, the TCP window).
+const wirePipelineDepth = 4
+
+// wireIOBuf is the per-connection bufio size on both directions.
+const wireIOBuf = 64 << 10
+
+// wireJob is one decoded frame travelling between the two pipeline
+// stages. Exactly one of edges/qs is set for work frames; a terminal job
+// carries err (io.EOF for a clean end of stream) and ends the connection.
+type wireJob struct {
+	typ   byte
+	edges *[]stream.Edge
+	qs    *[]core.EdgeQuery
+	err   error
+}
+
+// ServeWire accepts wire-protocol connections on ln until Shutdown, which
+// closes the listener and every open connection. Like Serve, it returns
+// http.ErrServerClosed after a graceful shutdown.
+func (s *Server) ServeWire(ln net.Listener) error {
+	s.wireMu.Lock()
+	if s.closing.Load() {
+		s.wireMu.Unlock()
+		ln.Close()
+		return http.ErrServerClosed
+	}
+	s.wireLns[ln] = struct{}{}
+	s.wireMu.Unlock()
+	defer func() {
+		s.wireMu.Lock()
+		delete(s.wireLns, ln)
+		s.wireMu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return http.ErrServerClosed
+			}
+			return err
+		}
+		s.wireMu.Lock()
+		if s.closing.Load() {
+			s.wireMu.Unlock()
+			conn.Close()
+			return http.ErrServerClosed
+		}
+		s.wireConns[conn] = struct{}{}
+		s.wireWg.Add(1)
+		s.wireMu.Unlock()
+		go func() {
+			defer s.wireWg.Done()
+			defer func() {
+				s.wireMu.Lock()
+				delete(s.wireConns, conn)
+				s.wireMu.Unlock()
+			}()
+			s.handleWireConn(conn)
+		}()
+	}
+}
+
+// ListenAndServeWire binds addr and serves the wire protocol until
+// Shutdown.
+func (s *Server) ListenAndServeWire(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeWire(ln)
+}
+
+// closeWire stops the wire listeners and connections during Shutdown.
+func (s *Server) closeWire() {
+	s.wireMu.Lock()
+	for ln := range s.wireLns {
+		ln.Close()
+	}
+	for conn := range s.wireConns {
+		conn.Close()
+	}
+	s.wireMu.Unlock()
+	s.wireWg.Wait()
+}
+
+// varReader counts bytes read into an expvar counter.
+type varReader struct {
+	r io.Reader
+	n *expvar.Int
+}
+
+func (v varReader) Read(p []byte) (int, error) {
+	n, err := v.r.Read(p)
+	if n > 0 {
+		v.n.Add(int64(n))
+	}
+	return n, err
+}
+
+// varWriter counts bytes written into an expvar counter.
+type varWriter struct {
+	w io.Writer
+	n *expvar.Int
+}
+
+func (v varWriter) Write(p []byte) (int, error) {
+	n, err := v.w.Write(p)
+	if n > 0 {
+		v.n.Add(int64(n))
+	}
+	return n, err
+}
+
+// handleWireConn runs one connection's two-stage pipeline. The decode
+// goroutine owns the read half: it parses frames into pooled record
+// buffers and hands them over a bounded channel, so decoding the next
+// frame overlaps applying the current one. The apply loop (this
+// goroutine) owns the write half: it scatters ingest batches into the
+// engine, answers queries, and streams replies through a buffered writer
+// flushed whenever the pipeline momentarily empties.
+func (s *Server) handleWireConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(varReader{r: conn, n: s.stats.wireBytesIn}, wireIOBuf)
+	bw := bufio.NewWriterSize(varWriter{w: conn, n: s.stats.wireBytesOut}, wireIOBuf)
+
+	jobs := make(chan wireJob, wirePipelineDepth)
+	go s.wireDecodeLoop(br, jobs)
+
+	out := getFrameBuf()
+	defer putFrameBuf(out)
+	var werr error // first write failure; later jobs only recycle buffers
+	for job := range jobs {
+		if job.err != nil {
+			if job.err != io.EOF && werr == nil {
+				s.stats.wireDecodeErrors.Add(1)
+				*out = wire.AppendError((*out)[:0], wire.CodeBadFrame, job.err.Error())
+				if _, err := bw.Write(*out); err == nil {
+					bw.Flush()
+				}
+			}
+			break // terminal: the decode loop closes jobs after it
+		}
+		if werr != nil {
+			s.recycleWireJob(job)
+			continue
+		}
+		*out = (*out)[:0]
+		switch job.typ {
+		case wire.TypeIngest:
+			*out = s.applyWireIngest(*out, *job.edges)
+		case wire.TypeQuery:
+			*out = s.applyWireQuery(*out, *job.qs)
+		case wire.TypeFlush:
+			*out = s.applyWireFlush(*out)
+		}
+		s.recycleWireJob(job)
+		if _, err := bw.Write(*out); err != nil {
+			werr = err
+			continue
+		}
+		// Flush only when no decoded frame is waiting: consecutive
+		// requests coalesce into one TCP write, a lone request replies
+		// immediately.
+		if len(jobs) == 0 {
+			if err := bw.Flush(); err != nil {
+				werr = err
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// wireDecodeLoop is the first pipeline stage: it parses frames off the
+// connection into pooled buffers and forwards them. On any terminal
+// condition it sends one err-carrying job and closes the channel.
+func (s *Server) wireDecodeLoop(r io.Reader, jobs chan<- wireJob) {
+	defer close(jobs)
+	dec := wire.NewDecoderSize(r, int(s.cfg.MaxBodyBytes))
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			jobs <- wireJob{err: err}
+			return
+		}
+		s.stats.wireFrames.Add(1)
+		switch f.Type {
+		case wire.TypeIngest:
+			buf := getEdgeBuf()
+			*buf, err = wire.DecodeEdges((*buf)[:0], f.Payload)
+			if err != nil {
+				putEdgeBuf(buf)
+				jobs <- wireJob{err: err}
+				return
+			}
+			jobs <- wireJob{typ: f.Type, edges: buf}
+		case wire.TypeQuery:
+			buf := getQueryBuf()
+			*buf, err = wire.DecodeQueries((*buf)[:0], f.Payload)
+			if err != nil {
+				putQueryBuf(buf)
+				jobs <- wireJob{err: err}
+				return
+			}
+			jobs <- wireJob{typ: f.Type, qs: buf}
+		case wire.TypeFlush:
+			jobs <- wireJob{typ: f.Type}
+		default:
+			jobs <- wireJob{err: fmt.Errorf("%w: client sent reply type 0x%02x", wire.ErrUnknownType, f.Type)}
+			return
+		}
+	}
+}
+
+func (s *Server) recycleWireJob(job wireJob) {
+	if job.edges != nil {
+		putEdgeBuf(job.edges)
+	}
+	if job.qs != nil {
+		putQueryBuf(job.qs)
+	}
+}
+
+// applyWireIngest scatters one decoded edge batch into the engine and
+// appends the ack (or error) reply frame. Backpressure is expressed in
+// the ack itself: rejected > 0 tells the client to retry that suffix.
+func (s *Server) applyWireIngest(out []byte, edges []stream.Edge) []byte {
+	s.stats.ingestRequests.Add(1)
+	accepted, err := s.eng.TryIngest(edges)
+	s.stats.edgesAccepted.Add(int64(accepted))
+	rejected := len(edges) - accepted
+	switch {
+	case errors.Is(err, gsketch.ErrEngineClosed):
+		return wire.AppendError(out, wire.CodeClosed, "ingest pipeline closed")
+	case errors.Is(err, gsketch.ErrIngestQueueFull):
+		s.stats.edgesRejected.Add(int64(rejected))
+		return wire.AppendAck(out, accepted, rejected)
+	case err != nil:
+		return wire.AppendError(out, wire.CodeInternal, err.Error())
+	}
+	return wire.AppendAck(out, accepted, 0)
+}
+
+// applyWireQuery answers one decoded query batch and appends the results
+// frame.
+func (s *Server) applyWireQuery(out []byte, qs []core.EdgeQuery) []byte {
+	s.stats.queryRequests.Add(1)
+	if len(qs) == 0 {
+		return wire.AppendResults(out, nil)
+	}
+	results := s.eng.QueryBatch(qs)
+	s.stats.queriesAnswered.Add(int64(len(results)))
+	return wire.AppendResults(out, results)
+}
+
+// applyWireFlush drains the ingest pipeline (bounded by FlushTimeout) and
+// appends the flush ack.
+func (s *Server) applyWireFlush(out []byte) []byte {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FlushTimeout)
+	defer cancel()
+	err := s.eng.Drain(ctx)
+	switch {
+	case err == nil, errors.Is(err, gsketch.ErrEngineClosed):
+		return wire.AppendFlushAck(out)
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.AppendError(out, wire.CodeInternal, "flush: drain did not quiesce")
+	default:
+		return wire.AppendError(out, wire.CodeInternal, "flush: "+err.Error())
+	}
+}
+
+// isWireRequest reports whether an HTTP request carries a wire-framed
+// body.
+func isWireRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+}
+
+// writeWireFrame writes one reply frame as an HTTP response body.
+func (s *Server) writeWireFrame(w http.ResponseWriter, code int, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(code)
+	if n, _ := w.Write(frame); n > 0 {
+		s.stats.wireBytesOut.Add(int64(n))
+	}
+}
+
+// handleWireIngestHTTP serves POST /ingest bodies framed in the wire
+// format: every TypeIngest frame in the body is decoded into one pooled
+// batch, offered to the engine in one TryIngest, and acked with a wire
+// frame (HTTP 429 plus the ack when the pipeline shed a suffix, mirroring
+// the NDJSON path).
+func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := getEdgeBuf()
+	defer putEdgeBuf(buf)
+	if !s.decodeWireBody(w, body, wire.TypeIngest, func(payload []byte) (err error) {
+		*buf, err = wire.DecodeEdges(*buf, payload)
+		return err
+	}) {
+		return
+	}
+	out := getFrameBuf()
+	defer putFrameBuf(out)
+	accepted, err := s.eng.TryIngest(*buf)
+	s.stats.edgesAccepted.Add(int64(accepted))
+	rejected := len(*buf) - accepted
+	switch {
+	case errors.Is(err, gsketch.ErrEngineClosed):
+		s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeClosed, "ingest pipeline closed"))
+		return
+	case errors.Is(err, gsketch.ErrIngestQueueFull):
+		s.stats.edgesRejected.Add(int64(rejected))
+		w.Header().Set("Retry-After", "1")
+		s.writeWireFrame(w, http.StatusTooManyRequests, wire.AppendAck((*out)[:0], accepted, rejected))
+		return
+	case err != nil:
+		s.writeWireFrame(w, http.StatusInternalServerError, wire.AppendError((*out)[:0], wire.CodeInternal, err.Error()))
+		return
+	}
+	if r.URL.Query().Get("sync") != "" {
+		if err := s.drainBounded(r); err != nil {
+			s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeInternal, err.Error()))
+			return
+		}
+	}
+	s.writeWireFrame(w, http.StatusOK, wire.AppendAck((*out)[:0], accepted, 0))
+}
+
+// handleWireQueryHTTP serves POST /query bodies framed in the wire
+// format: the queries of every TypeQuery frame are answered in one
+// batched pass and returned as a single TypeResults frame. ?sync=1 drains
+// the pipeline first, like the JSON body's "sync" field.
+func (s *Server) handleWireQueryHTTP(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := getQueryBuf()
+	defer putQueryBuf(buf)
+	if !s.decodeWireBody(w, body, wire.TypeQuery, func(payload []byte) (err error) {
+		*buf, err = wire.DecodeQueries(*buf, payload)
+		return err
+	}) {
+		return
+	}
+	out := getFrameBuf()
+	defer putFrameBuf(out)
+	if len(*buf) == 0 {
+		s.writeWireFrame(w, http.StatusBadRequest, wire.AppendError((*out)[:0], wire.CodeBadFrame, "query: empty batch"))
+		return
+	}
+	if r.URL.Query().Get("sync") != "" {
+		if err := s.drainBounded(r); err != nil {
+			s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeInternal, err.Error()))
+			return
+		}
+	}
+	results := s.eng.QueryBatch(*buf)
+	s.stats.queriesAnswered.Add(int64(len(results)))
+	s.writeWireFrame(w, http.StatusOK, wire.AppendResults((*out)[:0], results))
+}
+
+// decodeWireBody reads every frame of an HTTP wire body, requiring type
+// want and feeding each payload to sink. It writes the HTTP error reply
+// itself and returns false when the body is unusable.
+func (s *Server) decodeWireBody(w http.ResponseWriter, body io.Reader, want byte, sink func([]byte) error) bool {
+	dec := wire.NewDecoderSize(varReader{r: body, n: s.stats.wireBytesIn}, int(s.cfg.MaxBodyBytes))
+	frames := 0
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil && f.Type != want {
+			err = fmt.Errorf("%w: frame type 0x%02x in a 0x%02x body", wire.ErrUnknownType, f.Type, want)
+		}
+		if err == nil {
+			err = sink(f.Payload)
+		}
+		if err != nil {
+			s.stats.wireDecodeErrors.Add(1)
+			out := getFrameBuf()
+			s.writeWireFrame(w, http.StatusBadRequest, wire.AppendError((*out)[:0], wire.CodeBadFrame, err.Error()))
+			putFrameBuf(out)
+			return false
+		}
+		s.stats.wireFrames.Add(1)
+		frames++
+	}
+	if frames == 0 {
+		s.stats.wireDecodeErrors.Add(1)
+		out := getFrameBuf()
+		s.writeWireFrame(w, http.StatusBadRequest, wire.AppendError((*out)[:0], wire.CodeBadFrame, "empty wire body"))
+		putFrameBuf(out)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// TestClientConversation runs a Client against a scripted peer over
+// net.Pipe: ingest with a shed suffix and retry, flush, query, then a
+// server error.
+func TestClientConversation(t *testing.T) {
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	c := NewClient(cl)
+
+	edges := []stream.Edge{{Src: 1, Dst: 2, Weight: 3, Time: 4}, {Src: 5, Dst: 6, Weight: 7, Time: 8}}
+	qs := []core.EdgeQuery{{Src: 1, Dst: 2}}
+	want := []core.Result{{Estimate: 3, StreamTotal: 10, ErrorBound: 0.5, Confidence: 0.9, Partition: 1, Outlier: true}}
+
+	srvErr := make(chan error, 1)
+	go func() {
+		defer sv.Close()
+		defer close(srvErr)
+		dec := NewDecoder(bufio.NewReader(sv))
+		var out []byte
+		reply := func(f func([]byte) []byte) bool {
+			out = f(out[:0])
+			_, err := sv.Write(out)
+			if err != nil {
+				srvErr <- err
+				return false
+			}
+			return true
+		}
+		// Ingest frame 1: accept one edge, shed the other.
+		if _, err := dec.Next(); err != nil {
+			srvErr <- err
+			return
+		}
+		if !reply(func(b []byte) []byte { return AppendAck(b, 1, 1) }) {
+			return
+		}
+		// Ingest frame 2 (the retried suffix): accept it.
+		f, err := dec.Next()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		got, err := DecodeEdges(nil, f.Payload)
+		if err != nil || len(got) != 1 || got[0] != edges[1] {
+			srvErr <- errors.New("retried suffix is not edges[1:]")
+			return
+		}
+		if !reply(func(b []byte) []byte { return AppendAck(b, 1, 0) }) {
+			return
+		}
+		// Flush.
+		if _, err := dec.Next(); err != nil {
+			srvErr <- err
+			return
+		}
+		if !reply(AppendFlushAck) {
+			return
+		}
+		// Query.
+		if _, err := dec.Next(); err != nil {
+			srvErr <- err
+			return
+		}
+		if !reply(func(b []byte) []byte { return AppendResults(b, want) }) {
+			return
+		}
+		// Any further frame: answer a server error.
+		if _, err := dec.Next(); err != nil {
+			srvErr <- err
+			return
+		}
+		reply(func(b []byte) []byte { return AppendError(b, CodeClosed, "going away") })
+	}()
+
+	retries, err := c.IngestAll(edges, len(edges))
+	if err != nil || retries != 1 {
+		t.Fatalf("IngestAll = (%d, %v), want (1, nil)", retries, err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Query(nil, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0] != want[0] {
+		t.Fatalf("Query = %+v, want %+v", rs, want)
+	}
+
+	var re *RemoteError
+	if err := c.Flush(); !errors.As(err, &re) || re.Code != CodeClosed {
+		t.Fatalf("error reply surfaced as %v, want *RemoteError{Code: %d}", err, CodeClosed)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("scripted peer: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+// Package wire defines the binary framing of the gSketch serving protocol:
+// a versioned, length-prefixed frame format carrying batched fixed-width
+// edge records on the write path and batched edge queries with their
+// bound-carrying results on the read path. It is the high-throughput
+// sibling of the HTTP/JSON API — the same operations, none of the JSON
+// encode/decode cost — served over a raw TCP listener (gsketch-serve
+// -wire-addr) and as Content-Type: application/x-gsketch-wire bodies on
+// the existing HTTP endpoints.
+//
+// # Frame layout
+//
+// Every frame is an 8-byte header followed by a payload:
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     frame type
+//	2       2     reserved, must be zero
+//	4       4     payload length, little-endian uint32
+//
+// Payloads are dense arrays of fixed-width little-endian records:
+//
+//	TypeIngest   N × 32 bytes: src u64, dst u64, weight i64, time i64
+//	TypeQuery    N × 16 bytes: src u64, dst u64
+//	TypeResults  N × 40 bytes: estimate i64, stream_total i64,
+//	             error_bound f64, confidence f64, partition i32,
+//	             flags u8 (bit 0 = outlier), 3 pad bytes
+//	TypeAck      8 bytes: accepted u32, rejected u32
+//	TypeError    2 bytes code u16, then a UTF-8 message
+//	TypeFlush    empty (request: drain the ingest pipeline)
+//	TypeFlushAck empty (reply: the drain completed)
+//
+// The conversation is strictly request/reply in frame order: TypeIngest is
+// answered by TypeAck (rejected > 0 is the shed-load signal, the wire
+// equivalent of HTTP 429 — retry the rejected suffix), TypeQuery by
+// TypeResults (one record per query, in input order), TypeFlush by
+// TypeFlushAck. A server that cannot parse or serve a frame answers
+// TypeError and closes the connection: framing errors are not recoverable
+// mid-stream.
+//
+// Decoding is defensive: unknown versions, unknown types, nonzero reserved
+// bytes, payloads above the decoder bound and lengths that are not a
+// multiple of the record width are all rejected with typed errors, never a
+// panic, and a claimed length never allocates more than the decoder bound.
+package wire

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// ContentType is the MIME type of wire-framed HTTP bodies.
+const ContentType = "application/x-gsketch-wire"
+
+// Frame types.
+const (
+	TypeIngest   = 0x01 // edge batch → TypeAck
+	TypeQuery    = 0x02 // query batch → TypeResults
+	TypeAck      = 0x03 // ingest reply: accepted/rejected counts
+	TypeResults  = 0x04 // query reply: one result record per query
+	TypeError    = 0x05 // server fault; the connection closes after it
+	TypeFlush    = 0x06 // drain request → TypeFlushAck
+	TypeFlushAck = 0x07 // drain completed
+)
+
+// Record widths and header size, in bytes.
+const (
+	HeaderSize = 8
+	EdgeSize   = 32
+	QuerySize  = 16
+	ResultSize = 40
+	AckSize    = 8
+)
+
+// MaxFrameBytes is the default payload bound: frames claiming more are
+// rejected before any allocation. 16 MiB holds half a million edges.
+const MaxFrameBytes = 16 << 20
+
+// Error codes carried by TypeError frames.
+const (
+	CodeBadFrame    = 1 // unparseable or malformed frame
+	CodeUnsupported = 2 // frame type the server does not serve
+	CodeClosed      = 3 // server is shutting down
+	CodeInternal    = 4 // serving failure (drain timeout, ...)
+)
+
+// Typed decode errors, matched with errors.Is. Truncated frames surface as
+// io.ErrUnexpectedEOF (a clean EOF between frames is io.EOF).
+var (
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrUnknownType   = errors.New("wire: unknown frame type")
+	ErrBadHeader     = errors.New("wire: malformed frame header")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+	ErrBadPayload    = errors.New("wire: malformed frame payload")
+)
+
+// Frame is one decoded frame. Payload aliases the decoder's internal
+// buffer and is only valid until the next Next call.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Decoder reads frames from a byte stream. It is not safe for concurrent
+// use. The zero value is unusable; construct with NewDecoder.
+type Decoder struct {
+	r   io.Reader
+	max uint32
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewDecoder wraps r with the default frame bound. Readers that are not
+// already buffered should be wrapped in a bufio.Reader by the caller.
+func NewDecoder(r io.Reader) *Decoder { return NewDecoderSize(r, MaxFrameBytes) }
+
+// NewDecoderSize wraps r with an explicit payload bound.
+func NewDecoderSize(r io.Reader, max int) *Decoder {
+	if max < 0 || max > math.MaxUint32 {
+		max = math.MaxUint32
+	}
+	return &Decoder{r: r, max: uint32(max)}
+}
+
+// Next reads one frame. The returned payload is valid until the next call.
+// A clean end of stream between frames returns io.EOF; a stream cut inside
+// a frame returns io.ErrUnexpectedEOF.
+func (d *Decoder) Next() (Frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	if d.hdr[0] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, d.hdr[0])
+	}
+	typ := d.hdr[1]
+	if typ < TypeIngest || typ > TypeFlushAck {
+		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, typ)
+	}
+	if d.hdr[2] != 0 || d.hdr[3] != 0 {
+		return Frame{}, fmt.Errorf("%w: nonzero reserved bytes", ErrBadHeader)
+	}
+	n := binary.LittleEndian.Uint32(d.hdr[4:])
+	if n > d.max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, d.max)
+	}
+	if uint32(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	return Frame{Type: typ, Payload: d.buf}, nil
+}
+
+// appendHeader appends an 8-byte frame header for a payload of length n.
+func appendHeader(dst []byte, typ byte, n int) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = Version
+	hdr[1] = typ
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
+	return append(dst, hdr[:]...)
+}
+
+// AppendIngest appends a TypeIngest frame carrying edges.
+func AppendIngest(dst []byte, edges []stream.Edge) []byte {
+	dst = appendHeader(dst, TypeIngest, len(edges)*EdgeSize)
+	var rec [EdgeSize]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(rec[0:], e.Src)
+		binary.LittleEndian.PutUint64(rec[8:], e.Dst)
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.Weight))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(e.Time))
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// AppendQuery appends a TypeQuery frame carrying qs.
+func AppendQuery(dst []byte, qs []core.EdgeQuery) []byte {
+	dst = appendHeader(dst, TypeQuery, len(qs)*QuerySize)
+	var rec [QuerySize]byte
+	for _, q := range qs {
+		binary.LittleEndian.PutUint64(rec[0:], q.Src)
+		binary.LittleEndian.PutUint64(rec[8:], q.Dst)
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// AppendResults appends a TypeResults frame carrying rs.
+func AppendResults(dst []byte, rs []core.Result) []byte {
+	dst = appendHeader(dst, TypeResults, len(rs)*ResultSize)
+	var rec [ResultSize]byte
+	for _, r := range rs {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(r.Estimate))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.StreamTotal))
+		binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(r.ErrorBound))
+		binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(r.Confidence))
+		binary.LittleEndian.PutUint32(rec[32:], uint32(int32(r.Partition)))
+		var flags byte
+		if r.Outlier {
+			flags |= 1
+		}
+		rec[36] = flags
+		rec[37], rec[38], rec[39] = 0, 0, 0
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// AppendAck appends a TypeAck frame.
+func AppendAck(dst []byte, accepted, rejected int) []byte {
+	dst = appendHeader(dst, TypeAck, AckSize)
+	var rec [AckSize]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(accepted))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(rejected))
+	return append(dst, rec[:]...)
+}
+
+// AppendError appends a TypeError frame.
+func AppendError(dst []byte, code uint16, msg string) []byte {
+	dst = appendHeader(dst, TypeError, 2+len(msg))
+	var c [2]byte
+	binary.LittleEndian.PutUint16(c[:], code)
+	dst = append(dst, c[:]...)
+	return append(dst, msg...)
+}
+
+// AppendFlush appends a TypeFlush frame.
+func AppendFlush(dst []byte) []byte { return appendHeader(dst, TypeFlush, 0) }
+
+// AppendFlushAck appends a TypeFlushAck frame.
+func AppendFlushAck(dst []byte) []byte { return appendHeader(dst, TypeFlushAck, 0) }
+
+// DecodeEdges appends the edges of a TypeIngest payload to dst.
+func DecodeEdges(dst []stream.Edge, payload []byte) ([]stream.Edge, error) {
+	if len(payload)%EdgeSize != 0 {
+		return dst, fmt.Errorf("%w: ingest payload %d bytes is not a multiple of %d", ErrBadPayload, len(payload), EdgeSize)
+	}
+	for off := 0; off < len(payload); off += EdgeSize {
+		rec := payload[off : off+EdgeSize]
+		dst = append(dst, stream.Edge{
+			Src:    binary.LittleEndian.Uint64(rec[0:]),
+			Dst:    binary.LittleEndian.Uint64(rec[8:]),
+			Weight: int64(binary.LittleEndian.Uint64(rec[16:])),
+			Time:   int64(binary.LittleEndian.Uint64(rec[24:])),
+		})
+	}
+	return dst, nil
+}
+
+// DecodeQueries appends the queries of a TypeQuery payload to dst.
+func DecodeQueries(dst []core.EdgeQuery, payload []byte) ([]core.EdgeQuery, error) {
+	if len(payload)%QuerySize != 0 {
+		return dst, fmt.Errorf("%w: query payload %d bytes is not a multiple of %d", ErrBadPayload, len(payload), QuerySize)
+	}
+	for off := 0; off < len(payload); off += QuerySize {
+		rec := payload[off : off+QuerySize]
+		dst = append(dst, core.EdgeQuery{
+			Src: binary.LittleEndian.Uint64(rec[0:]),
+			Dst: binary.LittleEndian.Uint64(rec[8:]),
+		})
+	}
+	return dst, nil
+}
+
+// DecodeResults appends the results of a TypeResults payload to dst.
+func DecodeResults(dst []core.Result, payload []byte) ([]core.Result, error) {
+	if len(payload)%ResultSize != 0 {
+		return dst, fmt.Errorf("%w: results payload %d bytes is not a multiple of %d", ErrBadPayload, len(payload), ResultSize)
+	}
+	for off := 0; off < len(payload); off += ResultSize {
+		rec := payload[off : off+ResultSize]
+		dst = append(dst, core.Result{
+			Estimate:    int64(binary.LittleEndian.Uint64(rec[0:])),
+			StreamTotal: int64(binary.LittleEndian.Uint64(rec[8:])),
+			ErrorBound:  math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+			Confidence:  math.Float64frombits(binary.LittleEndian.Uint64(rec[24:])),
+			Partition:   int(int32(binary.LittleEndian.Uint32(rec[32:]))),
+			Outlier:     rec[36]&1 != 0,
+		})
+	}
+	return dst, nil
+}
+
+// DecodeAck unpacks a TypeAck payload.
+func DecodeAck(payload []byte) (accepted, rejected int, err error) {
+	if len(payload) != AckSize {
+		return 0, 0, fmt.Errorf("%w: ack payload %d bytes, want %d", ErrBadPayload, len(payload), AckSize)
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])),
+		int(binary.LittleEndian.Uint32(payload[4:])), nil
+}
+
+// DecodeError unpacks a TypeError payload.
+func DecodeError(payload []byte) (code uint16, msg string, err error) {
+	if len(payload) < 2 {
+		return 0, "", fmt.Errorf("%w: error payload %d bytes, want >= 2", ErrBadPayload, len(payload))
+	}
+	return binary.LittleEndian.Uint16(payload), string(payload[2:]), nil
+}

@@ -6,7 +6,9 @@
 set -euo pipefail
 
 BIN=${1:-bin/gsketch-serve}
+WIRECLI=${2:-bin/gsketch-wire}
 ADDR=${SMOKE_ADDR:-127.0.0.1:7171}
+WADDR=${SMOKE_WIRE_ADDR:-127.0.0.1:7172}
 BASE="http://$ADDR"
 TMP=$(mktemp -d)
 PID=""
@@ -26,8 +28,8 @@ for i in $(seq 0 199); do
   echo "$((i % 10)) $((100 + i % 40)) 1 $i"
 done > "$TMP/sample.txt"
 
-"$BIN" -addr "$ADDR" -sample "$TMP/sample.txt" -snapshot "$TMP/state.gsk" \
-  -workers 2 -batch 64 &
+"$BIN" -addr "$ADDR" -wire-addr "$WADDR" -sample "$TMP/sample.txt" \
+  -snapshot "$TMP/state.gsk" -workers 2 -batch 64 &
 PID=$!
 
 # Wait for liveness.
@@ -71,6 +73,37 @@ answer2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$query" "$BAS
 stats=$(curl -sf "$BASE/stats")
 grep -q '"edges_accepted":8' <<<"$stats" || fail "stats: $stats"
 grep -q '"snapshots_saved":1' <<<"$stats" || fail "stats: $stats"
+
+# ---------------------------------------------------------------------------
+# Binary wire protocol against the same server: ingest two more copies of
+# (1,101) and one of (2,102) over TCP, query them back, snapshot the mixed
+# state and restore it.
+
+printf '1 101 1 0\n1 101 1 1\n2 102 1 2\n' > "$TMP/wire-stream.txt"
+wi=$("$WIRECLI" -addr "$WADDR" ingest "$TMP/wire-stream.txt")
+grep -q 'ingested 3 edges' <<<"$wi" || fail "wire ingest reply: $wi"
+
+# (1,101) now has 5 NDJSON + 2 wire arrivals; the wire answer carries
+# "src dst estimate error_bound confidence partition".
+wq=$("$WIRECLI" -addr "$WADDR" query 1 101)
+west=$(awk '{print $3}' <<<"$wq")
+[[ -n "$west" && "$west" -ge 7 ]] || fail "wire estimate for (1,101) = '$west', want >= 7 ($wq)"
+awk '{exit !($4 > 0 && $5 > 0)}' <<<"$wq" || fail "wire answer missing bounds: $wq"
+
+# Snapshot the mixed JSON+wire state and restore it; the wire answer must
+# not change.
+curl -sf -X POST "$BASE/snapshot/save" >/dev/null
+restore=$(curl -sf -X POST "$BASE/snapshot/restore")
+grep -q '"stream_total":11' <<<"$restore" || fail "post-wire restore reply: $restore"
+wq2=$("$WIRECLI" -addr "$WADDR" query 1 101)
+[[ "$wq2" == "$wq" ]] || fail "wire answers differ after restore: $wq vs $wq2"
+
+# Wire counters surface in /stats.
+stats=$(curl -sf "$BASE/stats")
+grep -q '"wire_decode_errors":0' <<<"$stats" || fail "wire stats: $stats"
+grep -Eq '"wire_frames":[1-9]' <<<"$stats" || fail "wire stats: $stats"
+grep -Eq '"wire_bytes_in":[1-9]' <<<"$stats" || fail "wire stats: $stats"
+grep -Eq '"wire_bytes_out":[1-9]' <<<"$stats" || fail "wire stats: $stats"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$PID"
