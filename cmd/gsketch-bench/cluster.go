@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/cluster"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/server"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// clusterRow is one topology size's sustained numbers, measured through
+// the coordinator's wire frontend.
+type clusterRow struct {
+	Nodes int `json:"nodes"`
+	protoResult
+}
+
+// clusterReport is the BENCH_cluster.json payload: a direct single-engine
+// wire baseline plus one row per -nodes topology, all over the same
+// stream, chunking and client count.
+type clusterReport struct {
+	Schema      int `json:"schema"`
+	Edges       int `json:"edges"`
+	Queries     int `json:"queries"`
+	Conns       int `json:"conns"`
+	IngestChunk int `json:"ingest_chunk"`
+	QueryBatch  int `json:"query_batch"`
+	GoMaxProcs  int `json:"gomaxprocs"`
+	NumCPU      int `json:"num_cpu"`
+
+	Baseline protoResult  `json:"baseline_single_engine"`
+	Rows     []clusterRow `json:"rows"`
+}
+
+// benchCluster is one live topology: N shard servers, a coordinator, and
+// a frontend serving the coordinator's wire protocol.
+type benchCluster struct {
+	shardSrvs []*server.Server
+	coord     *cluster.Coordinator
+	front     *server.Server
+	addr      string
+}
+
+func (bc *benchCluster) close() {
+	if bc.front != nil {
+		bc.front.Close() // closes the coordinator through the backend
+	}
+	for _, s := range bc.shardSrvs {
+		s.Close()
+	}
+}
+
+// startBenchCluster boots nodes in-process shards — each a full engine
+// behind its own loopback wire listener, built from the same sample and
+// seed as the router — and fronts them with a coordinator wire server.
+func startBenchCluster(nodes int, edges []stream.Edge, ingestChunk int) (*benchCluster, error) {
+	bc := &benchCluster{}
+	sample := ingestSample(edges)
+	addrs := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		eng, err := gsketch.Open(ingestSketchConfig(),
+			gsketch.WithSample(sample),
+			gsketch.WithIngest(gsketch.IngestConfig{BatchSize: 8192}))
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		srv, err := server.New(server.Config{Engine: eng})
+		if err != nil {
+			eng.Close()
+			bc.close()
+			return nil, err
+		}
+		bc.shardSrvs = append(bc.shardSrvs, srv)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		go srv.ServeWire(ln) //nolint:errcheck // ErrServerClosed after shutdown
+		addrs[i] = ln.Addr().String()
+	}
+
+	router, err := core.BuildGSketch(ingestSketchConfig(), sample, nil)
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	coord, err := cluster.New(cluster.Config{
+		Addrs:        addrs,
+		Router:       router,
+		BatchEdges:   ingestChunk,
+		QueueBatches: 16,
+		PingInterval: -1, // probes by hand, off the measured path
+	})
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	bc.coord = coord
+	front, err := server.New(server.Config{Cluster: coord})
+	if err != nil {
+		coord.Close()
+		bc.close()
+		return nil, err
+	}
+	bc.front = front
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	go front.ServeWire(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	bc.addr = ln.Addr().String()
+	return bc, nil
+}
+
+// runClusterBench measures scatter-gather serving at each -nodes topology
+// size over loopback, against a direct single-engine wire baseline, and
+// writes BENCH_cluster.json.
+func runClusterBench(nodesSpec string, nEdges, nQueries, ingestChunk, queryBatch int, jsonPath string) error {
+	nodesList, err := parseCores(nodesSpec) // same "1,2,4" syntax as -cores
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	conns := runtime.GOMAXPROCS(0)
+	if conns < 2 {
+		conns = 2 // a lone client would serialize the scatter paths
+	}
+	if nEdges < conns*ingestChunk {
+		return fmt.Errorf("need at least conns*chunk = %d edges (got %d)", conns*ingestChunk, nEdges)
+	}
+	edges := ingestStream(nEdges)
+	var total int64
+	for _, e := range edges {
+		total += e.Weight
+	}
+
+	rep := clusterReport{
+		Schema:      1,
+		Edges:       nEdges,
+		Queries:     nQueries,
+		Conns:       conns,
+		IngestChunk: ingestChunk,
+		QueryBatch:  queryBatch,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	// Baseline: the same phases against one engine's wire server, no
+	// coordinator in the path.
+	base, _, err := runServeProto("wire", edges, nQueries, conns, ingestChunk, queryBatch)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	base.Proto = "wire-direct"
+	rep.Baseline = base
+	fmt.Printf("# cluster bench baseline [wire-direct]: ingest %.0f edges/s, query %.0f queries/s\n",
+		base.IngestEdgesPerSec, base.QueriesPerSec)
+
+	for _, nodes := range nodesList {
+		bc, err := startBenchCluster(nodes, edges, ingestChunk)
+		if err != nil {
+			return fmt.Errorf("%d nodes: %w", nodes, err)
+		}
+		res, err := measurePhases(&wireDriver{addr: bc.addr}, edges, nQueries, conns, ingestChunk, queryBatch)
+		if err != nil {
+			bc.close()
+			return fmt.Errorf("%d nodes: %w", nodes, err)
+		}
+		res.Proto = "wire-cluster"
+
+		// Lossless cross-check: after the flush barrier, the shards'
+		// summed stream totals must equal the offered volume.
+		bc.coord.Probe()
+		got, _, _ := bc.coord.Health()
+		bc.close()
+		if got != total {
+			return fmt.Errorf("%d nodes: cluster lost volume: stream total %d, want %d", nodes, got, total)
+		}
+
+		rep.Rows = append(rep.Rows, clusterRow{Nodes: nodes, protoResult: res})
+		fmt.Printf("# cluster bench [%d node(s)]: %d conns over loopback\n", nodes, conns)
+		fmt.Printf("ingest  %12.0f edges/s   (%.2fs, %d retries, p50 %.2fms p99 %.2fms)\n",
+			res.IngestEdgesPerSec, res.IngestSeconds, res.IngestRetries, res.IngestP50Ms, res.IngestP99Ms)
+		fmt.Printf("query   %12.0f queries/s (%.0f batches/s, p50 %.2fms p99 %.2fms)\n",
+			res.QueriesPerSec, res.QueryBatchesPerSec, res.QueryP50Ms, res.QueryP99Ms)
+		// Let the OS reap listeners before the next topology spins up.
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	gsketch-bench -query [-query-count n] [-query-batch n] [-query-readers n] [-query-partitions n] [-query-json path]
 //	gsketch-bench -serve [-serve-proto json|wire|both] [-serve-json path]
 //	gsketch-bench -scaling [-cores 1,4,16] [-scaling-json path]
+//	gsketch-bench -cluster [-nodes 1,2,4] [-cluster-json path]
 //
 // Examples:
 //
@@ -31,6 +32,10 @@
 // measurements at each GOMAXPROCS value of -cores and writes
 // BENCH_scaling.json (num_cpu records the host's real core count, so a
 // sweep past it is readable as scheduler pressure rather than speedup).
+// The -cluster mode stands a scatter-gather coordinator over 1, 2 and 4
+// in-process shard engines (see internal/cluster), drives the same wire
+// phases through it against a direct single-engine baseline, and writes
+// BENCH_cluster.json.
 package main
 
 import (
@@ -66,6 +71,14 @@ func main() {
 		serveProto   = flag.String("serve-proto", "both", "serving protocol(s) to measure: json, wire or both")
 		serveJSON    = flag.String("serve-json", "BENCH_serve.json", "machine-readable serving report path")
 
+		clusterMode    = flag.Bool("cluster", false, "run the scatter-gather cluster benchmark instead of experiments")
+		clusterNodes   = flag.String("nodes", "1,2,4", "comma-separated shard counts for -cluster")
+		clusterEdges   = flag.Int("cluster-edges", 500_000, "stream length per topology for -cluster")
+		clusterQueries = flag.Int("cluster-queries", 200_000, "queries per topology for -cluster")
+		clusterChunk   = flag.Int("cluster-chunk", 8192, "edges per wire ingest frame for -cluster")
+		clusterBatch   = flag.Int("cluster-batch", 2048, "queries per wire frame for -cluster")
+		clusterJSON    = flag.String("cluster-json", "BENCH_cluster.json", "machine-readable cluster report path")
+
 		scalingMode    = flag.Bool("scaling", false, "sweep GOMAXPROCS over -cores and re-run the ingest/serve benches")
 		coresSpec      = flag.String("cores", "1,4,16", "comma-separated GOMAXPROCS values for -scaling")
 		scalingEdges   = flag.Int("scaling-edges", 500_000, "stream length per sweep point for -scaling")
@@ -99,6 +112,14 @@ func main() {
 	if *serveMode {
 		if err := runServeBench(*serveEdges, *serveQueries, *serveConns, *serveChunk, *serveBatch, *serveProto, *serveJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterMode {
+		if err := runClusterBench(*clusterNodes, *clusterEdges, *clusterQueries, *clusterChunk, *clusterBatch, *clusterJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -160,6 +160,30 @@ func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChu
 		drive = &wireDriver{addr: ln.Addr().String()}
 	}
 
+	phases, err := measurePhases(drive, edges, nQueries, conns, ingestChunk, queryBatch)
+	if err != nil {
+		return res, 0, err
+	}
+	res = phases
+	res.Proto = proto
+
+	var total int64
+	for _, e := range edges {
+		total += e.Weight
+	}
+	if got := eng.Estimator().Count(); got != total {
+		return res, 0, fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
+	}
+	return res, eng.Sketch().NumPartitions(), nil
+}
+
+// measurePhases runs the two measured phases of a serving bench — conns
+// concurrent clients pushing the stream in chunks, then issuing batched
+// queries over the same key population — against any driver. Shared by
+// the single-node serve bench and the cluster bench.
+func measurePhases(drive driver, edges []stream.Edge, nQueries, conns, ingestChunk, queryBatch int) (protoResult, error) {
+	var res protoResult
+
 	// Ingest phase: shard the stream across conns workers, each pushing
 	// chunks and retrying shed suffixes; per-chunk latencies feed p50/p99.
 	nEdges := len(edges)
@@ -203,31 +227,23 @@ func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChu
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return res, 0, err
+		return res, err
 	default:
 	}
 	// Flush so the measured window covers every edge applied.
 	fw, err := drive.worker()
 	if err != nil {
-		return res, 0, err
+		return res, err
 	}
 	if err := fw.flush(); err != nil {
 		fw.close()
-		return res, 0, err
+		return res, err
 	}
 	fw.close()
 	res.IngestSeconds = time.Since(t0).Seconds()
 	res.IngestEdgesPerSec = float64(nEdges) / res.IngestSeconds
 	res.IngestRetries = retries.Load()
 	res.IngestP50Ms, res.IngestP99Ms = percentiles(lats)
-
-	var total int64
-	for _, e := range edges {
-		total += e.Weight
-	}
-	if got := eng.Estimator().Count(); got != total {
-		return res, 0, fmt.Errorf("served ingest lost volume: Count=%d want %d", got, total)
-	}
 
 	// Query phase: conns clients issue batched queries over the same key
 	// population.
@@ -267,7 +283,7 @@ func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChu
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return res, 0, err
+		return res, err
 	default:
 	}
 	res.QuerySeconds = time.Since(t1).Seconds()
@@ -276,7 +292,7 @@ func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChu
 	res.QueryBatchesPerSec = float64(conns*batches) / res.QuerySeconds
 	res.QueryP50Ms, res.QueryP99Ms = percentiles(qlats)
 
-	return res, eng.Sketch().NumPartitions(), nil
+	return res, nil
 }
 
 // driver abstracts the two client protocols; worker() hands each bench

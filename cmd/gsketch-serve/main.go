@@ -41,6 +41,19 @@
 // queries keep answering over the whole stream with combined bounds, and
 // snapshots carry the full chain.
 //
+// With -cluster the process runs as a scatter-gather coordinator instead
+// of an engine: each listed address is one shard — a plain gsketch-serve
+// -wire-addr process — and this frontend routes ingest by the gSketch
+// partitioning (built from -sample, so every partition's substream lands
+// wholly on one shard), fans queries out over persistent wire connections,
+// and folds the per-shard answers into combined estimates and bounds.
+// Coordinator mode serves the same /ingest, /query, /snapshot/save,
+// /snapshot/restore, /healthz and /stats surface; engine-only endpoints
+// (streaming GET /snapshot, /workload, /repartition, /query/window) are
+// not mounted, so -restore, -global, -adapt and -window-span are refused.
+// -snapshot names the local topology manifest; each shard persists to its
+// own -snapshot path.
+//
 // SIGINT/SIGTERM shut down gracefully: the listener stops, the ingest
 // queue drains, and (with -snapshot-on-exit) a final snapshot lands at
 // -snapshot.
@@ -57,10 +70,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/cluster"
+	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
 )
@@ -99,6 +115,11 @@ func main() {
 		adaptDrift    = flag.Float64("adapt-drift", 0.5, "workload-divergence threshold for auto repartitioning")
 		adaptOutlier  = flag.Float64("adapt-outlier", 0.25, "outlier-share threshold for auto repartitioning")
 
+		clusterAddrs = flag.String("cluster", "", "comma-separated shard wire addresses; run as a scatter-gather coordinator (needs -sample)")
+		clusterBatch = flag.Int("cluster-batch", 0, "coordinator per-shard ingest batch in edges (0 = default)")
+		clusterQueue = flag.Int("cluster-queue", 0, "coordinator per-shard queue depth in batches (0 = default)")
+		clusterPing  = flag.Duration("cluster-ping", 0, "shard health-probe interval (0 = default, negative disables)")
+
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
@@ -108,6 +129,30 @@ func main() {
 		Depth:         *depth,
 		Seed:          *seed,
 		MaxPartitions: *partitions,
+	}
+
+	if *clusterAddrs != "" {
+		runCoordinator(coordinatorFlags{
+			addr:           *addr,
+			wireAddr:       *wireAddr,
+			shards:         strings.Split(*clusterAddrs, ","),
+			sketch:         cfg,
+			samplePath:     *samplePath,
+			workloadPath:   *workloadPath,
+			sampleCap:      *sampleCap,
+			batchEdges:     *clusterBatch,
+			queueBatches:   *clusterQueue,
+			pingInterval:   *clusterPing,
+			snapshotPath:   *snapshotPath,
+			snapshotOnExit: *snapshotOnExit,
+			shutdown:       *shutdownTimeout,
+
+			restore:    *restorePath != "",
+			global:     *global,
+			adapt:      *adaptOn,
+			windowSpan: *windowSpan,
+		})
+		return
 	}
 	opts, err := engineOptions(cfg, bootstrapFlags{
 		restorePath:  *restorePath,
@@ -175,23 +220,30 @@ func main() {
 		log.Fatalf("gsketch-serve: %v", err)
 	}
 
+	serveUntilSignal(srv, *addr, *wireAddr, *shutdownTimeout)
+}
+
+// serveUntilSignal runs the HTTP (and optional wire) listeners until
+// SIGINT/SIGTERM, then drains through srv.Shutdown. Shared by the engine
+// and coordinator paths.
+func serveUntilSignal(srv *server.Server, addr, wireAddr string, shutdownTimeout time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 2)
 	listeners := 1
-	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("gsketch-serve: listening on %s", *addr)
-	if *wireAddr != "" {
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	log.Printf("gsketch-serve: listening on %s", addr)
+	if wireAddr != "" {
 		listeners++
-		go func() { errc <- srv.ListenAndServeWire(*wireAddr) }()
-		log.Printf("gsketch-serve: wire protocol on %s", *wireAddr)
+		go func() { errc <- srv.ListenAndServeWire(wireAddr) }()
+		log.Printf("gsketch-serve: wire protocol on %s", wireAddr)
 	}
 
 	select {
 	case <-ctx.Done():
 		log.Printf("gsketch-serve: signal received, draining")
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Fatalf("gsketch-serve: shutdown: %v", err)
@@ -205,6 +257,89 @@ func main() {
 			log.Fatalf("gsketch-serve: %v", err)
 		}
 	}
+}
+
+// coordinatorFlags is the -cluster slice of the flag set, plus the
+// engine-only flags coordinator mode must refuse.
+type coordinatorFlags struct {
+	addr, wireAddr string
+	shards         []string
+	sketch         gsketch.Config
+	samplePath     string
+	workloadPath   string
+	sampleCap      int
+	batchEdges     int
+	queueBatches   int
+	pingInterval   time.Duration
+	snapshotPath   string
+	snapshotOnExit bool
+	shutdown       time.Duration
+
+	restore    bool
+	global     bool
+	adapt      bool
+	windowSpan int64
+}
+
+// runCoordinator builds the routing gSketch from the sample, connects the
+// scatter-gather coordinator to every shard and serves until a signal.
+func runCoordinator(f coordinatorFlags) {
+	switch {
+	case f.restore:
+		log.Fatalf("gsketch-serve: -cluster routes to shards that restore their own snapshots; -restore is engine-only")
+	case f.global:
+		log.Fatalf("gsketch-serve: -cluster needs the partitioned router; -global is engine-only")
+	case f.adapt:
+		log.Fatalf("gsketch-serve: -adapt is engine-only (shards repartition, the coordinator's routing is static)")
+	case f.windowSpan != 0:
+		log.Fatalf("gsketch-serve: -window-span is engine-only")
+	case f.samplePath == "":
+		log.Fatalf("gsketch-serve: -cluster needs -sample to build the vertex router")
+	}
+
+	sample, err := readEdgeFile(f.samplePath)
+	if err != nil {
+		log.Fatalf("gsketch-serve: sample %s: %v", f.samplePath, err)
+	}
+	if len(sample) > f.sampleCap {
+		sample = sample[:f.sampleCap]
+	}
+	var workload []stream.Edge
+	if f.workloadPath != "" {
+		if workload, err = readEdgeFile(f.workloadPath); err != nil {
+			log.Fatalf("gsketch-serve: workload %s: %v", f.workloadPath, err)
+		}
+	}
+	// The router is a zero-traffic gSketch: only its partitioning (the
+	// vertex → partition map) is used, so every shard must be built from
+	// the same sample, config and seed to agree with it.
+	router, err := core.BuildGSketch(f.sketch, sample, workload)
+	if err != nil {
+		log.Fatalf("gsketch-serve: router build: %v", err)
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Addrs:        f.shards,
+		Router:       router,
+		BatchEdges:   f.batchEdges,
+		QueueBatches: f.queueBatches,
+		PingInterval: f.pingInterval,
+		SnapshotPath: f.snapshotPath,
+	})
+	if err != nil {
+		log.Fatalf("gsketch-serve: cluster: %v", err)
+	}
+	log.Printf("gsketch-serve: coordinator up (%d shards, %d partitions (order %v))",
+		coord.NumShards(), router.NumPartitions(), router.Order())
+
+	srv, err := server.New(server.Config{
+		Cluster:            coord,
+		SnapshotOnShutdown: f.snapshotOnExit,
+	})
+	if err != nil {
+		log.Fatalf("gsketch-serve: %v", err)
+	}
+	serveUntilSignal(srv, f.addr, f.wireAddr, f.shutdown)
 }
 
 // bootstrapFlags is the bootstrap slice of the flag set.

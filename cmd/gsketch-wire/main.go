@@ -9,6 +9,7 @@
 //	gsketch-wire -addr host:port ingest [file]       edges from file or stdin
 //	gsketch-wire -addr host:port query src dst ...   one query per src/dst pair
 //	gsketch-wire -addr host:port flush               drain the ingest pipeline
+//	gsketch-wire -addr host:port ping                health probe with RTT
 //
 // Ingest reads the text edge format ("src dst [weight [time]]" per line,
 // '#' comments) or the GSED binary format, sniffed by magic; "-" or no
@@ -87,8 +88,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("flushed")
+	case "ping":
+		pong, rtt, err := c.Ping()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pong: stream_total %d queue_depth %d generations %d rtt %s\n",
+			pong.StreamTotal, pong.QueueDepth, pong.Generations, rtt)
 	default:
-		log.Fatalf("unknown subcommand %q (want ingest, query or flush)", cmd)
+		log.Fatalf("unknown subcommand %q (want ingest, query, flush or ping)", cmd)
 	}
 }
 

@@ -181,6 +181,17 @@
 // in one container (Engine.Save on an adaptive engine); pre-chain
 // snapshots load unchanged as single-generation chains.
 //
+// # Scaling past one machine
+//
+// One engine is bounded by one process; internal/cluster shards the
+// stream across N full engines behind a scatter-gather coordinator on
+// the binary wire protocol (cmd/gsketch-serve -cluster). Routing is
+// partition-disjoint — each partition's whole substream lands on one
+// shard — so gathered estimates and error bounds are byte-identical to a
+// single engine over the same stream, with the confidence paying a union
+// bound across shards. See the README's Cluster section and the
+// internal/cluster package documentation.
+//
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)
 // lives in the internal packages and is documented in DESIGN.md.

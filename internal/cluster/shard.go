@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/wire"
+)
+
+// maxPooledConns bounds the per-shard query-connection free list.
+const maxPooledConns = 4
+
+// shedBackoff is the pause before retrying a shed suffix, matching the
+// wire client's ingest retry cadence.
+const shedBackoff = 200 * time.Microsecond
+
+// sendJob is one unit of sender work: an edge batch to push, or — when
+// flush is non-nil — a drain barrier. Channel order is the delivery
+// order, so a flush job completes only after every batch queued before
+// it has been acked by the shard.
+type sendJob struct {
+	edges []stream.Edge
+	flush chan<- error
+}
+
+// shard is the coordinator's view of one cluster node: a batch buffer
+// feeding a sender goroutine that owns the write connection, a pooled set
+// of query connections, a degraded flag, and counters/gauges for /stats.
+type shard struct {
+	id   int
+	addr string
+	cfg  *Config
+
+	// down marks the shard degraded: ingest sheds to it, queries fail
+	// fast, and only a successful probe revives it.
+	down atomic.Bool
+
+	// Batch buffer between TryIngest and the sender.
+	bmu sync.Mutex
+	buf []stream.Edge
+
+	sendCh     chan sendJob
+	senderDone chan struct{}
+
+	// Query-connection free list, dropped wholesale on markDown.
+	pmu  sync.Mutex
+	pool []*wire.Client
+
+	// Monotonic counters.
+	pendingEdges atomic.Int64 // edges queued but not yet acked by the shard
+	edgesSent    atomic.Int64 // edges acked by the shard
+	edgesLost    atomic.Int64 // edges dropped because the shard died
+	sheds        atomic.Int64 // shard 429 rounds absorbed by the sender
+	batchesSent  atomic.Int64 // batches fully delivered
+	queries      atomic.Int64 // successful query round trips
+	queryErrs    atomic.Int64 // failed query round trips
+
+	// Gauges refreshed by the prober (and the initial dial check).
+	gmu     sync.Mutex
+	pong    wire.Pong
+	rtt     time.Duration
+	lastErr string
+}
+
+func newShard(id int, addr string, cfg *Config) *shard {
+	return &shard{
+		id:         id,
+		addr:       addr,
+		cfg:        cfg,
+		buf:        make([]stream.Edge, 0, cfg.BatchEdges),
+		sendCh:     make(chan sendJob, cfg.QueueBatches),
+		senderDone: make(chan struct{}),
+	}
+}
+
+func (sh *shard) dial() (*wire.Client, error) {
+	conn, err := net.DialTimeout("tcp", sh.addr, sh.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewClient(conn), nil
+}
+
+// markDown degrades the shard and drops its pooled connections (they
+// share the peer's fate).
+func (sh *shard) markDown(err error) {
+	sh.down.Store(true)
+	sh.gmu.Lock()
+	sh.lastErr = err.Error()
+	sh.gmu.Unlock()
+	sh.pmu.Lock()
+	pool := sh.pool
+	sh.pool = nil
+	sh.pmu.Unlock()
+	for _, c := range pool {
+		c.Close()
+	}
+}
+
+func (sh *shard) getConn() (*wire.Client, error) {
+	sh.pmu.Lock()
+	if n := len(sh.pool); n > 0 {
+		c := sh.pool[n-1]
+		sh.pool = sh.pool[:n-1]
+		sh.pmu.Unlock()
+		return c, nil
+	}
+	sh.pmu.Unlock()
+	return sh.dial()
+}
+
+func (sh *shard) putConn(c *wire.Client) {
+	c.SetDeadline(time.Time{})
+	sh.pmu.Lock()
+	if len(sh.pool) < maxPooledConns && !sh.down.Load() {
+		sh.pool = append(sh.pool, c)
+		sh.pmu.Unlock()
+		return
+	}
+	sh.pmu.Unlock()
+	c.Close()
+}
+
+func (sh *shard) closeConns() {
+	sh.pmu.Lock()
+	pool := sh.pool
+	sh.pool = nil
+	sh.pmu.Unlock()
+	for _, c := range pool {
+		c.Close()
+	}
+}
+
+// offer buffers one routed edge, handing full batches to the sender. It
+// returns false — rejecting the edge — only when the batch buffer is full
+// and the sender queue cannot take it: the coordinator's queue-full
+// signal.
+func (sh *shard) offer(e stream.Edge) bool {
+	sh.bmu.Lock()
+	defer sh.bmu.Unlock()
+	if len(sh.buf) >= sh.cfg.BatchEdges && !sh.handoffLocked() {
+		return false
+	}
+	sh.buf = append(sh.buf, e)
+	if len(sh.buf) >= sh.cfg.BatchEdges {
+		sh.handoffLocked() // opportunistic; failure just defers to the next offer
+	}
+	return true
+}
+
+// handoffLocked moves the (possibly partial) batch buffer to the sender
+// queue without blocking. Caller holds bmu.
+func (sh *shard) handoffLocked() bool {
+	if len(sh.buf) == 0 {
+		return true
+	}
+	select {
+	case sh.sendCh <- sendJob{edges: sh.buf}:
+		sh.pendingEdges.Add(int64(len(sh.buf)))
+		sh.buf = make([]stream.Edge, 0, sh.cfg.BatchEdges)
+		return true
+	default:
+		return false
+	}
+}
+
+// kick hands off a lingering partial batch so trickle traffic still
+// reaches the shard within a prober tick.
+func (sh *shard) kick() {
+	sh.bmu.Lock()
+	sh.handoffLocked()
+	sh.bmu.Unlock()
+}
+
+// sender is the per-shard write loop: it owns one connection, delivers
+// batches with the shed-retry protocol, and answers flush barriers. It
+// exits when sendCh closes.
+func (sh *shard) sender() {
+	defer close(sh.senderDone)
+	var cl *wire.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	for job := range sh.sendCh {
+		if job.flush != nil {
+			job.flush <- sh.doFlush(&cl)
+			continue
+		}
+		sh.pendingEdges.Add(-int64(len(job.edges)))
+		sh.sendEdges(&cl, job.edges)
+	}
+}
+
+// sendEdges delivers one batch, absorbing shard 429s with the retry loop
+// and degrading the shard on connection failure (the undelivered suffix
+// is counted lost — rerouting would break partition-disjointness).
+func (sh *shard) sendEdges(cl **wire.Client, edges []stream.Edge) {
+	if sh.down.Load() {
+		sh.edgesLost.Add(int64(len(edges)))
+		return
+	}
+	if *cl == nil {
+		c, err := sh.dial()
+		if err != nil {
+			sh.markDown(err)
+			sh.edgesLost.Add(int64(len(edges)))
+			return
+		}
+		*cl = c
+	}
+	for lo := 0; lo < len(edges); {
+		(*cl).SetDeadline(time.Now().Add(sh.cfg.OpTimeout))
+		accepted, rejected, err := (*cl).Ingest(edges[lo:])
+		sh.edgesSent.Add(int64(accepted))
+		lo += accepted
+		if err != nil {
+			(*cl).Close()
+			*cl = nil
+			sh.markDown(err)
+			sh.edgesLost.Add(int64(len(edges) - lo))
+			return
+		}
+		if rejected > 0 {
+			sh.sheds.Add(1)
+			time.Sleep(shedBackoff)
+		}
+	}
+	sh.batchesSent.Add(1)
+}
+
+// doFlush delivers a flush barrier: every batch queued before it has
+// already been acked (channel order), so one wire Flush drains the shard
+// engine's own pipeline.
+func (sh *shard) doFlush(cl **wire.Client) error {
+	if sh.down.Load() {
+		return &ShardError{ID: sh.id, Addr: sh.addr, Err: ErrShardDown}
+	}
+	if *cl == nil {
+		c, err := sh.dial()
+		if err != nil {
+			sh.markDown(err)
+			return &ShardError{ID: sh.id, Addr: sh.addr, Err: err}
+		}
+		*cl = c
+	}
+	(*cl).SetDeadline(time.Now().Add(sh.cfg.OpTimeout))
+	if err := (*cl).Flush(); err != nil {
+		(*cl).Close()
+		*cl = nil
+		sh.markDown(err)
+		return &ShardError{ID: sh.id, Addr: sh.addr, Err: err}
+	}
+	(*cl).SetDeadline(time.Time{})
+	return nil
+}
+
+// drain pushes the partial batch buffer and a flush barrier through the
+// sender, waiting — bounded by ctx — until the shard has applied
+// everything queued before the call.
+func (sh *shard) drain(ctx context.Context) error {
+	sh.bmu.Lock()
+	buf := sh.buf
+	sh.buf = make([]stream.Edge, 0, sh.cfg.BatchEdges)
+	sh.bmu.Unlock()
+	if len(buf) > 0 {
+		sh.pendingEdges.Add(int64(len(buf)))
+		select {
+		case sh.sendCh <- sendJob{edges: buf}:
+		case <-ctx.Done():
+			// Put the batch back in front so accepted edges are not
+			// dropped and order is kept (anything offered meanwhile came
+			// after it).
+			sh.pendingEdges.Add(-int64(len(buf)))
+			sh.bmu.Lock()
+			sh.buf = append(buf, sh.buf...)
+			sh.bmu.Unlock()
+			return ctx.Err()
+		}
+	}
+	done := make(chan error, 1)
+	select {
+	case sh.sendCh <- sendJob{flush: done}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// query scatters one batch to this shard over a pooled connection.
+func (sh *shard) query(qs []core.EdgeQuery) ([]core.Result, error) {
+	if sh.down.Load() {
+		sh.queryErrs.Add(1)
+		return nil, ErrShardDown
+	}
+	cl, err := sh.getConn()
+	if err != nil {
+		sh.markDown(err)
+		sh.queryErrs.Add(1)
+		return nil, err
+	}
+	cl.SetDeadline(time.Now().Add(sh.cfg.OpTimeout))
+	res, err := cl.Query(nil, qs)
+	if err != nil {
+		cl.Close()
+		sh.markDown(err)
+		sh.queryErrs.Add(1)
+		return nil, err
+	}
+	if len(res) != len(qs) {
+		cl.Close()
+		sh.queryErrs.Add(1)
+		return nil, fmt.Errorf("cluster: shard answered %d results, want %d", len(res), len(qs))
+	}
+	sh.putConn(cl)
+	sh.queries.Add(1)
+	return res, nil
+}
+
+// probe pings the shard, refreshing gauges and reviving a degraded shard
+// that answers again.
+func (sh *shard) probe() {
+	cl, err := sh.getConn()
+	if err != nil {
+		sh.markDown(err)
+		return
+	}
+	cl.SetDeadline(time.Now().Add(sh.cfg.OpTimeout))
+	p, rtt, err := cl.Ping()
+	if err != nil {
+		cl.Close()
+		sh.markDown(err)
+		return
+	}
+	sh.gmu.Lock()
+	sh.pong, sh.rtt, sh.lastErr = p, rtt, ""
+	sh.gmu.Unlock()
+	sh.down.Store(false)
+	sh.putConn(cl)
+}

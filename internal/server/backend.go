@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// Backend is the serving surface the Server fronts — the operations every
+// endpoint and wire frame shares, implemented by a single-node
+// gsketch.Engine (via engineBackend) and by cluster.Coordinator. Engine-
+// only concerns (workload capture, window queries, repartitioning,
+// streaming snapshots) stay off the interface: their routes mount only
+// when the backend is an engine.
+type Backend interface {
+	// TryIngest offers an edge batch without blocking, returning the
+	// accepted prefix length (accepted-prefix semantics on every error).
+	TryIngest(edges []stream.Edge) (int, error)
+	// QueryBatch answers edge queries with bound-carrying results. A
+	// cluster backend may return partial results alongside a typed
+	// *cluster.PartialError.
+	QueryBatch(qs []core.EdgeQuery) ([]core.Result, error)
+	// Drain waits, bounded by ctx, until every accepted edge is applied.
+	Drain(ctx context.Context) error
+	// SaveSnapshot persists state (path empty = configured default).
+	SaveSnapshot(path string) (int64, error)
+	// RestoreSnapshot swaps state in from disk (path empty = default).
+	RestoreSnapshot(path string) error
+	// SnapshotPath is the configured default snapshot location.
+	SnapshotPath() string
+	// Generations counts sketch generations serving reads.
+	Generations() int
+	// Health reports the non-blocking liveness gauges a Pong carries.
+	Health() (streamTotal int64, queueDepth, generations int)
+	// Close shuts the backend down, draining accepted work.
+	Close() error
+}
+
+// engineBackend adapts gsketch.Engine to Backend.
+type engineBackend struct {
+	eng *gsketch.Engine
+}
+
+func (b engineBackend) TryIngest(edges []stream.Edge) (int, error) { return b.eng.TryIngest(edges) }
+
+func (b engineBackend) QueryBatch(qs []core.EdgeQuery) ([]core.Result, error) {
+	return b.eng.QueryBatch(qs), nil
+}
+
+func (b engineBackend) Drain(ctx context.Context) error         { return b.eng.Drain(ctx) }
+func (b engineBackend) SaveSnapshot(path string) (int64, error) { return b.eng.SaveSnapshot(path) }
+func (b engineBackend) RestoreSnapshot(path string) error       { return b.eng.RestoreSnapshot(path) }
+func (b engineBackend) SnapshotPath() string                    { return b.eng.SnapshotPath() }
+func (b engineBackend) Generations() int                        { return b.eng.Generations() }
+func (b engineBackend) Close() error                            { return b.eng.Close() }
+
+func (b engineBackend) Health() (int64, int, int) {
+	depth := 0
+	if is := b.eng.IngestStats(); is != nil {
+		depth = is.QueueDepth
+	}
+	return b.eng.Estimator().Count(), depth, b.eng.Generations()
+}

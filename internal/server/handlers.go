@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
@@ -25,13 +26,15 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
 	mux.HandleFunc("POST /snapshot/restore", s.handleSnapshotRestore)
-	if s.eng.RecordsWorkload() {
+	// Engine-only surfaces; a cluster coordinator (s.eng == nil) serves
+	// the shared endpoints above, unchanged.
+	if s.eng != nil && s.eng.RecordsWorkload() {
 		mux.HandleFunc("GET /workload", s.handleWorkload)
 	}
-	if s.eng.HasWindow() {
+	if s.eng != nil && s.eng.HasWindow() {
 		mux.HandleFunc("POST /query/window", s.handleWindowQuery)
 	}
-	if s.eng.Adaptive() {
+	if s.eng != nil && s.eng.Adaptive() {
 		mux.HandleFunc("POST /repartition", s.handleRepartition)
 	}
 	return mux
@@ -100,17 +103,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// concurrent snapshot restore cannot swap the pipeline between the ack
 	// and the enqueue — every 200-acked edge lands in the engine state
 	// that serves subsequent queries.
-	accepted, err := s.eng.TryIngest(edges)
+	accepted, err := s.be.TryIngest(edges)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(edges) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed):
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
 		// The accepted prefix (if any) was still taken by the pipeline;
 		// report it so a retrying client does not double-send it.
 		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
 			Accepted: accepted,
 			Rejected: rejected,
 			Error:    "ingest pipeline closed",
+		})
+		return
+	case errors.Is(err, cluster.ErrShardDown):
+		// A degraded shard owns the next edge's partition: 503 (not 429 —
+		// an immediate retry hits the same wall) with the accepted prefix
+		// and the typed shard attribution.
+		s.stats.edgesRejected.Add(int64(rejected))
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
+			Accepted: accepted,
+			Rejected: rejected,
+			Error:    err.Error(),
 		})
 		return
 	case errors.Is(err, gsketch.ErrIngestQueueFull):
@@ -141,14 +155,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) drainBounded(r *http.Request) error {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FlushTimeout)
 	defer cancel()
-	err := s.eng.Drain(ctx)
+	err := s.be.Drain(ctx)
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return errors.New("drain did not quiesce: " + err.Error())
 	}
-	if errors.Is(err, gsketch.ErrEngineClosed) {
+	if errors.Is(err, gsketch.ErrEngineClosed) || errors.Is(err, cluster.ErrClosed) {
 		return nil
 	}
 	return err
+}
+
+// writeQueryError maps backend query failures: a cluster gather that lost
+// shards is 502 Bad Gateway with the typed per-shard attribution (the
+// cluster is degraded, not the request), a closed backend 503, anything
+// else 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var pe *cluster.PartialError
+	switch {
+	case errors.As(err, &pe):
+		code = http.StatusBadGateway
+	case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeError(w, code, "query: %v", err)
 }
 
 // handleQuery answers a batch of edge queries with the bound-carrying
@@ -180,7 +210,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer putQueryBuf(qbuf)
 	qs := appendEdgeQueries(*qbuf, req.Queries)
 	*qbuf = qs[:0]
-	results := s.eng.QueryBatch(qs)
+	results, err := s.be.QueryBatch(qs)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
 	s.stats.queriesAnswered.Add(int64(len(results)))
 	resp := queryResponse{Results: make([]resultJSON, len(results))}
 	for i, res := range results {
@@ -226,6 +260,12 @@ func (s *Server) handleWindowQuery(w http.ResponseWriter, r *http.Request) {
 // handleSnapshotGet streams the serialized sketch, snapshotted under the
 // striped read locks, directly to the client.
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		// Cluster state lives on the shards' own disks; streaming it
+		// through the coordinator is deliberately unsupported.
+		writeError(w, http.StatusNotImplemented, "snapshot: %v", cluster.ErrNoStream)
+		return
+	}
 	// Write through a counter so an error before the first byte (an
 	// estimator without a serial form, say) can still become a clean 500
 	// instead of a 200 with an empty body the client mistakes for a
@@ -252,13 +292,26 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	n, err := s.eng.SaveSnapshot(path)
+	n, err := s.be.SaveSnapshot(path)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "snapshot save: %v", err)
+		code := http.StatusInternalServerError
+		// A shard the coordinator cannot reach is an upstream fault.
+		if errors.Is(err, cluster.ErrShardDown) || isShardFailure(err) {
+			code = http.StatusBadGateway
+		}
+		writeError(w, code, "snapshot save: %v", err)
 		return
 	}
 	s.stats.snapshotsSaved.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"path": path, "bytes": n})
+}
+
+// isShardFailure reports whether err carries per-shard attribution — a
+// *cluster.ShardError or a *cluster.PartialError wrapping them.
+func isShardFailure(err error) bool {
+	var se *cluster.ShardError
+	var pe *cluster.PartialError
+	return errors.As(err, &se) || errors.As(err, &pe)
 }
 
 // handleSnapshotRestore swaps the serving state for a snapshot, read from
@@ -268,6 +321,10 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
 // engine refuses multi-generation snapshots; a windowed engine refuses all
 // restores (snapshots carry no window state).
 func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
+	if s.eng == nil {
+		s.handleClusterRestore(w, r)
+		return
+	}
 	var src io.Reader
 	var from string
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
@@ -319,6 +376,45 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleClusterRestore fans a snapshot restore out to every shard. Only
+// manifest paths are restorable — a raw snapshot body has no home on the
+// coordinator (state lives on shard disks), so octet-stream bodies are
+// refused outright.
+func (s *Server) handleClusterRestore(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		writeError(w, http.StatusNotImplemented, "snapshot restore: %v", cluster.ErrNoStream)
+		return
+	}
+	path, ok := s.snapshotPath(w, r)
+	if !ok {
+		return
+	}
+	if err := s.coord.RestoreSnapshot(path); err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, cluster.ErrTopologyMismatch):
+			// The manifest may be fine; this topology cannot serve it.
+			code = http.StatusConflict
+		case errors.Is(err, os.ErrNotExist):
+			code = http.StatusNotFound
+		case errors.Is(err, cluster.ErrClosed):
+			code = http.StatusServiceUnavailable
+		case isShardFailure(err):
+			code = http.StatusBadGateway
+		}
+		writeError(w, code, "snapshot restore from %s: %v", path, err)
+		return
+	}
+	s.stats.snapshotsRestored.Add(1)
+	total, _, gens := s.coord.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restored":     path,
+		"generations":  gens,
+		"shards":       s.coord.NumShards(),
+		"stream_total": total,
+	})
+}
+
 // snapshotPath resolves the snapshot path from the request body or the
 // engine default, writing the error reply itself when none is usable. A
 // request-supplied path is confined to the directory of the engine's
@@ -332,7 +428,7 @@ func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, b
 		writeError(w, http.StatusBadRequest, "snapshot: %v", err)
 		return "", false
 	}
-	deflt := s.eng.SnapshotPath()
+	deflt := s.be.SnapshotPath()
 	if req.Path == "" {
 		if deflt == "" {
 			writeError(w, http.StatusBadRequest, "snapshot: no path (configure a snapshot path or pass {\"path\": ...})")
@@ -364,10 +460,32 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	_, _ = s.eng.WriteWorkloadTo(w)
 }
 
-// handleStats reports the expvar counters plus the engine's live gauges.
+// handleStats reports the expvar counters plus the backend's live gauges:
+// engine pipeline/workload/routing gauges for a single node, per-shard
+// depth/latency/health gauges for a cluster.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	es := s.eng.Stats()
 	now := s.cfg.Now()
+	if s.coord != nil {
+		cs := s.coord.Stats()
+		_, depth, gens := s.coord.Health()
+		stats := map[string]any{
+			"uptime_seconds":     now.Sub(s.start).Seconds(),
+			"stream_total":       cs.StreamTotal,
+			"generations":        gens,
+			"queue_depth":        depth,
+			"cluster_shards":     len(cs.Shards),
+			"cluster_healthy":    cs.Healthy,
+			"cluster_degraded":   cs.Degraded,
+			"cluster_edges_lost": cs.EdgesLost,
+			"shards":             cs.Shards,
+		}
+		s.stats.vars.Do(func(kv expvar.KeyValue) {
+			stats[kv.Key] = json.RawMessage(kv.Value.String())
+		})
+		writeJSON(w, http.StatusOK, stats)
+		return
+	}
+	es := s.eng.Stats()
 	stats := map[string]any{
 		"uptime_seconds": now.Sub(s.start).Seconds(),
 		"stream_total":   es.StreamTotal,

@@ -45,6 +45,7 @@ import (
 
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/window"
@@ -53,9 +54,18 @@ import (
 // Config parameterizes a Server.
 type Config struct {
 	// Engine is the serving engine, constructed with gsketch.Open. When
-	// nil, the deprecated wiring fields below are assembled into one —
-	// the pre-Engine construction path, kept so embedders keep compiling.
+	// nil (and Cluster is nil), the deprecated wiring fields below are
+	// assembled into one — the pre-Engine construction path, kept so
+	// embedders keep compiling.
 	Engine *gsketch.Engine
+
+	// Cluster serves a shard topology instead of a local engine: the
+	// coordinator fronts N remote engines behind the same HTTP+wire
+	// surface, so clients cannot tell one node from a cluster. Mutually
+	// exclusive with Engine and the deprecated estimator wiring.
+	// Engine-only endpoints (/workload, /query/window, /repartition,
+	// GET /snapshot streaming) are not mounted.
+	Cluster *cluster.Coordinator
 
 	// Estimator is the estimator to serve. A *core.Concurrent or
 	// *adapt.Chain is used as-is; anything else is wrapped so handlers
@@ -161,8 +171,13 @@ func (c Config) buildEngine() (*gsketch.Engine, error) {
 // Server is the serving runtime. Create with New; all exported methods are
 // safe for concurrent use.
 type Server struct {
-	cfg   Config
+	cfg Config
+	// be is the serving surface shared by every endpoint. eng is non-nil
+	// only for engine backends (engine-only routes key off it); coord is
+	// non-nil only in cluster mode.
+	be    Backend
 	eng   *gsketch.Engine
+	coord *cluster.Coordinator
 	mux   *http.ServeMux
 	stats *counters
 
@@ -191,21 +206,30 @@ type Server struct {
 // server runs.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	eng := cfg.Engine
-	if eng == nil {
-		var err error
-		eng, err = cfg.buildEngine()
-		if err != nil {
-			return nil, err
-		}
-	}
 	s := &Server{
 		cfg:       cfg,
-		eng:       eng,
 		stats:     newCounters(),
 		start:     cfg.Now(),
 		wireLns:   make(map[net.Listener]struct{}),
 		wireConns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Cluster != nil {
+		if cfg.Engine != nil || cfg.Estimator != nil {
+			return nil, errors.New("server: Config.Cluster is mutually exclusive with Engine/Estimator")
+		}
+		s.coord = cfg.Cluster
+		s.be = cfg.Cluster
+	} else {
+		eng := cfg.Engine
+		if eng == nil {
+			var err error
+			eng, err = cfg.buildEngine()
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.eng = eng
+		s.be = engineBackend{eng: eng}
 	}
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{
@@ -218,8 +242,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Engine returns the serving engine, for embedders that want the
-// programmatic surface next to the HTTP one.
+// programmatic surface next to the HTTP one. It is nil in cluster mode.
 func (s *Server) Engine() *gsketch.Engine { return s.eng }
+
+// Cluster returns the cluster coordinator, or nil for an engine backend.
+func (s *Server) Cluster() *cluster.Coordinator { return s.coord }
 
 // Handler returns the server's HTTP handler, for embedding in an existing
 // http.Server or test harness.
@@ -260,19 +287,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Wire connections are long-lived streams with no request
 		// boundary to wait for: stop the listeners and cut the
 		// connections. Edges already accepted by the pipeline drain in
-		// the engine Close below.
+		// the backend Close below.
 		s.closeWire()
-		if err := s.eng.Close(); err != nil && s.closeErr == nil {
-			s.closeErr = err
-		}
-		if s.cfg.SnapshotOnShutdown && s.eng.SnapshotPath() != "" {
-			if _, err := s.eng.SaveSnapshot(""); err != nil {
+		// A cluster snapshot must fan out before Close severs the shard
+		// connections; an engine saves after Close (the closed engine's
+		// read path still serializes, and the close drain guarantees the
+		// snapshot covers every accepted edge).
+		saveFinal := func() {
+			if !s.cfg.SnapshotOnShutdown || s.be.SnapshotPath() == "" {
+				return
+			}
+			if _, err := s.be.SaveSnapshot(""); err != nil {
 				if s.closeErr == nil {
 					s.closeErr = err
 				}
 			} else {
 				s.stats.snapshotsSaved.Add(1)
 			}
+		}
+		if s.coord != nil {
+			saveFinal()
+		}
+		if err := s.be.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		if s.coord == nil {
+			saveFinal()
 		}
 	})
 	return s.closeErr

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/wire"
@@ -180,6 +181,12 @@ func (s *Server) handleWireConn(conn net.Conn) {
 			*out = s.applyWireQuery(*out, *job.qs)
 		case wire.TypeFlush:
 			*out = s.applyWireFlush(*out)
+		case wire.TypePing:
+			*out = s.applyWirePing(*out)
+		case wire.TypeSnapSave:
+			*out = s.applyWireSnapSave(*out)
+		case wire.TypeSnapRestore:
+			*out = s.applyWireSnapRestore(*out)
 		}
 		s.recycleWireJob(job)
 		if _, err := bw.Write(*out); err != nil {
@@ -230,7 +237,7 @@ func (s *Server) wireDecodeLoop(r io.Reader, jobs chan<- wireJob) {
 				return
 			}
 			jobs <- wireJob{typ: f.Type, qs: buf}
-		case wire.TypeFlush:
+		case wire.TypeFlush, wire.TypePing, wire.TypeSnapSave, wire.TypeSnapRestore:
 			jobs <- wireJob{typ: f.Type}
 		default:
 			jobs <- wireJob{err: fmt.Errorf("%w: client sent reply type 0x%02x", wire.ErrUnknownType, f.Type)}
@@ -253,12 +260,18 @@ func (s *Server) recycleWireJob(job wireJob) {
 // the ack itself: rejected > 0 tells the client to retry that suffix.
 func (s *Server) applyWireIngest(out []byte, edges []stream.Edge) []byte {
 	s.stats.ingestRequests.Add(1)
-	accepted, err := s.eng.TryIngest(edges)
+	accepted, err := s.be.TryIngest(edges)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(edges) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed):
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
 		return wire.AppendError(out, wire.CodeClosed, "ingest pipeline closed")
+	case errors.Is(err, cluster.ErrShardDown):
+		// Not an ack: an acked rejection invites an immediate retry, but
+		// the owning shard is down. The typed error closes the
+		// conversation instead.
+		s.stats.edgesRejected.Add(int64(rejected))
+		return wire.AppendError(out, wire.CodeDegraded, err.Error())
 	case errors.Is(err, gsketch.ErrIngestQueueFull):
 		s.stats.edgesRejected.Add(int64(rejected))
 		return wire.AppendAck(out, accepted, rejected)
@@ -275,7 +288,18 @@ func (s *Server) applyWireQuery(out []byte, qs []core.EdgeQuery) []byte {
 	if len(qs) == 0 {
 		return wire.AppendResults(out, nil)
 	}
-	results := s.eng.QueryBatch(qs)
+	results, err := s.be.QueryBatch(qs)
+	if err != nil {
+		// Partial cluster answers are refused on the wire: the frame
+		// format has no partial-result channel, so degraded is an error.
+		code := uint16(wire.CodeInternal)
+		if isShardFailure(err) {
+			code = wire.CodeDegraded
+		} else if errors.Is(err, cluster.ErrClosed) || errors.Is(err, gsketch.ErrEngineClosed) {
+			code = wire.CodeClosed
+		}
+		return wire.AppendError(out, code, err.Error())
+	}
 	s.stats.queriesAnswered.Add(int64(len(results)))
 	return wire.AppendResults(out, results)
 }
@@ -285,15 +309,61 @@ func (s *Server) applyWireQuery(out []byte, qs []core.EdgeQuery) []byte {
 func (s *Server) applyWireFlush(out []byte) []byte {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FlushTimeout)
 	defer cancel()
-	err := s.eng.Drain(ctx)
+	err := s.be.Drain(ctx)
 	switch {
-	case err == nil, errors.Is(err, gsketch.ErrEngineClosed):
+	case err == nil, errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
 		return wire.AppendFlushAck(out)
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.AppendError(out, wire.CodeInternal, "flush: drain did not quiesce")
 	default:
 		return wire.AppendError(out, wire.CodeInternal, "flush: "+err.Error())
 	}
+}
+
+// applyWirePing answers a health probe from the backend's non-blocking
+// gauges — the frame a cluster coordinator sends each shard every
+// PingInterval.
+func (s *Server) applyWirePing(out []byte) []byte {
+	total, depth, gens := s.be.Health()
+	return wire.AppendPong(out, wire.Pong{
+		StreamTotal: total,
+		QueueDepth:  uint32(depth),
+		Generations: uint32(gens),
+	})
+}
+
+// applyWireSnapSave persists a snapshot to the backend's own configured
+// path — the receiving end of the coordinator's snapshot fan-out.
+func (s *Server) applyWireSnapSave(out []byte) []byte {
+	n, err := s.be.SaveSnapshot("")
+	switch {
+	case errors.Is(err, gsketch.ErrNoSnapshotPath), errors.Is(err, cluster.ErrNoSnapshotPath):
+		return wire.AppendError(out, wire.CodeUnsupported, "snapshot save: "+err.Error())
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+		return wire.AppendError(out, wire.CodeClosed, "snapshot save: "+err.Error())
+	case err != nil:
+		return wire.AppendError(out, wire.CodeInternal, "snapshot save: "+err.Error())
+	}
+	s.stats.snapshotsSaved.Add(1)
+	return wire.AppendSnapSaveAck(out, n)
+}
+
+// applyWireSnapRestore swaps in the snapshot at the backend's own
+// configured path and acks with the post-swap gauges.
+func (s *Server) applyWireSnapRestore(out []byte) []byte {
+	err := s.be.RestoreSnapshot("")
+	switch {
+	case errors.Is(err, gsketch.ErrNoSnapshotPath), errors.Is(err, cluster.ErrNoSnapshotPath),
+		errors.Is(err, gsketch.ErrNotAdaptive), errors.Is(err, gsketch.ErrWindowMounted):
+		return wire.AppendError(out, wire.CodeUnsupported, "snapshot restore: "+err.Error())
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+		return wire.AppendError(out, wire.CodeClosed, "snapshot restore: "+err.Error())
+	case err != nil:
+		return wire.AppendError(out, wire.CodeInternal, "snapshot restore: "+err.Error())
+	}
+	s.stats.snapshotsRestored.Add(1)
+	total, _, gens := s.be.Health()
+	return wire.AppendSnapRestoreAck(out, total, gens)
 }
 
 // isWireRequest reports whether an HTTP request carries a wire-framed
@@ -328,12 +398,16 @@ func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	out := getFrameBuf()
 	defer putFrameBuf(out)
-	accepted, err := s.eng.TryIngest(*buf)
+	accepted, err := s.be.TryIngest(*buf)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(*buf) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed):
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
 		s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeClosed, "ingest pipeline closed"))
+		return
+	case errors.Is(err, cluster.ErrShardDown):
+		s.stats.edgesRejected.Add(int64(rejected))
+		s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeDegraded, err.Error()))
 		return
 	case errors.Is(err, gsketch.ErrIngestQueueFull):
 		s.stats.edgesRejected.Add(int64(rejected))
@@ -379,7 +453,19 @@ func (s *Server) handleWireQueryHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results := s.eng.QueryBatch(*buf)
+	results, err := s.be.QueryBatch(*buf)
+	if err != nil {
+		status := http.StatusInternalServerError
+		code := uint16(wire.CodeInternal)
+		switch {
+		case isShardFailure(err):
+			status, code = http.StatusBadGateway, wire.CodeDegraded
+		case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed):
+			status, code = http.StatusServiceUnavailable, wire.CodeClosed
+		}
+		s.writeWireFrame(w, status, wire.AppendError((*out)[:0], code, err.Error()))
+		return
+	}
 	s.stats.queriesAnswered.Add(int64(len(results)))
 	s.writeWireFrame(w, http.StatusOK, wire.AppendResults((*out)[:0], results))
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"syscall"
 	"testing"
 	"time"
@@ -374,5 +375,88 @@ func TestWireShutdown(t *testing.T) {
 		t.Fatal("listener survived shutdown")
 	} else if !errors.Is(err, syscall.ECONNREFUSED) {
 		t.Logf("post-shutdown dial failed with %v (not ECONNREFUSED; acceptable)", err)
+	}
+}
+
+// TestWireClusterFrames exercises the coordinator-facing frames —
+// ping/pong, snapshot save and snapshot restore — against an engine-backed
+// wire server, plus the unsupported-save error when no snapshot path is
+// configured.
+func TestWireClusterFrames(t *testing.T) {
+	edges := testStream(800, 29)
+	g := buildTestGSketch(t, edges[:300])
+	snap := t.TempDir() + "/wire.snap"
+	_, _, wireAddr := newWireServer(t, Config{
+		Estimator:    core.NewConcurrent(g),
+		Ingest:       ingest.Config{Workers: 1, BatchSize: 128},
+		SnapshotPath: snap,
+	})
+
+	wc := dialWire(t, wireAddr)
+	wc.ingestWire(t, edges)
+	var total int64
+	for _, e := range edges {
+		total += e.Weight
+	}
+
+	// Ping reflects the applied stream and generation count.
+	wc.send(t, wire.AppendPing(nil))
+	f := wc.next(t)
+	if f.Type != wire.TypePong {
+		t.Fatalf("ping reply type 0x%02x, want pong", f.Type)
+	}
+	pong, err := wire.DecodePong(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.StreamTotal != total || pong.Generations != 1 {
+		t.Fatalf("pong = %+v, want stream total %d, 1 generation", pong, total)
+	}
+
+	// Save persists to the server's own configured path.
+	wc.send(t, wire.AppendSnapSave(nil))
+	f = wc.next(t)
+	if f.Type != wire.TypeSnapSaveAck {
+		t.Fatalf("save reply type 0x%02x, want save ack", f.Type)
+	}
+	n, err := wire.DecodeSnapSaveAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() != n {
+		t.Fatalf("snapshot on disk = (%v, %v), want %d bytes", fi, err, n)
+	}
+
+	// Mutate, restore, and check the ack carries the pre-mutation totals.
+	wc.ingestWire(t, edges)
+	wc.send(t, wire.AppendSnapRestore(nil))
+	f = wc.next(t)
+	if f.Type != wire.TypeSnapRestoreAck {
+		t.Fatalf("restore reply type 0x%02x, want restore ack", f.Type)
+	}
+	restoredTotal, gens, err := wire.DecodeSnapRestoreAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoredTotal != total || gens != 1 {
+		t.Fatalf("restore ack = (%d, %d), want (%d, 1)", restoredTotal, gens, total)
+	}
+
+	// No snapshot path configured: save answers unsupported, connection
+	// stays usable afterwards for non-snapshot frames.
+	g2 := buildTestGSketch(t, edges[:300])
+	_, _, wireAddr2 := newWireServer(t, Config{Estimator: core.NewConcurrent(g2)})
+	wc2 := dialWire(t, wireAddr2)
+	wc2.send(t, wire.AppendSnapSave(nil))
+	f = wc2.next(t)
+	if f.Type != wire.TypeError {
+		t.Fatalf("pathless save reply type 0x%02x, want error", f.Type)
+	}
+	code, _, err := wire.DecodeError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != wire.CodeUnsupported {
+		t.Fatalf("pathless save code = %d, want CodeUnsupported", code)
 	}
 }

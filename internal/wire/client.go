@@ -143,3 +143,57 @@ func (c *Client) Flush() error {
 	}
 	return nil
 }
+
+// Ping probes the server without mutating it, returning the server's live
+// gauges and the round-trip time. It is the health check a cluster
+// coordinator runs against its shards.
+func (c *Client) Ping() (Pong, time.Duration, error) {
+	c.buf = AppendPing(c.buf[:0])
+	start := time.Now()
+	f, err := c.roundTrip()
+	rtt := time.Since(start)
+	if err != nil {
+		return Pong{}, rtt, err
+	}
+	if f.Type != TypePong {
+		return Pong{}, rtt, fmt.Errorf("wire: ping reply type 0x%02x, want pong", f.Type)
+	}
+	p, err := DecodePong(f.Payload)
+	return p, rtt, err
+}
+
+// SaveSnapshot asks the server to persist a snapshot to its own configured
+// snapshot path, returning the byte count written. The sketch state never
+// crosses the wire — the frame is the fan-out signal a coordinator sends
+// to every shard.
+func (c *Client) SaveSnapshot() (int64, error) {
+	c.buf = AppendSnapSave(c.buf[:0])
+	f, err := c.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != TypeSnapSaveAck {
+		return 0, fmt.Errorf("wire: snapshot-save reply type 0x%02x, want ack", f.Type)
+	}
+	return DecodeSnapSaveAck(f.Payload)
+}
+
+// RestoreSnapshot asks the server to swap in the snapshot at its own
+// configured snapshot path, returning the post-swap stream total and
+// generation count.
+func (c *Client) RestoreSnapshot() (streamTotal int64, generations int, err error) {
+	c.buf = AppendSnapRestore(c.buf[:0])
+	f, err := c.roundTrip()
+	if err != nil {
+		return 0, 0, err
+	}
+	if f.Type != TypeSnapRestoreAck {
+		return 0, 0, fmt.Errorf("wire: snapshot-restore reply type 0x%02x, want ack", f.Type)
+	}
+	return DecodeSnapRestoreAck(f.Payload)
+}
+
+// SetDeadline bounds the next round trip(s); the zero time clears it. A
+// coordinator uses it so a dead shard surfaces as a timeout instead of a
+// hung gather.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestClusterFrameRoundTrips covers the coordinator frames added for
+// cluster mode: ping/pong and the snapshot save/restore fan-out pair.
+func TestClusterFrameRoundTrips(t *testing.T) {
+	var buf []byte
+	buf = AppendPing(buf)
+	buf = AppendPong(buf, Pong{StreamTotal: -7, QueueDepth: 3, Generations: 2})
+	buf = AppendPong(buf, Pong{StreamTotal: 1 << 60, QueueDepth: 0, Generations: 1})
+	buf = AppendSnapSave(buf)
+	buf = AppendSnapSaveAck(buf, 123456789)
+	buf = AppendSnapRestore(buf)
+	buf = AppendSnapRestoreAck(buf, 42, 5)
+
+	dec := NewDecoder(bytes.NewReader(buf))
+	next := func(wantType byte, wantLen int) Frame {
+		t.Helper()
+		f, err := dec.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if f.Type != wantType {
+			t.Fatalf("frame type 0x%02x, want 0x%02x", f.Type, wantType)
+		}
+		if len(f.Payload) != wantLen {
+			t.Fatalf("payload %d bytes, want %d", len(f.Payload), wantLen)
+		}
+		return f
+	}
+
+	next(TypePing, 0)
+
+	f := next(TypePong, PongSize)
+	p, err := DecodePong(f.Payload)
+	if err != nil {
+		t.Fatalf("DecodePong: %v", err)
+	}
+	if p != (Pong{StreamTotal: -7, QueueDepth: 3, Generations: 2}) {
+		t.Fatalf("pong round trip: %+v", p)
+	}
+	f = next(TypePong, PongSize)
+	if p, _ = DecodePong(f.Payload); p.StreamTotal != 1<<60 {
+		t.Fatalf("pong stream total: %d", p.StreamTotal)
+	}
+
+	next(TypeSnapSave, 0)
+
+	f = next(TypeSnapSaveAck, SnapSaveAckSize)
+	n, err := DecodeSnapSaveAck(f.Payload)
+	if err != nil || n != 123456789 {
+		t.Fatalf("snap-save ack: %d, %v", n, err)
+	}
+
+	next(TypeSnapRestore, 0)
+
+	f = next(TypeSnapRestoreAck, SnapRestoreAckSize)
+	total, gens, err := DecodeSnapRestoreAck(f.Payload)
+	if err != nil || total != 42 || gens != 5 {
+		t.Fatalf("snap-restore ack: %d/%d, %v", total, gens, err)
+	}
+
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("trailing frame: %v", err)
+	}
+}
+
+// TestClusterFramePayloadValidation rejects truncated cluster-frame
+// payloads with the typed payload error.
+func TestClusterFramePayloadValidation(t *testing.T) {
+	if _, err := DecodePong(make([]byte, PongSize-1)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short pong: %v", err)
+	}
+	if _, err := DecodeSnapSaveAck(make([]byte, SnapSaveAckSize+1)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("long snap-save ack: %v", err)
+	}
+	if _, _, err := DecodeSnapRestoreAck(nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("empty snap-restore ack: %v", err)
+	}
+}
+
+// TestDecoderAcceptsNewTypes makes sure the decoder's type range covers
+// the highest cluster frame and still rejects the next value.
+func TestDecoderAcceptsNewTypes(t *testing.T) {
+	frame := appendHeader(nil, TypeSnapRestoreAck, 0)
+	if _, err := NewDecoder(bytes.NewReader(frame)).Next(); err != nil {
+		t.Fatalf("TypeSnapRestoreAck rejected: %v", err)
+	}
+	frame = appendHeader(nil, TypeSnapRestoreAck+1, 0)
+	if _, err := NewDecoder(bytes.NewReader(frame)).Next(); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("unknown type accepted: %v", err)
+	}
+}

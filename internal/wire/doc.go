@@ -19,23 +19,37 @@
 //
 // Payloads are dense arrays of fixed-width little-endian records:
 //
-//	TypeIngest   N × 32 bytes: src u64, dst u64, weight i64, time i64
-//	TypeQuery    N × 16 bytes: src u64, dst u64
-//	TypeResults  N × 40 bytes: estimate i64, stream_total i64,
-//	             error_bound f64, confidence f64, partition i32,
-//	             flags u8 (bit 0 = outlier), 3 pad bytes
-//	TypeAck      8 bytes: accepted u32, rejected u32
-//	TypeError    2 bytes code u16, then a UTF-8 message
-//	TypeFlush    empty (request: drain the ingest pipeline)
-//	TypeFlushAck empty (reply: the drain completed)
+//	TypeIngest         N × 32 bytes: src u64, dst u64, weight i64, time i64
+//	TypeQuery          N × 16 bytes: src u64, dst u64
+//	TypeResults        N × 40 bytes: estimate i64, stream_total i64,
+//	                   error_bound f64, confidence f64, partition i32,
+//	                   flags u8 (bit 0 = outlier), 3 pad bytes
+//	TypeAck            8 bytes: accepted u32, rejected u32
+//	TypeError          2 bytes code u16, then a UTF-8 message
+//	TypeFlush          empty (request: drain the ingest pipeline)
+//	TypeFlushAck       empty (reply: the drain completed)
+//	TypePing           empty (request: health probe, no state change)
+//	TypePong           16 bytes: stream_total i64, queue_depth u32,
+//	                   generations u32
+//	TypeSnapSave       empty (request: persist a snapshot to the server's
+//	                   own configured path)
+//	TypeSnapSaveAck    8 bytes: bytes_written i64
+//	TypeSnapRestore    empty (request: swap in the snapshot at the
+//	                   server's own configured path)
+//	TypeSnapRestoreAck 16 bytes: stream_total i64, generations u32,
+//	                   4 pad bytes
 //
 // The conversation is strictly request/reply in frame order: TypeIngest is
 // answered by TypeAck (rejected > 0 is the shed-load signal, the wire
 // equivalent of HTTP 429 — retry the rejected suffix), TypeQuery by
 // TypeResults (one record per query, in input order), TypeFlush by
-// TypeFlushAck. A server that cannot parse or serve a frame answers
-// TypeError and closes the connection: framing errors are not recoverable
-// mid-stream.
+// TypeFlushAck, TypePing by TypePong and the snapshot requests by their
+// acks. Ping and the snapshot pair exist for the cluster coordinator
+// (internal/cluster): Ping is the shard health probe, and the snapshot
+// frames fan persistence out to every shard's local disk without sketch
+// bytes crossing the wire. A server that cannot parse or serve a frame
+// answers TypeError and closes the connection: framing errors are not
+// recoverable mid-stream.
 //
 // Decoding is defensive: unknown versions, unknown types, nonzero reserved
 // bytes, payloads above the decoder bound and lengths that are not a

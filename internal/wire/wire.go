@@ -26,15 +26,29 @@ const (
 	TypeError    = 0x05 // server fault; the connection closes after it
 	TypeFlush    = 0x06 // drain request → TypeFlushAck
 	TypeFlushAck = 0x07 // drain completed
+
+	// Cluster-coordination frames (PR 7). Ping is a state-free health
+	// probe; the snapshot pair asks a shard to persist/restore its own
+	// configured snapshot path, so a coordinator can fan snapshots out
+	// without streaming sketch bytes through itself.
+	TypePing           = 0x08 // health probe → TypePong
+	TypePong           = 0x09 // probe reply: live shard gauges
+	TypeSnapSave       = 0x0A // persist a snapshot → TypeSnapSaveAck
+	TypeSnapSaveAck    = 0x0B // snapshot persisted: byte count
+	TypeSnapRestore    = 0x0C // swap in the snapshot → TypeSnapRestoreAck
+	TypeSnapRestoreAck = 0x0D // snapshot restored: post-swap gauges
 )
 
 // Record widths and header size, in bytes.
 const (
-	HeaderSize = 8
-	EdgeSize   = 32
-	QuerySize  = 16
-	ResultSize = 40
-	AckSize    = 8
+	HeaderSize         = 8
+	EdgeSize           = 32
+	QuerySize          = 16
+	ResultSize         = 40
+	AckSize            = 8
+	PongSize           = 16
+	SnapSaveAckSize    = 8
+	SnapRestoreAckSize = 16
 )
 
 // MaxFrameBytes is the default payload bound: frames claiming more are
@@ -47,6 +61,7 @@ const (
 	CodeUnsupported = 2 // frame type the server does not serve
 	CodeClosed      = 3 // server is shutting down
 	CodeInternal    = 4 // serving failure (drain timeout, ...)
+	CodeDegraded    = 5 // cluster shard(s) unreachable: partial answer refused
 )
 
 // Typed decode errors, matched with errors.Is. Truncated frames surface as
@@ -101,7 +116,7 @@ func (d *Decoder) Next() (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, d.hdr[0])
 	}
 	typ := d.hdr[1]
-	if typ < TypeIngest || typ > TypeFlushAck {
+	if typ < TypeIngest || typ > TypeSnapRestoreAck {
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, typ)
 	}
 	if d.hdr[2] != 0 || d.hdr[3] != 0 {
@@ -267,4 +282,77 @@ func DecodeError(payload []byte) (code uint16, msg string, err error) {
 		return 0, "", fmt.Errorf("%w: error payload %d bytes, want >= 2", ErrBadPayload, len(payload))
 	}
 	return binary.LittleEndian.Uint16(payload), string(payload[2:]), nil
+}
+
+// Pong is the decoded payload of a TypePong health reply: the gauges a
+// coordinator needs to judge a shard without mutating it.
+type Pong struct {
+	StreamTotal int64  // estimator stream volume
+	QueueDepth  uint32 // pending ingest batches
+	Generations uint32 // sketch generations serving
+}
+
+// AppendPing appends a TypePing frame.
+func AppendPing(dst []byte) []byte { return appendHeader(dst, TypePing, 0) }
+
+// AppendPong appends a TypePong frame.
+func AppendPong(dst []byte, p Pong) []byte {
+	dst = appendHeader(dst, TypePong, PongSize)
+	var rec [PongSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(p.StreamTotal))
+	binary.LittleEndian.PutUint32(rec[8:], p.QueueDepth)
+	binary.LittleEndian.PutUint32(rec[12:], p.Generations)
+	return append(dst, rec[:]...)
+}
+
+// DecodePong unpacks a TypePong payload.
+func DecodePong(payload []byte) (Pong, error) {
+	if len(payload) != PongSize {
+		return Pong{}, fmt.Errorf("%w: pong payload %d bytes, want %d", ErrBadPayload, len(payload), PongSize)
+	}
+	return Pong{
+		StreamTotal: int64(binary.LittleEndian.Uint64(payload[0:])),
+		QueueDepth:  binary.LittleEndian.Uint32(payload[8:]),
+		Generations: binary.LittleEndian.Uint32(payload[12:]),
+	}, nil
+}
+
+// AppendSnapSave appends a TypeSnapSave frame.
+func AppendSnapSave(dst []byte) []byte { return appendHeader(dst, TypeSnapSave, 0) }
+
+// AppendSnapSaveAck appends a TypeSnapSaveAck frame.
+func AppendSnapSaveAck(dst []byte, bytes int64) []byte {
+	dst = appendHeader(dst, TypeSnapSaveAck, SnapSaveAckSize)
+	var rec [SnapSaveAckSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(bytes))
+	return append(dst, rec[:]...)
+}
+
+// DecodeSnapSaveAck unpacks a TypeSnapSaveAck payload.
+func DecodeSnapSaveAck(payload []byte) (bytes int64, err error) {
+	if len(payload) != SnapSaveAckSize {
+		return 0, fmt.Errorf("%w: snapshot-save ack payload %d bytes, want %d", ErrBadPayload, len(payload), SnapSaveAckSize)
+	}
+	return int64(binary.LittleEndian.Uint64(payload)), nil
+}
+
+// AppendSnapRestore appends a TypeSnapRestore frame.
+func AppendSnapRestore(dst []byte) []byte { return appendHeader(dst, TypeSnapRestore, 0) }
+
+// AppendSnapRestoreAck appends a TypeSnapRestoreAck frame.
+func AppendSnapRestoreAck(dst []byte, streamTotal int64, generations int) []byte {
+	dst = appendHeader(dst, TypeSnapRestoreAck, SnapRestoreAckSize)
+	var rec [SnapRestoreAckSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(streamTotal))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(generations))
+	return append(dst, rec[:]...)
+}
+
+// DecodeSnapRestoreAck unpacks a TypeSnapRestoreAck payload.
+func DecodeSnapRestoreAck(payload []byte) (streamTotal int64, generations int, err error) {
+	if len(payload) != SnapRestoreAckSize {
+		return 0, 0, fmt.Errorf("%w: snapshot-restore ack payload %d bytes, want %d", ErrBadPayload, len(payload), SnapRestoreAckSize)
+	}
+	return int64(binary.LittleEndian.Uint64(payload[0:])),
+		int(binary.LittleEndian.Uint32(payload[8:])), nil
 }

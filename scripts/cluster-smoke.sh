@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the cluster subsystem against real binaries:
+# start two shard servers and a scatter-gather coordinator over their wire
+# ports, ingest through the coordinator, query back combined answers with
+# bounds, fan a snapshot out and restore it, then kill one shard and
+# verify the degraded surface — per-shard health in /stats and the typed
+# partial-failure query error. CI runs this with a race-instrumented
+# build.
+set -euo pipefail
+
+BIN=${1:-bin/gsketch-serve}
+WIRECLI=${2:-bin/gsketch-wire}
+S0_ADDR=${SMOKE_S0_ADDR:-127.0.0.1:7271}
+S0_WADDR=${SMOKE_S0_WIRE_ADDR:-127.0.0.1:7272}
+S1_ADDR=${SMOKE_S1_ADDR:-127.0.0.1:7273}
+S1_WADDR=${SMOKE_S1_WIRE_ADDR:-127.0.0.1:7274}
+CO_ADDR=${SMOKE_CO_ADDR:-127.0.0.1:7275}
+CO_WADDR=${SMOKE_CO_WIRE_ADDR:-127.0.0.1:7276}
+BASE="http://$CO_ADDR"
+TMP=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() { # url name pid
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$3" 2>/dev/null || fail "$2 exited during startup"
+    sleep 0.1
+  done
+  fail "$2 never became healthy"
+}
+
+# One shared partitioning sample: every shard and the coordinator's router
+# must be built from the same sample and seed so routing agrees.
+for i in $(seq 0 199); do
+  echo "$((i % 10)) $((100 + i % 40)) 1 $i"
+done > "$TMP/sample.txt"
+
+"$BIN" -addr "$S0_ADDR" -wire-addr "$S0_WADDR" -sample "$TMP/sample.txt" \
+  -snapshot "$TMP/shard0.gsk" -workers 2 -batch 64 &
+PIDS+=($!)
+S0_PID=${PIDS[-1]}
+"$BIN" -addr "$S1_ADDR" -wire-addr "$S1_WADDR" -sample "$TMP/sample.txt" \
+  -snapshot "$TMP/shard1.gsk" -workers 2 -batch 64 &
+PIDS+=($!)
+S1_PID=${PIDS[-1]}
+wait_healthy "http://$S0_ADDR" "shard 0" "$S0_PID"
+wait_healthy "http://$S1_ADDR" "shard 1" "$S1_PID"
+
+"$BIN" -addr "$CO_ADDR" -wire-addr "$CO_WADDR" \
+  -cluster "$S0_WADDR,$S1_WADDR" -cluster-ping 200ms \
+  -sample "$TMP/sample.txt" -snapshot "$TMP/cluster.manifest" &
+PIDS+=($!)
+CO_PID=${PIDS[-1]}
+wait_healthy "$BASE" "coordinator" "$CO_PID"
+
+# Ingest through the coordinator: edge (1,101) five times, (2,102) three
+# times, synchronously drained through both shard pipelines.
+{
+  for _ in 1 2 3 4 5; do echo '{"src":1,"dst":101}'; done
+  for _ in 1 2 3; do echo '{"src":2,"dst":102,"weight":1}'; done
+} > "$TMP/stream.ndjson"
+ingest=$(curl -sf -X POST --data-binary @"$TMP/stream.ndjson" "$BASE/ingest?sync=1")
+grep -q '"accepted":8' <<<"$ingest" || fail "ingest reply: $ingest"
+
+# Scatter-gather query: combined estimates with summed bounds attached.
+query='{"queries":[{"src":1,"dst":101},{"src":2,"dst":102}]}'
+answer=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$query" "$BASE/query")
+est1=$(grep -o '"estimate":[0-9]*' <<<"$answer" | head -1 | cut -d: -f2)
+est2=$(grep -o '"estimate":[0-9]*' <<<"$answer" | sed -n 2p | cut -d: -f2)
+[[ -n "$est1" && "$est1" -ge 5 ]] || fail "estimate for (1,101) = '$est1', want >= 5 ($answer)"
+[[ -n "$est2" && "$est2" -ge 3 ]] || fail "estimate for (2,102) = '$est2', want >= 3 ($answer)"
+grep -q '"error_bound"' <<<"$answer" || fail "no error bound in $answer"
+grep -q '"confidence"' <<<"$answer" || fail "no confidence in $answer"
+
+# The coordinator's wire port answers pings with cluster-summed gauges;
+# the gauges refresh on the health-probe tick, so allow a few.
+for _ in $(seq 1 50); do
+  ping=$("$WIRECLI" -addr "$CO_WADDR" ping)
+  if grep -q 'stream_total 8' <<<"$ping"; then break; fi
+  sleep 0.1
+done
+grep -q 'stream_total 8' <<<"$ping" || fail "coordinator ping: $ping"
+
+# Cluster-aware stats: both shards present and healthy.
+stats=$(curl -sf "$BASE/stats")
+grep -q '"cluster_shards":2' <<<"$stats" || fail "stats: $stats"
+grep -q '"cluster_healthy":2' <<<"$stats" || fail "stats: $stats"
+grep -q '"cluster_degraded":0' <<<"$stats" || fail "stats: $stats"
+
+# Snapshot fan-out: each shard persists to its own disk, the coordinator
+# writes the topology manifest locally.
+save=$(curl -sf -X POST "$BASE/snapshot/save")
+[[ -s "$TMP/cluster.manifest" ]] || fail "manifest missing after save: $save"
+[[ -s "$TMP/shard0.gsk" ]] || fail "shard 0 snapshot missing after save"
+[[ -s "$TMP/shard1.gsk" ]] || fail "shard 1 snapshot missing after save"
+grep -q '"schema": 1' "$TMP/cluster.manifest" || fail "manifest: $(cat "$TMP/cluster.manifest")"
+
+# Restore fans back out; the cluster answers identically afterwards.
+restore=$(curl -sf -X POST "$BASE/snapshot/restore")
+grep -q '"stream_total":8' <<<"$restore" || fail "restore reply: $restore"
+grep -q '"shards":2' <<<"$restore" || fail "restore reply: $restore"
+answer2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$query" "$BASE/query")
+[[ "$answer2" == "$answer" ]] || fail "answers differ after restore: $answer vs $answer2"
+
+# Kill shard 1 abruptly; the prober marks it degraded within a few ticks.
+kill -9 "$S1_PID"
+for _ in $(seq 1 50); do
+  stats=$(curl -sf "$BASE/stats")
+  if grep -q '"cluster_degraded":1' <<<"$stats"; then break; fi
+  sleep 0.1
+done
+grep -q '"cluster_degraded":1' <<<"$stats" || fail "shard death never surfaced: $stats"
+grep -q '"healthy":false' <<<"$stats" || fail "no unhealthy shard in stats: $stats"
+grep -q '"last_error"' <<<"$stats" || fail "degraded shard carries no error: $stats"
+
+# A scatter over a degraded cluster is a typed partial failure: HTTP 502
+# naming the lost shard, not a silent partial answer.
+code=$(curl -s -o "$TMP/partial.json" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' -d "$query" "$BASE/query")
+[[ "$code" == "502" ]] || fail "degraded query status $code, want 502 ($(cat "$TMP/partial.json"))"
+grep -q 'shard 1' "$TMP/partial.json" || fail "partial error does not name the shard: $(cat "$TMP/partial.json")"
+
+# Graceful shutdown: coordinator and surviving shard drain and exit 0.
+kill -TERM "$CO_PID"
+wait "$CO_PID" || fail "coordinator exited non-zero on SIGTERM"
+kill -TERM "$S0_PID"
+wait "$S0_PID" || fail "shard 0 exited non-zero on SIGTERM"
+PIDS=()
+
+echo "cluster-smoke: OK"
