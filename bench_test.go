@@ -15,10 +15,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/experiments"
 	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/sketch"
 	"github.com/graphstream/gsketch/internal/stream"
@@ -736,5 +738,77 @@ func fmtFrac(f float64) string {
 		return "outlier-20pct"
 	default:
 		return "outlier-other"
+	}
+}
+
+// BenchmarkInstrumentedUpdate quantifies the observability tax on the
+// wire ingest hot path: the same per-edge sketch update, bare and with
+// the per-frame instrumentation internal/server adds (one accepted-count
+// add and one histogram observation per 512-edge frame). The two ns/op
+// figures must stay within a few percent of each other — compare the
+// sub-benchmarks when reviewing a change to internal/obs.
+func BenchmarkInstrumentedUpdate(b *testing.B) {
+	edges := benchStream(1 << 16)
+	build := func(b *testing.B) *core.GSketch {
+		g, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 1}, edges[:8192], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	const frame = 512
+
+	b.Run("raw", func(b *testing.B) {
+		g := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Update(edges[i&(1<<16-1)])
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		g := build(b)
+		reg := obs.NewRegistry()
+		accepted := reg.Counter("bench_edges_accepted_total", "bench")
+		applied := reg.Histogram("bench_frame_apply_seconds", "bench", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			g.Update(edges[i&(1<<16-1)])
+			if i%frame == frame-1 {
+				accepted.Add(frame)
+				applied.ObserveSince(start)
+				start = time.Now()
+			}
+		}
+	})
+}
+
+// TestInstrumentationAddsNoAllocations is the alloc half of the
+// observability overhead budget: the instrumented loop above must
+// allocate exactly as much as the bare one — nothing. (The throughput
+// half lives in BenchmarkInstrumentedUpdate; wall-clock ratios are too
+// machine-dependent to assert in CI.)
+func TestInstrumentationAddsNoAllocations(t *testing.T) {
+	edges := benchStream(1 << 12)
+	g, err := core.BuildGSketch(core.Config{TotalBytes: 1 << 20, Seed: 1}, edges[:1024], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	accepted := reg.Counter("bench_edges_accepted_total", "bench")
+	applied := reg.Histogram("bench_frame_apply_seconds", "bench", nil)
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		start := time.Now()
+		for j := 0; j < 512; j++ {
+			g.Update(edges[(i+j)&(1<<12-1)])
+		}
+		accepted.Add(512)
+		applied.ObserveSince(start)
+		i += 512
+	}); n != 0 {
+		t.Fatalf("instrumented 512-edge frame allocates %v, want 0", n)
 	}
 }

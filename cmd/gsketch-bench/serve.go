@@ -15,6 +15,7 @@ import (
 
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/wire"
@@ -37,11 +38,20 @@ type protoResult struct {
 	QueryBatchesPerSec float64 `json:"query_batches_per_sec"`
 	QueryP50Ms         float64 `json:"query_p50_ms"`
 	QueryP99Ms         float64 `json:"query_p99_ms"`
+
+	// Server-side quantiles, read back from the /metrics exposition after
+	// the run: handler latency for json, frame-apply latency for wire. The
+	// client/server gap is the protocol + loopback cost.
+	ServerIngestP50Ms float64 `json:"server_ingest_p50_ms"`
+	ServerIngestP99Ms float64 `json:"server_ingest_p99_ms"`
+	ServerQueryP50Ms  float64 `json:"server_query_p50_ms"`
+	ServerQueryP99Ms  float64 `json:"server_query_p99_ms"`
 }
 
-// serveReport is the BENCH_serve.json payload. Schema 2 replaces the flat
+// serveReport is the BENCH_serve.json payload. Schema 2 replaced the flat
 // schema-1 layout with one protoResult per measured protocol and the
-// wire-vs-JSON speedups when both ran.
+// wire-vs-JSON speedups when both ran; schema 3 adds the server-side
+// histogram quantiles scraped from /metrics.
 type serveReport struct {
 	Schema      int `json:"schema"`
 	Edges       int `json:"edges"`
@@ -83,7 +93,7 @@ func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, proto, 
 
 	edges := ingestStream(nEdges)
 	rep := serveReport{
-		Schema:      2,
+		Schema:      3,
 		Edges:       nEdges,
 		Queries:     nQueries,
 		Conns:       conns,
@@ -104,6 +114,8 @@ func runServeBench(nEdges, nQueries, conns, ingestChunk, queryBatch int, proto, 
 			res.IngestEdgesPerSec, res.IngestSeconds, res.IngestRetries, res.IngestP50Ms, res.IngestP99Ms)
 		fmt.Printf("query   %12.0f queries/s (%.0f batches/s, p50 %.2fms p99 %.2fms)\n",
 			res.QueriesPerSec, res.QueryBatchesPerSec, res.QueryP50Ms, res.QueryP99Ms)
+		fmt.Printf("server  ingest p50 %.2fms p99 %.2fms, query p50 %.2fms p99 %.2fms (from /metrics)\n",
+			res.ServerIngestP50Ms, res.ServerIngestP99Ms, res.ServerQueryP50Ms, res.ServerQueryP99Ms)
 	}
 	if len(rep.Results) == 2 {
 		rep.WireIngestSpeedup = rep.Results[1].IngestEdgesPerSec / rep.Results[0].IngestEdgesPerSec
@@ -166,6 +178,9 @@ func runServeProto(proto string, edges []stream.Edge, nQueries, conns, ingestChu
 	}
 	res = phases
 	res.Proto = proto
+	if err := scrapeServerQuantiles(srv, proto, &res); err != nil {
+		return res, 0, fmt.Errorf("server-side quantiles: %w", err)
+	}
 
 	var total int64
 	for _, e := range edges {
@@ -293,6 +308,46 @@ func measurePhases(drive driver, edges []stream.Edge, nQueries, conns, ingestChu
 	res.QueryP50Ms, res.QueryP99Ms = percentiles(qlats)
 
 	return res, nil
+}
+
+// scrapeServerQuantiles renders the server's /metrics exposition and
+// pulls the server-side latency histograms for the measured protocol:
+// per-route handler latency for json, per-type frame-apply latency for
+// wire. Going through the text format (render + parse) keeps the bench
+// honest about what an external scraper would see.
+func scrapeServerQuantiles(srv *server.Server, proto string, res *protoResult) error {
+	var buf bytes.Buffer
+	if _, err := srv.Metrics().WriteTo(&buf); err != nil {
+		return err
+	}
+	fams, err := obs.ParseFamilies(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	var ingestName, queryName string
+	var ingestMatch, queryMatch map[string]string
+	if proto == "wire" {
+		ingestName, queryName = "gsketch_wire_frame_apply_duration_seconds", "gsketch_wire_frame_apply_duration_seconds"
+		ingestMatch = map[string]string{"type": "ingest"}
+		queryMatch = map[string]string{"type": "query"}
+	} else {
+		ingestName, queryName = "gsketch_http_request_duration_seconds", "gsketch_http_request_duration_seconds"
+		ingestMatch = map[string]string{"route": "POST /ingest"}
+		queryMatch = map[string]string{"route": "POST /query"}
+	}
+	ih, err := obs.FindHistogram(fams, ingestName, ingestMatch)
+	if err != nil {
+		return err
+	}
+	qh, err := obs.FindHistogram(fams, queryName, queryMatch)
+	if err != nil {
+		return err
+	}
+	res.ServerIngestP50Ms = ih.Quantile(0.50) * 1e3
+	res.ServerIngestP99Ms = ih.Quantile(0.99) * 1e3
+	res.ServerQueryP50Ms = qh.Quantile(0.50) * 1e3
+	res.ServerQueryP99Ms = qh.Quantile(0.99) * 1e3
+	return nil
 }
 
 // driver abstracts the two client protocols; worker() hands each bench

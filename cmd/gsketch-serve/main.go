@@ -25,7 +25,12 @@
 //	POST /snapshot/restore  swap in a snapshot
 //	GET  /workload          recorded query-workload sample (text edges)
 //	POST /repartition       rebuild + hot-swap a new generation (-adapt)
-//	GET  /healthz, /stats   liveness and counters
+//	GET  /healthz, /readyz  liveness / readiness (503 during state swaps)
+//	GET  /stats, /metrics   JSON counters / Prometheus text exposition
+//
+// Logs are structured (log/slog): -log-level picks the floor
+// (debug|info|warn|error), -log-format picks text or json. -pprof-addr
+// mounts net/http/pprof on a separate private listener.
 //
 // With -wire-addr the same operations are additionally served as the
 // binary wire protocol (see internal/wire) on a raw TCP listener —
@@ -66,8 +71,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // handlers mounted on the -pprof-addr listener only
 	"os"
 	"os/signal"
 	"strings"
@@ -77,9 +83,17 @@ import (
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
 )
+
+// fatal logs at error level and exits; the slog replacement for
+// log.Fatalf.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -121,8 +135,32 @@ func main() {
 		clusterPing  = flag.Duration("cluster-ping", 0, "shard health-probe interval (0 = default, negative disables)")
 
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsketch-serve: %v\n", err)
+		os.Exit(2)
+	}
+	// root stays untagged: server and cluster attach their own component
+	// attrs; main's own lines carry component=serve.
+	root := logger
+	logger = logger.With("component", "serve")
+	if *pprofAddr != "" {
+		// net/http/pprof registers on DefaultServeMux at init; the serving
+		// mux is separate, so profiling stays off the public listener.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
 
 	cfg := gsketch.Config{
 		TotalBytes:    *totalBytes,
@@ -132,7 +170,7 @@ func main() {
 	}
 
 	if *clusterAddrs != "" {
-		runCoordinator(coordinatorFlags{
+		runCoordinator(logger, root, coordinatorFlags{
 			addr:           *addr,
 			wireAddr:       *wireAddr,
 			shards:         strings.Split(*clusterAddrs, ","),
@@ -168,7 +206,7 @@ func main() {
 		seed:         *seed,
 	})
 	if err != nil {
-		log.Fatalf("gsketch-serve: %v", err)
+		fatal(logger, "bootstrap failed", "error", err)
 	}
 
 	opts = append(opts,
@@ -192,69 +230,74 @@ func main() {
 	}
 	if *adaptInterval > 0 {
 		opts = append(opts, gsketch.WithAutoRepartition(*adaptInterval, func(err error) {
-			log.Printf("gsketch-serve: auto repartition: %v", err)
+			logger.Warn("auto repartition failed", "error", err)
 		}))
 	}
 
 	eng, err := gsketch.Open(cfg, opts...)
 	if err != nil {
 		if errors.Is(err, gsketch.ErrNotAdaptive) {
-			log.Fatalf("gsketch-serve: %v; run with -adapt to serve it", err)
+			fatal(logger, "snapshot carries a generation chain; run with -adapt to serve it", "error", err)
 		}
-		log.Fatalf("gsketch-serve: %v", err)
+		fatal(logger, "engine open failed", "error", err)
 	}
 	st := eng.Stats()
 	if g := eng.Sketch(); g != nil {
-		log.Printf("gsketch-serve: engine up (%d generation(s), %d partitions (order %v), stream total %d, %d bytes)",
-			eng.Generations(), g.NumPartitions(), g.Order(), st.StreamTotal, st.MemoryBytes)
+		logger.Info("engine up",
+			"generations", eng.Generations(),
+			"partitions", g.NumPartitions(),
+			"order", fmt.Sprint(g.Order()),
+			"stream_total", st.StreamTotal,
+			"memory_bytes", st.MemoryBytes)
 	} else {
-		log.Printf("gsketch-serve: engine up (global baseline, stream total %d, %d bytes)",
-			st.StreamTotal, st.MemoryBytes)
+		logger.Info("engine up (global baseline)",
+			"stream_total", st.StreamTotal, "memory_bytes", st.MemoryBytes)
 	}
 
 	srv, err := server.New(server.Config{
 		Engine:             eng,
 		SnapshotOnShutdown: *snapshotOnExit,
+		Logger:             root,
 	})
 	if err != nil {
-		log.Fatalf("gsketch-serve: %v", err)
+		fatal(logger, "server init failed", "error", err)
 	}
 
-	serveUntilSignal(srv, *addr, *wireAddr, *shutdownTimeout)
+	serveUntilSignal(logger, srv, *addr, *wireAddr, *shutdownTimeout)
 }
 
 // serveUntilSignal runs the HTTP (and optional wire) listeners until
 // SIGINT/SIGTERM, then drains through srv.Shutdown. Shared by the engine
 // and coordinator paths.
-func serveUntilSignal(srv *server.Server, addr, wireAddr string, shutdownTimeout time.Duration) {
+func serveUntilSignal(logger *slog.Logger, srv *server.Server, addr, wireAddr string, shutdownTimeout time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 2)
 	listeners := 1
 	go func() { errc <- srv.ListenAndServe(addr) }()
-	log.Printf("gsketch-serve: listening on %s", addr)
+	logger.Info("listening", "addr", addr)
 	if wireAddr != "" {
 		listeners++
 		go func() { errc <- srv.ListenAndServeWire(wireAddr) }()
-		log.Printf("gsketch-serve: wire protocol on %s", wireAddr)
+		logger.Info("wire protocol listening", "addr", wireAddr)
 	}
 
 	select {
 	case <-ctx.Done():
-		log.Printf("gsketch-serve: signal received, draining")
+		logger.Info("signal received, draining", "timeout", shutdownTimeout.String())
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Fatalf("gsketch-serve: shutdown: %v", err)
+			fatal(logger, "shutdown failed", "error", err)
 		}
 		for i := 0; i < listeners; i++ {
 			<-errc // both listeners return ErrServerClosed after Shutdown
 		}
-		log.Printf("gsketch-serve: drained, bye")
+		logger.Info("drained, bye")
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("gsketch-serve: %v", err)
+			fatal(logger, "listener failed", "error", err)
 		}
 	}
 }
@@ -283,23 +326,23 @@ type coordinatorFlags struct {
 
 // runCoordinator builds the routing gSketch from the sample, connects the
 // scatter-gather coordinator to every shard and serves until a signal.
-func runCoordinator(f coordinatorFlags) {
+func runCoordinator(logger, root *slog.Logger, f coordinatorFlags) {
 	switch {
 	case f.restore:
-		log.Fatalf("gsketch-serve: -cluster routes to shards that restore their own snapshots; -restore is engine-only")
+		fatal(logger, "-cluster routes to shards that restore their own snapshots; -restore is engine-only")
 	case f.global:
-		log.Fatalf("gsketch-serve: -cluster needs the partitioned router; -global is engine-only")
+		fatal(logger, "-cluster needs the partitioned router; -global is engine-only")
 	case f.adapt:
-		log.Fatalf("gsketch-serve: -adapt is engine-only (shards repartition, the coordinator's routing is static)")
+		fatal(logger, "-adapt is engine-only (shards repartition, the coordinator's routing is static)")
 	case f.windowSpan != 0:
-		log.Fatalf("gsketch-serve: -window-span is engine-only")
+		fatal(logger, "-window-span is engine-only")
 	case f.samplePath == "":
-		log.Fatalf("gsketch-serve: -cluster needs -sample to build the vertex router")
+		fatal(logger, "-cluster needs -sample to build the vertex router")
 	}
 
 	sample, err := readEdgeFile(f.samplePath)
 	if err != nil {
-		log.Fatalf("gsketch-serve: sample %s: %v", f.samplePath, err)
+		fatal(logger, "sample read failed", "path", f.samplePath, "error", err)
 	}
 	if len(sample) > f.sampleCap {
 		sample = sample[:f.sampleCap]
@@ -307,7 +350,7 @@ func runCoordinator(f coordinatorFlags) {
 	var workload []stream.Edge
 	if f.workloadPath != "" {
 		if workload, err = readEdgeFile(f.workloadPath); err != nil {
-			log.Fatalf("gsketch-serve: workload %s: %v", f.workloadPath, err)
+			fatal(logger, "workload read failed", "path", f.workloadPath, "error", err)
 		}
 	}
 	// The router is a zero-traffic gSketch: only its partitioning (the
@@ -315,7 +358,7 @@ func runCoordinator(f coordinatorFlags) {
 	// the same sample, config and seed to agree with it.
 	router, err := core.BuildGSketch(f.sketch, sample, workload)
 	if err != nil {
-		log.Fatalf("gsketch-serve: router build: %v", err)
+		fatal(logger, "router build failed", "error", err)
 	}
 
 	coord, err := cluster.New(cluster.Config{
@@ -325,21 +368,25 @@ func runCoordinator(f coordinatorFlags) {
 		QueueBatches: f.queueBatches,
 		PingInterval: f.pingInterval,
 		SnapshotPath: f.snapshotPath,
+		Logger:       root,
 	})
 	if err != nil {
-		log.Fatalf("gsketch-serve: cluster: %v", err)
+		fatal(logger, "cluster connect failed", "error", err)
 	}
-	log.Printf("gsketch-serve: coordinator up (%d shards, %d partitions (order %v))",
-		coord.NumShards(), router.NumPartitions(), router.Order())
+	logger.Info("coordinator up",
+		"shards", coord.NumShards(),
+		"partitions", router.NumPartitions(),
+		"order", fmt.Sprint(router.Order()))
 
 	srv, err := server.New(server.Config{
 		Cluster:            coord,
 		SnapshotOnShutdown: f.snapshotOnExit,
+		Logger:             root,
 	})
 	if err != nil {
-		log.Fatalf("gsketch-serve: %v", err)
+		fatal(logger, "server init failed", "error", err)
 	}
-	serveUntilSignal(srv, f.addr, f.wireAddr, f.shutdown)
+	serveUntilSignal(logger, srv, f.addr, f.wireAddr, f.shutdown)
 }
 
 // bootstrapFlags is the bootstrap slice of the flag set.

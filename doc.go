@@ -192,6 +192,23 @@
 // bound across shards. See the README's Cluster section and the
 // internal/cluster package documentation.
 //
+// # Observability
+//
+// Serving processes are first-class scrape targets: internal/obs is a
+// dependency-free metrics kit (atomic counters, gauges and fixed-bucket
+// latency histograms rendered as Prometheus text exposition) that
+// internal/server threads through every layer — per-route HTTP latency,
+// wire frame decode/apply latency, ingest queue depth and shed counts,
+// engine and per-shard cluster gauges — on GET /metrics, with GET /stats
+// deriving its JSON counters from the same registry. GET /healthz
+// (liveness) is split from GET /readyz (readiness): a server mid-restore
+// or mid-swap, or a coordinator with zero healthy shards, reports 503 on
+// /readyz while staying alive on /healthz. Logging is structured
+// log/slog throughout (gsketch-serve -log-level, -log-format json), and
+// -pprof-addr mounts net/http/pprof on a private listener. The hot-path
+// instruments are allocation-free, so instrumentation does not tax the
+// wire ingest path's allocs-per-edge guard.
+//
 // The package front-loads the most common operations; the full machinery
 // (partitioning internals, synopses, generators, the experiment harness)
 // lives in the internal packages and is documented in DESIGN.md.

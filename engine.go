@@ -614,6 +614,16 @@ func (e *Engine) Drift() (Drift, error) {
 	return e.mgr.Drift(), nil
 }
 
+// SetSwapObserver installs fn to be called with the build+rotate
+// duration of every completed repartition swap, manual or
+// auto-triggered (nil uninstalls) — the hook a latency histogram hangs
+// off. A no-op on non-adaptive engines.
+func (e *Engine) SetSwapObserver(fn func(time.Duration)) {
+	if e.mgr != nil {
+		e.mgr.SetSwapObserver(fn)
+	}
+}
+
 // IngestStats is the pipeline slice of EngineStats.
 type IngestStats struct {
 	// EdgesApplied and BatchesApplied count work already folded into the
@@ -622,6 +632,9 @@ type IngestStats struct {
 	// QueueDepth/QueueCap/Inflight/PendingEdges are the live backpressure
 	// gauges: TryIngest starts shedding when the queue is at capacity.
 	QueueDepth, QueueCap, Inflight, PendingEdges int
+	// Sheds counts load-shedding events: non-blocking pushes refused
+	// with a full queue (the pipeline-side view of HTTP 429s).
+	Sheds int64
 }
 
 // WorkloadStats is the recorder slice of EngineStats.
@@ -681,6 +694,7 @@ func (e *Engine) IngestStats() *IngestStats {
 		QueueCap:       st.ing.QueueCap(),
 		Inflight:       st.ing.Inflight(),
 		PendingEdges:   st.ing.Pending(),
+		Sheds:          st.ing.Sheds(),
 	}
 }
 

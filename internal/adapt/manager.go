@@ -107,6 +107,9 @@ type Manager struct {
 	lastResult *RepartitionResult
 
 	repartitions int64
+	// swapObs, when set, observes every completed swap's build+rotate
+	// duration — the hook a metrics histogram hangs off.
+	swapObs func(time.Duration)
 }
 
 // NewManager builds a manager over chain. workload supplies the live
@@ -147,6 +150,16 @@ func (m *Manager) Rebind(chain *Chain, baseline []stream.Edge, swap func()) {
 	m.chain = chain
 	m.baseline = sourceDistribution(baseline)
 	m.readsBase = chain.ReadRouteCounts()
+}
+
+// SetSwapObserver installs fn to be called with the BuildDuration of
+// every completed repartition swap (nil uninstalls). Used by the
+// serving layer to feed a swap-duration histogram; fn must be fast and
+// must not call back into the manager.
+func (m *Manager) SetSwapObserver(fn func(time.Duration)) {
+	m.mu.Lock()
+	m.swapObs = fn
+	m.mu.Unlock()
 }
 
 // Repartitions returns the number of completed swaps.
@@ -260,7 +273,11 @@ func (m *Manager) repartition(before Drift, live []stream.Edge) (*RepartitionRes
 	m.readsBase = chain.ReadRouteCounts()
 	m.lastResult = res
 	m.repartitions++
+	swapObs := m.swapObs
 	m.mu.Unlock()
+	if swapObs != nil {
+		swapObs(res.BuildDuration)
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"slices"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/stream"
 )
@@ -41,6 +43,9 @@ type Config struct {
 	OpTimeout time.Duration
 	// SnapshotPath is the local manifest path of the snapshot fan-out.
 	SnapshotPath string
+	// Logger receives structured shard lifecycle events — degraded and
+	// revived transitions, with shard/addr attributes. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpTimeout <= 0 {
 		c.OpTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -127,6 +135,9 @@ func New(cfg Config) (*Coordinator, error) {
 
 // NumShards returns the topology size.
 func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Addrs returns the configured shard addresses, in shard-ID order.
+func (c *Coordinator) Addrs() []string { return c.cfg.Addrs }
 
 // shardFor routes a source vertex to its owning shard: the gSketch
 // partition index (outlier shard for unrouted vertices) folded onto the

@@ -3,12 +3,17 @@
 package cluster_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"math"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +22,7 @@ import (
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/hashutil"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/wire"
@@ -522,5 +528,116 @@ func TestClusterProbeRevives(t *testing.T) {
 	}
 	if gens != 1 {
 		t.Fatalf("Health generations = %d, want 1", gens)
+	}
+}
+
+// TestCoordinatorMetricsAndReadiness stands a coordinator HTTP server
+// over a live 2-shard cluster and asserts the /metrics exposition
+// parses, carries per-shard labeled series that agree with the
+// coordinator's Stats, and that /readyz tracks shard health: 200 while
+// any shard answers, 503 once every shard is gone.
+func TestCoordinatorMetricsAndReadiness(t *testing.T) {
+	sample := testStream(400, 17)
+	coord, shards := startCluster(t, 2, sample, cluster.Config{
+		PingInterval: 20 * time.Millisecond,
+		DialTimeout:  200 * time.Millisecond,
+		OpTimeout:    time.Second,
+	})
+	srv, err := server.New(server.Config{Cluster: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	edges := testStream(4000, 23)
+	clusterIngest(t, coord, edges)
+	drain(t, coord)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, raw
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz with healthy shards: %d", code)
+	}
+	code, raw := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	fams, err := obs.ParseFamilies(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("coordinator exposition does not parse: %v\n%s", err, raw)
+	}
+	find := func(name string, labels map[string]string) float64 {
+		t.Helper()
+		for _, f := range fams {
+			if f.Name != name {
+				continue
+			}
+		next:
+			for _, s := range f.Samples {
+				for k, v := range labels {
+					if s.Labels[k] != v {
+						continue next
+					}
+				}
+				return s.Value
+			}
+		}
+		t.Fatalf("series %s%v not found", name, labels)
+		return 0
+	}
+	if got := find("gsketch_cluster_shards", nil); got != 2 {
+		t.Errorf("cluster_shards = %v, want 2", got)
+	}
+	if got := find("gsketch_cluster_healthy", nil); got != 2 {
+		t.Errorf("cluster_healthy = %v, want 2", got)
+	}
+	st := coord.Stats()
+	var sent float64
+	for i, addr := range []string{shards[0].addr, shards[1].addr} {
+		labels := map[string]string{"shard": strconv.Itoa(i), "addr": addr}
+		if got := find("gsketch_shard_up", labels); got != 1 {
+			t.Errorf("shard %d up = %v, want 1", i, got)
+		}
+		got := find("gsketch_shard_edges_sent_total", labels)
+		if want := float64(st.Shards[i].EdgesSent); got != want {
+			t.Errorf("shard %d edges_sent = %v, want %v", i, got, want)
+		}
+		sent += got
+	}
+	if sent != float64(len(edges)) {
+		t.Errorf("summed shard edges_sent = %v, want %d", sent, len(edges))
+	}
+
+	// Kill every shard: readiness must go dark even though the
+	// coordinator process itself is still alive.
+	for _, sh := range shards {
+		sh.srv.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := get("/readyz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 after all shards died")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after shard deaths: %d, want 200 (coordinator itself is alive)", code)
 	}
 }

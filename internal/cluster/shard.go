@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,7 @@ type shard struct {
 	id   int
 	addr string
 	cfg  *Config
+	log  *slog.Logger // scoped with shard/addr attributes
 
 	// down marks the shard degraded: ingest sheds to it, queries fail
 	// fast, and only a successful probe revives it.
@@ -73,6 +75,7 @@ func newShard(id int, addr string, cfg *Config) *shard {
 		id:         id,
 		addr:       addr,
 		cfg:        cfg,
+		log:        cfg.Logger.With("component", "cluster", "shard", id, "addr", addr),
 		buf:        make([]stream.Edge, 0, cfg.BatchEdges),
 		sendCh:     make(chan sendJob, cfg.QueueBatches),
 		senderDone: make(chan struct{}),
@@ -90,7 +93,9 @@ func (sh *shard) dial() (*wire.Client, error) {
 // markDown degrades the shard and drops its pooled connections (they
 // share the peer's fate).
 func (sh *shard) markDown(err error) {
-	sh.down.Store(true)
+	if !sh.down.Swap(true) {
+		sh.log.Warn("shard degraded", "error", err)
+	}
 	sh.gmu.Lock()
 	sh.lastErr = err.Error()
 	sh.gmu.Unlock()
@@ -347,6 +352,8 @@ func (sh *shard) probe() {
 	sh.gmu.Lock()
 	sh.pong, sh.rtt, sh.lastErr = p, rtt, ""
 	sh.gmu.Unlock()
-	sh.down.Store(false)
+	if sh.down.Swap(false) {
+		sh.log.Info("shard revived", "rtt_ms", float64(rtt.Microseconds())/1e3)
+	}
 	sh.putConn(cl)
 }

@@ -97,6 +97,7 @@ type Ingestor struct {
 
 	edges   atomic.Int64
 	batches atomic.Int64
+	sheds   atomic.Int64
 }
 
 // New starts an ingestor feeding dest. Callers stream edges with Push or
@@ -323,6 +324,7 @@ fast:
 					// full pending batch through.
 					return accepted, nil
 				}
+				in.sheds.Add(1)
 				return accepted, ErrQueueFull
 			}
 		}
@@ -414,6 +416,10 @@ func (in *Ingestor) Edges() int64 { return in.edges.Load() }
 
 // Batches returns the number of batches applied so far.
 func (in *Ingestor) Batches() int64 { return in.batches.Load() }
+
+// Sheds counts TryPush/TryPushBatch calls that returned ErrQueueFull —
+// the load-shedding events a 429-mapping frontend has surfaced.
+func (in *Ingestor) Sheds() int64 { return in.sheds.Load() }
 
 // QueueDepth returns the number of batches currently waiting in the queue
 // (enqueued but not yet picked up by a worker). Together with QueueCap it

@@ -10,32 +10,46 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
-// routes builds the method-routed mux (Go 1.22 pattern syntax).
+// routes builds the method-routed mux (Go 1.22 pattern syntax). Every
+// handler is wrapped with a per-route latency histogram; the histogram
+// child is resolved here, once, so the per-request cost is two clock
+// reads and an atomic bucket add.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("GET /snapshot", s.handleSnapshotGet)
-	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
-	mux.HandleFunc("POST /snapshot/restore", s.handleSnapshotRestore)
+	handle := func(pattern string, h http.HandlerFunc) {
+		hist := s.metrics.routeHistogram(pattern)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.ObserveSince(start)
+		})
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
+	handle("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	handle("POST /ingest", s.handleIngest)
+	handle("POST /query", s.handleQuery)
+	handle("GET /snapshot", s.handleSnapshotGet)
+	handle("POST /snapshot/save", s.handleSnapshotSave)
+	handle("POST /snapshot/restore", s.handleSnapshotRestore)
 	// Engine-only surfaces; a cluster coordinator (s.eng == nil) serves
 	// the shared endpoints above, unchanged.
 	if s.eng != nil && s.eng.RecordsWorkload() {
-		mux.HandleFunc("GET /workload", s.handleWorkload)
+		handle("GET /workload", s.handleWorkload)
 	}
 	if s.eng != nil && s.eng.HasWindow() {
-		mux.HandleFunc("POST /query/window", s.handleWindowQuery)
+		handle("POST /query/window", s.handleWindowQuery)
 	}
 	if s.eng != nil && s.eng.Adaptive() {
-		mux.HandleFunc("POST /repartition", s.handleRepartition)
+		handle("POST /repartition", s.handleRepartition)
 	}
 	return mux
 }
@@ -46,7 +60,9 @@ func (s *Server) routes() *http.ServeMux {
 // swap loop (the auto-trigger end is the engine's WithAutoRepartition).
 func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	s.stats.repartitionRequests.Add(1)
+	done := s.beginSwap()
 	res, err := s.eng.Repartition()
+	done()
 	if err != nil {
 		code := http.StatusInternalServerError
 		// Both are client-retriable states, not server faults: the
@@ -72,6 +88,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness half of the health split: alive is not
+// the same as able to take traffic. 503s here tell a load balancer to
+// route around a state swap in progress or a shardless cluster, while
+// /healthz keeps reporting the process alive (no restart needed).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.ready(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "not ready: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleIngest accepts an edge batch — NDJSON, or wire-framed when the
@@ -343,7 +371,10 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 		defer f.Close()
 		src, from = f, path
 	}
-	if err := s.eng.Restore(src); err != nil {
+	done := s.beginSwap()
+	err := s.eng.Restore(src)
+	done()
+	if err != nil {
 		// Default to a server fault: non-sentinel failures (a displaced
 		// pipeline that would not drain, say) can arrive after the swap
 		// took effect, and a 4xx would wrongly invite a blind retry.
@@ -389,7 +420,10 @@ func (s *Server) handleClusterRestore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.coord.RestoreSnapshot(path); err != nil {
+	done := s.beginSwap()
+	err := s.coord.RestoreSnapshot(path)
+	done()
+	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, cluster.ErrTopologyMismatch):
@@ -499,6 +533,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["queue_cap"] = es.Ingest.QueueCap
 		stats["inflight"] = es.Ingest.Inflight
 		stats["pending_edges"] = es.Ingest.PendingEdges
+		stats["sheds"] = es.Ingest.Sheds
 	}
 	if es.Workload != nil {
 		stats["workload_seen"] = es.Workload.Seen

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/cluster"
+	"github.com/graphstream/gsketch/internal/obs"
+	"github.com/graphstream/gsketch/internal/wire"
+)
+
+// serverMetrics holds the instruments resolved once at New: the hot
+// paths (HTTP handlers, the wire pipeline) update them through direct
+// pointers — no map lookups, no label formatting, no allocations.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// httpLatency is keyed by mux route pattern, resolved at routes()
+	// build time; handlers are wrapped once.
+	httpLatency map[string]*obs.Histogram
+
+	// wireDecode covers dec.Next + record decode per frame; wireApply
+	// is indexed by request frame type (TypeIngest..TypeSnapRestore).
+	wireDecode *obs.Histogram
+	wireApply  [16]*obs.Histogram
+
+	// swap observes adapt repartition build+rotate durations.
+	swap *obs.Histogram
+}
+
+// wireTypeNames labels the wireApply children; only request types the
+// server applies are registered.
+var wireTypeNames = map[byte]string{
+	wire.TypeIngest:      "ingest",
+	wire.TypeQuery:       "query",
+	wire.TypeFlush:       "flush",
+	wire.TypePing:        "ping",
+	wire.TypeSnapSave:    "snap_save",
+	wire.TypeSnapRestore: "snap_restore",
+}
+
+// newServerMetrics builds the registry skeleton shared by both
+// backends: request counters (also exported through /stats), latency
+// histograms and the uptime/readiness gauges. Backend-specific gauges
+// are attached by registerEngineMetrics / registerClusterMetrics.
+func (s *Server) newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:         reg,
+		httpLatency: make(map[string]*obs.Histogram),
+		wireDecode: reg.Histogram("gsketch_wire_frame_decode_duration_seconds",
+			"Time parsing one wire frame payload into records (network wait excluded).", nil),
+		swap: reg.Histogram("gsketch_adapt_swap_duration_seconds",
+			"Build+rotate duration of adaptive repartition swaps.", nil),
+	}
+	for typ, name := range wireTypeNames {
+		m.wireApply[typ] = reg.Histogram("gsketch_wire_frame_apply_duration_seconds",
+			"Time applying one decoded wire frame against the backend.", nil,
+			obs.Label{Key: "type", Value: name})
+	}
+	reg.GaugeFunc("gsketch_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return s.cfg.Now().Sub(s.start).Seconds() })
+	reg.GaugeFunc("gsketch_ready",
+		"1 when /readyz would answer 200, 0 otherwise.",
+		func() float64 {
+			if s.ready() == nil {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// routeHistogram resolves (registering on first use) the per-route
+// HTTP latency histogram for a mux pattern.
+func (m *serverMetrics) routeHistogram(pattern string) *obs.Histogram {
+	h, ok := m.httpLatency[pattern]
+	if !ok {
+		h = m.reg.Histogram("gsketch_http_request_duration_seconds",
+			"HTTP request latency by route.", nil,
+			obs.Label{Key: "route", Value: pattern})
+		m.httpLatency[pattern] = h
+	}
+	return h
+}
+
+// registerEngineMetrics attaches the single-node gauges: one
+// EngineStats snapshot per scrape (via the prepare hook) feeds every
+// gauge func, so a scrape costs one Stats() call, not one per series.
+func (s *Server) registerEngineMetrics(eng *gsketch.Engine) {
+	reg := s.metrics.reg
+	var snap atomic.Pointer[gsketch.EngineStats]
+	snap.Store(&gsketch.EngineStats{})
+	reg.AddPrepare(func() {
+		st := eng.Stats()
+		snap.Store(&st)
+	})
+	gauge := func(name, help string, f func(*gsketch.EngineStats) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return f(snap.Load()) })
+	}
+	gauge("gsketch_engine_stream_total", "Stream volume folded into the estimator.",
+		func(st *gsketch.EngineStats) float64 { return float64(st.StreamTotal) })
+	gauge("gsketch_engine_partitions", "Serving estimator partition count.",
+		func(st *gsketch.EngineStats) float64 { return float64(st.Partitions) })
+	gauge("gsketch_engine_memory_bytes", "Estimator counter footprint in bytes.",
+		func(st *gsketch.EngineStats) float64 { return float64(st.MemoryBytes) })
+	gauge("gsketch_engine_generations", "Sketch generations serving reads.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt != nil {
+				return float64(st.Adapt.Generations)
+			}
+			return 1
+		})
+	gauge("gsketch_ingest_queue_depth", "Batches waiting in the ingest queue.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Ingest == nil {
+				return 0
+			}
+			return float64(st.Ingest.QueueDepth)
+		})
+	gauge("gsketch_ingest_queue_cap", "Ingest queue bound (shedding starts at capacity).",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Ingest == nil {
+				return 0
+			}
+			return float64(st.Ingest.QueueCap)
+		})
+	gauge("gsketch_ingest_pending_edges", "Edges buffered toward the next batch.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Ingest == nil {
+				return 0
+			}
+			return float64(st.Ingest.PendingEdges)
+		})
+	reg.CounterFunc("gsketch_ingest_sheds_total",
+		"Load-shedding events: non-blocking pushes refused on a full queue.",
+		func() int64 {
+			if st := snap.Load(); st.Ingest != nil {
+				return st.Ingest.Sheds
+			}
+			return 0
+		})
+	gauge("gsketch_adapt_drift_workload_divergence", "Live-vs-baseline workload divergence.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt == nil {
+				return 0
+			}
+			return st.Adapt.Drift.WorkloadDivergence
+		})
+	gauge("gsketch_adapt_drift_outlier_share", "Outlier share of head reads since last swap.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt == nil {
+				return 0
+			}
+			return st.Adapt.Drift.OutlierShare
+		})
+	reg.CounterFunc("gsketch_adapt_repartitions_total",
+		"Completed repartition swaps.",
+		func() int64 {
+			if st := snap.Load(); st.Adapt != nil {
+				return st.Adapt.Repartitions
+			}
+			return 0
+		})
+	// Feed the swap-duration histogram from the manager's observer hook,
+	// covering manual /repartition and the auto-trigger loop alike.
+	eng.SetSwapObserver(s.metrics.swap.ObserveDuration)
+}
+
+// registerClusterMetrics attaches the coordinator gauges: cluster
+// aggregates plus one labeled series set per shard (the topology is
+// static, so the series are too). One Stats() snapshot per scrape
+// feeds every series.
+func (s *Server) registerClusterMetrics(coord *cluster.Coordinator) {
+	reg := s.metrics.reg
+	var snap atomic.Pointer[cluster.Stats]
+	snap.Store(&cluster.Stats{})
+	reg.AddPrepare(func() {
+		st := coord.Stats()
+		snap.Store(&st)
+	})
+	reg.GaugeFunc("gsketch_cluster_shards", "Configured shard count.",
+		func() float64 { return float64(coord.NumShards()) })
+	reg.GaugeFunc("gsketch_cluster_healthy", "Shards currently healthy.",
+		func() float64 { return float64(snap.Load().Healthy) })
+	reg.GaugeFunc("gsketch_cluster_degraded", "Shards currently degraded.",
+		func() float64 { return float64(snap.Load().Degraded) })
+	reg.GaugeFunc("gsketch_engine_stream_total", "Cluster-wide stream volume (summed shard pings).",
+		func() float64 { return float64(snap.Load().StreamTotal) })
+	reg.CounterFunc("gsketch_cluster_edges_lost_total",
+		"Edges dropped because their owning shard died.",
+		func() int64 { return snap.Load().EdgesLost })
+
+	shardStat := func(i int, f func(*cluster.ShardStats) float64) func() float64 {
+		return func() float64 {
+			st := snap.Load()
+			if i >= len(st.Shards) {
+				return 0
+			}
+			return f(&st.Shards[i])
+		}
+	}
+	for i, addr := range coord.Addrs() {
+		labels := []obs.Label{
+			{Key: "shard", Value: strconv.Itoa(i)},
+			{Key: "addr", Value: addr},
+		}
+		reg.GaugeFunc("gsketch_shard_up", "1 when the shard is healthy.",
+			shardStat(i, func(ss *cluster.ShardStats) float64 {
+				if ss.Healthy {
+					return 1
+				}
+				return 0
+			}), labels...)
+		reg.GaugeFunc("gsketch_shard_rtt_seconds", "Last probe round-trip time.",
+			shardStat(i, func(ss *cluster.ShardStats) float64 { return ss.RTTMillis / 1e3 }), labels...)
+		reg.GaugeFunc("gsketch_shard_stream_total", "Shard stream volume at last ping.",
+			shardStat(i, func(ss *cluster.ShardStats) float64 { return float64(ss.StreamTotal) }), labels...)
+		reg.GaugeFunc("gsketch_shard_queue_depth", "Shard ingest queue depth at last ping.",
+			shardStat(i, func(ss *cluster.ShardStats) float64 { return float64(ss.QueueDepth) }), labels...)
+		reg.GaugeFunc("gsketch_shard_pending_edges", "Edges queued coordinator-side, unacked.",
+			shardStat(i, func(ss *cluster.ShardStats) float64 { return float64(ss.PendingEdges) }), labels...)
+		counter := func(name, help string, f func(*cluster.ShardStats) int64) {
+			reg.CounterFunc(name, help, func() int64 {
+				st := snap.Load()
+				if i >= len(st.Shards) {
+					return 0
+				}
+				return f(&st.Shards[i])
+			}, labels...)
+		}
+		counter("gsketch_shard_edges_sent_total", "Edges acked by the shard.",
+			func(ss *cluster.ShardStats) int64 { return ss.EdgesSent })
+		counter("gsketch_shard_edges_lost_total", "Edges dropped because the shard died.",
+			func(ss *cluster.ShardStats) int64 { return ss.EdgesLost })
+		counter("gsketch_shard_sheds_total", "Shard 429 rounds absorbed by the sender.",
+			func(ss *cluster.ShardStats) int64 { return ss.Sheds })
+		counter("gsketch_shard_batches_sent_total", "Batches fully delivered to the shard.",
+			func(ss *cluster.ShardStats) int64 { return ss.BatchesSent })
+		counter("gsketch_shard_queries_total", "Successful query round trips.",
+			func(ss *cluster.ShardStats) int64 { return ss.Queries })
+		counter("gsketch_shard_query_errors_total", "Failed query round trips.",
+			func(ss *cluster.ShardStats) int64 { return ss.QueryErrors })
+	}
+}

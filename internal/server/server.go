@@ -24,8 +24,15 @@
 //	POST /repartition      rebuild the partitioning from live samples and
 //	                       hot-swap it in as a new sketch generation (when
 //	                       the engine is adaptive)
-//	GET  /healthz          liveness
-//	GET  /stats            expvar counters + live engine gauges
+//	GET  /healthz          liveness (alive and not shutting down)
+//	GET  /readyz           readiness: 503 during snapshot restores and
+//	                       repartition swaps, and when a cluster
+//	                       coordinator has zero healthy shards
+//	GET  /metrics          Prometheus text exposition: request counters,
+//	                       per-route and wire-frame latency histograms,
+//	                       engine/cluster gauges
+//	GET  /stats            JSON counters + live engine gauges (the same
+//	                       registry /metrics renders)
 //
 // The server is embeddable: New + Handler slot into any http.Server or
 // test harness; ListenAndServe/Serve + Shutdown run it standalone.
@@ -37,6 +44,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -48,6 +56,7 @@ import (
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/window"
 )
 
@@ -109,6 +118,11 @@ type Config struct {
 	// Deprecated: gsketch.WithAutoRepartition.
 	AdaptInterval time.Duration
 
+	// Logger receives the server's structured lifecycle events (slog).
+	// Nil discards them; gsketch-serve passes its -log-level/-log-format
+	// configured logger.
+	Logger *slog.Logger
+
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// FlushTimeout bounds the wait of sync requests (?sync=1 ingests and
@@ -131,6 +145,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -175,11 +192,18 @@ type Server struct {
 	// be is the serving surface shared by every endpoint. eng is non-nil
 	// only for engine backends (engine-only routes key off it); coord is
 	// non-nil only in cluster mode.
-	be    Backend
-	eng   *gsketch.Engine
-	coord *cluster.Coordinator
-	mux   *http.ServeMux
-	stats *counters
+	be      Backend
+	eng     *gsketch.Engine
+	coord   *cluster.Coordinator
+	mux     *http.ServeMux
+	stats   *counters
+	metrics *serverMetrics
+	log     *slog.Logger
+
+	// notReady counts in-flight state swaps (snapshot restores,
+	// repartitions): /readyz answers 503 while it is non-zero, so a load
+	// balancer routes around the latency cliff of a swap in progress.
+	notReady atomic.Int32
 
 	// httpSrv is created in New (not lazily in Serve) so a Shutdown racing
 	// startup still stops the listener: http.Server.Shutdown before Serve
@@ -208,17 +232,20 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
-		stats:     newCounters(),
+		log:       cfg.Logger.With("component", "server"),
 		start:     cfg.Now(),
 		wireLns:   make(map[net.Listener]struct{}),
 		wireConns: make(map[net.Conn]struct{}),
 	}
+	s.metrics = s.newServerMetrics()
+	s.stats = newCounters(s.metrics.reg)
 	if cfg.Cluster != nil {
 		if cfg.Engine != nil || cfg.Estimator != nil {
 			return nil, errors.New("server: Config.Cluster is mutually exclusive with Engine/Estimator")
 		}
 		s.coord = cfg.Cluster
 		s.be = cfg.Cluster
+		s.registerClusterMetrics(cfg.Cluster)
 	} else {
 		eng := cfg.Engine
 		if eng == nil {
@@ -230,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.eng = eng
 		s.be = engineBackend{eng: eng}
+		s.registerEngineMetrics(eng)
 	}
 	s.mux = s.routes()
 	s.httpSrv = &http.Server{
@@ -256,6 +284,38 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // on the process-global /debug/vars.
 func (s *Server) Vars() *expvar.Map { return s.stats.vars }
 
+// Metrics returns the server's metrics registry — the source of
+// GET /metrics — for embedders that want to add their own instruments
+// or mount the exposition handler elsewhere.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// ready reports why the server cannot take traffic right now, or nil
+// when it can — the /readyz condition. Liveness (/healthz) only checks
+// the process is up and not shutting down; readiness additionally
+// fails during state swaps and when a cluster has no healthy shard
+// left to answer from.
+func (s *Server) ready() error {
+	if s.closing.Load() {
+		return errors.New("shutting down")
+	}
+	if s.notReady.Load() > 0 {
+		return errors.New("state swap in progress")
+	}
+	if s.coord != nil {
+		if st := s.coord.Stats(); st.Healthy == 0 {
+			return fmt.Errorf("no healthy shards (%d configured)", len(st.Shards))
+		}
+	}
+	return nil
+}
+
+// beginSwap marks a state swap (snapshot restore, repartition) in
+// flight for /readyz; the returned func ends it.
+func (s *Server) beginSwap() func() {
+	s.notReady.Add(1)
+	return func() { s.notReady.Add(-1) }
+}
+
 // Serve accepts connections on ln until Shutdown. It returns
 // http.ErrServerClosed after a graceful shutdown, like net/http.
 func (s *Server) Serve(ln net.Listener) error {
@@ -280,6 +340,7 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
+		s.log.Info("shutdown started")
 		if err := s.httpSrv.Shutdown(ctx); err != nil {
 			s.closeErr = err
 			// Fall through: the engine still drains below.
@@ -313,6 +374,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		if s.coord == nil {
 			saveFinal()
+		}
+		if s.closeErr != nil {
+			s.log.Error("shutdown finished", "error", s.closeErr)
+		} else {
+			s.log.Info("shutdown finished")
 		}
 	})
 	return s.closeErr

@@ -1,53 +1,72 @@
 package server
 
-import "expvar"
+import (
+	"expvar"
 
-// counters are the server's monotonic expvar counters. They live in a
-// per-server expvar.Map that is not published to the process-global expvar
-// registry — expvar.Publish panics on duplicate names, and tests (or an
-// embedding process) may run several servers side by side. A process that
-// wants the counters on /debug/vars can expvar.Publish(name, srv.Vars())
-// itself, once.
+	"github.com/graphstream/gsketch/internal/obs"
+)
+
+// counters are the server's monotonic request counters. They live in
+// the server's obs registry (as gsketch_*_total Prometheus counters)
+// and are mirrored into a per-server expvar.Map of expvar.Func views —
+// one source of truth, two renderings — so /stats keeps its PR-era
+// keys byte-for-byte and Vars() still hands embedders something they
+// can expvar.Publish. The map is not published to the process-global
+// expvar registry: expvar.Publish panics on duplicate names, and tests
+// (or an embedding process) may run several servers side by side.
 type counters struct {
 	vars *expvar.Map
 
-	ingestRequests      *expvar.Int // POST /ingest requests handled
-	edgesAccepted       *expvar.Int // edges accepted into the pipeline
-	edgesRejected       *expvar.Int // edges shed with 429 (queue full)
-	queryRequests       *expvar.Int // POST /query requests handled
-	queriesAnswered     *expvar.Int // individual edge queries answered
-	windowQueries       *expvar.Int // POST /query/window requests handled
-	snapshotsSaved      *expvar.Int // successful snapshot saves
-	snapshotsRestored   *expvar.Int // successful snapshot restores
-	repartitionRequests *expvar.Int // POST /repartition requests handled
+	ingestRequests      *obs.Counter // POST /ingest requests handled
+	edgesAccepted       *obs.Counter // edges accepted into the pipeline
+	edgesRejected       *obs.Counter // edges shed with 429 (queue full)
+	queryRequests       *obs.Counter // POST /query requests handled
+	queriesAnswered     *obs.Counter // individual edge queries answered
+	windowQueries       *obs.Counter // POST /query/window requests handled
+	snapshotsSaved      *obs.Counter // successful snapshot saves
+	snapshotsRestored   *obs.Counter // successful snapshot restores
+	repartitionRequests *obs.Counter // POST /repartition requests handled
 
 	// Wire-protocol counters, covering the TCP listener and wire-framed
 	// HTTP bodies alike.
-	wireFrames       *expvar.Int // request frames decoded
-	wireDecodeErrors *expvar.Int // frames rejected as malformed
-	wireBytesIn      *expvar.Int // bytes read off wire transports
-	wireBytesOut     *expvar.Int // bytes written to wire transports
+	wireFrames       *obs.Counter // request frames decoded
+	wireDecodeErrors *obs.Counter // frames rejected as malformed
+	wireBytesIn      *obs.Counter // bytes read off wire transports
+	wireBytesOut     *obs.Counter // bytes written to wire transports
 }
 
-func newCounters() *counters {
+func newCounters(reg *obs.Registry) *counters {
 	c := &counters{vars: new(expvar.Map).Init()}
-	mk := func(name string) *expvar.Int {
-		v := new(expvar.Int)
-		c.vars.Set(name, v)
-		return v
+	mk := func(statsKey, promName, help string) *obs.Counter {
+		ctr := reg.Counter(promName, help)
+		c.vars.Set(statsKey, expvar.Func(func() any { return ctr.Value() }))
+		return ctr
 	}
-	c.ingestRequests = mk("ingest_requests")
-	c.edgesAccepted = mk("edges_accepted")
-	c.edgesRejected = mk("edges_rejected")
-	c.queryRequests = mk("query_requests")
-	c.queriesAnswered = mk("queries_answered")
-	c.windowQueries = mk("window_query_requests")
-	c.snapshotsSaved = mk("snapshots_saved")
-	c.snapshotsRestored = mk("snapshots_restored")
-	c.repartitionRequests = mk("repartition_requests")
-	c.wireFrames = mk("wire_frames")
-	c.wireDecodeErrors = mk("wire_decode_errors")
-	c.wireBytesIn = mk("wire_bytes_in")
-	c.wireBytesOut = mk("wire_bytes_out")
+	c.ingestRequests = mk("ingest_requests",
+		"gsketch_ingest_requests_total", "Ingest requests handled (HTTP and wire).")
+	c.edgesAccepted = mk("edges_accepted",
+		"gsketch_edges_accepted_total", "Edges accepted into the pipeline.")
+	c.edgesRejected = mk("edges_rejected",
+		"gsketch_edges_rejected_total", "Edges shed under backpressure.")
+	c.queryRequests = mk("query_requests",
+		"gsketch_query_requests_total", "Query requests handled (HTTP and wire).")
+	c.queriesAnswered = mk("queries_answered",
+		"gsketch_queries_answered_total", "Individual edge queries answered.")
+	c.windowQueries = mk("window_query_requests",
+		"gsketch_window_query_requests_total", "Window query requests handled.")
+	c.snapshotsSaved = mk("snapshots_saved",
+		"gsketch_snapshots_saved_total", "Successful snapshot saves.")
+	c.snapshotsRestored = mk("snapshots_restored",
+		"gsketch_snapshots_restored_total", "Successful snapshot restores.")
+	c.repartitionRequests = mk("repartition_requests",
+		"gsketch_repartition_requests_total", "Repartition requests handled.")
+	c.wireFrames = mk("wire_frames",
+		"gsketch_wire_frames_total", "Wire request frames decoded.")
+	c.wireDecodeErrors = mk("wire_decode_errors",
+		"gsketch_wire_decode_errors_total", "Wire frames rejected as malformed.")
+	c.wireBytesIn = mk("wire_bytes_in",
+		"gsketch_wire_bytes_in_total", "Bytes read off wire transports.")
+	c.wireBytesOut = mk("wire_bytes_out",
+		"gsketch_wire_bytes_out_total", "Bytes written to wire transports.")
 	return c
 }

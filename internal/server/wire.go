@@ -4,16 +4,17 @@ import (
 	"bufio"
 	"context"
 	"errors"
-	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/wire"
 )
@@ -112,10 +113,10 @@ func (s *Server) closeWire() {
 	s.wireWg.Wait()
 }
 
-// varReader counts bytes read into an expvar counter.
+// varReader counts bytes read into a registry counter.
 type varReader struct {
 	r io.Reader
-	n *expvar.Int
+	n *obs.Counter
 }
 
 func (v varReader) Read(p []byte) (int, error) {
@@ -126,10 +127,10 @@ func (v varReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// varWriter counts bytes written into an expvar counter.
+// varWriter counts bytes written into a registry counter.
 type varWriter struct {
 	w io.Writer
-	n *expvar.Int
+	n *obs.Counter
 }
 
 func (v varWriter) Write(p []byte) (int, error) {
@@ -174,6 +175,7 @@ func (s *Server) handleWireConn(conn net.Conn) {
 			continue
 		}
 		*out = (*out)[:0]
+		start := time.Now()
 		switch job.typ {
 		case wire.TypeIngest:
 			*out = s.applyWireIngest(*out, *job.edges)
@@ -187,6 +189,12 @@ func (s *Server) handleWireConn(conn net.Conn) {
 			*out = s.applyWireSnapSave(*out)
 		case wire.TypeSnapRestore:
 			*out = s.applyWireSnapRestore(*out)
+		}
+		// The apply histogram child was resolved at registration; the
+		// observation is two clock reads and three atomic adds, keeping
+		// the hot loop allocation-free.
+		if h := s.metrics.wireApply[job.typ]; h != nil {
+			h.ObserveSince(start)
 		}
 		s.recycleWireJob(job)
 		if _, err := bw.Write(*out); err != nil {
@@ -218,24 +226,31 @@ func (s *Server) wireDecodeLoop(r io.Reader, jobs chan<- wireJob) {
 			return
 		}
 		s.stats.wireFrames.Add(1)
+		// The decode histogram covers payload → records parsing, not the
+		// network wait inside dec.Next — an idle connection must not
+		// register as slow decoding.
 		switch f.Type {
 		case wire.TypeIngest:
 			buf := getEdgeBuf()
+			start := time.Now()
 			*buf, err = wire.DecodeEdges((*buf)[:0], f.Payload)
 			if err != nil {
 				putEdgeBuf(buf)
 				jobs <- wireJob{err: err}
 				return
 			}
+			s.metrics.wireDecode.ObserveSince(start)
 			jobs <- wireJob{typ: f.Type, edges: buf}
 		case wire.TypeQuery:
 			buf := getQueryBuf()
+			start := time.Now()
 			*buf, err = wire.DecodeQueries((*buf)[:0], f.Payload)
 			if err != nil {
 				putQueryBuf(buf)
 				jobs <- wireJob{err: err}
 				return
 			}
+			s.metrics.wireDecode.ObserveSince(start)
 			jobs <- wireJob{typ: f.Type, qs: buf}
 		case wire.TypeFlush, wire.TypePing, wire.TypeSnapSave, wire.TypeSnapRestore:
 			jobs <- wireJob{typ: f.Type}
@@ -351,7 +366,9 @@ func (s *Server) applyWireSnapSave(out []byte) []byte {
 // applyWireSnapRestore swaps in the snapshot at the backend's own
 // configured path and acks with the post-swap gauges.
 func (s *Server) applyWireSnapRestore(out []byte) []byte {
+	done := s.beginSwap()
 	err := s.be.RestoreSnapshot("")
+	done()
 	switch {
 	case errors.Is(err, gsketch.ErrNoSnapshotPath), errors.Is(err, cluster.ErrNoSnapshotPath),
 		errors.Is(err, gsketch.ErrNotAdaptive), errors.Is(err, gsketch.ErrWindowMounted):
@@ -485,7 +502,11 @@ func (s *Server) decodeWireBody(w http.ResponseWriter, body io.Reader, want byte
 			err = fmt.Errorf("%w: frame type 0x%02x in a 0x%02x body", wire.ErrUnknownType, f.Type, want)
 		}
 		if err == nil {
+			start := time.Now()
 			err = sink(f.Payload)
+			if err == nil {
+				s.metrics.wireDecode.ObserveSince(start)
+			}
 		}
 		if err != nil {
 			s.stats.wireDecodeErrors.Add(1)

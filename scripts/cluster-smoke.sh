@@ -99,6 +99,17 @@ grep -q '"cluster_shards":2' <<<"$stats" || fail "stats: $stats"
 grep -q '"cluster_healthy":2' <<<"$stats" || fail "stats: $stats"
 grep -q '"cluster_degraded":0' <<<"$stats" || fail "stats: $stats"
 
+# Coordinator observability: /readyz answers while shards are healthy, and
+# /metrics exposes cluster aggregates plus per-shard labeled series.
+curl -sf "$BASE/readyz" >/dev/null || fail "coordinator readyz not 200 with healthy shards"
+metrics=$(curl -sf "$BASE/metrics")
+grep -q '^# TYPE gsketch_cluster_healthy gauge' <<<"$metrics" || fail "metrics missing cluster gauge"
+grep -q '^gsketch_cluster_healthy 2$' <<<"$metrics" || fail "cluster_healthy gauge: $metrics"
+grep -q "gsketch_shard_up{shard=\"0\",addr=\"$S0_WADDR\"} 1" <<<"$metrics" || fail "shard 0 series missing"
+grep -q "gsketch_shard_up{shard=\"1\",addr=\"$S1_WADDR\"} 1" <<<"$metrics" || fail "shard 1 series missing"
+grep -q 'gsketch_http_request_duration_seconds_bucket{route="POST /ingest",le="+Inf"}' <<<"$metrics" \
+  || fail "coordinator route histogram missing +Inf bucket"
+
 # Snapshot fan-out: each shard persists to its own disk, the coordinator
 # writes the topology manifest locally.
 save=$(curl -sf -X POST "$BASE/snapshot/save")
@@ -132,11 +143,28 @@ code=$(curl -s -o "$TMP/partial.json" -w '%{http_code}' \
 [[ "$code" == "502" ]] || fail "degraded query status $code, want 502 ($(cat "$TMP/partial.json"))"
 grep -q 'shard 1' "$TMP/partial.json" || fail "partial error does not name the shard: $(cat "$TMP/partial.json")"
 
-# Graceful shutdown: coordinator and surviving shard drain and exit 0.
+# One dead shard degrades metrics but not readiness (partial service).
+metrics=$(curl -sf "$BASE/metrics")
+grep -q '^gsketch_cluster_healthy 1$' <<<"$metrics" || fail "cluster_healthy after shard death: $metrics"
+grep -q "gsketch_shard_up{shard=\"1\",addr=\"$S1_WADDR\"} 0" <<<"$metrics" || fail "dead shard still up in metrics"
+curl -sf "$BASE/readyz" >/dev/null || fail "coordinator readyz must stay 200 with one healthy shard"
+
+# Kill the last shard: zero healthy shards means not ready, while the
+# coordinator process itself stays live.
+kill -9 "$S0_PID"
+ready=""
+for _ in $(seq 1 50); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+  if [[ "$code" == "503" ]]; then ready=dark; break; fi
+  sleep 0.1
+done
+[[ "$ready" == "dark" ]] || fail "coordinator readyz never flipped to 503 with zero healthy shards"
+curl -sf "$BASE/healthz" >/dev/null || fail "coordinator healthz must stay 200 (liveness != readiness)"
+
+# Graceful shutdown: the coordinator drains and exits 0 (both shards are
+# already gone, so only it remains).
 kill -TERM "$CO_PID"
 wait "$CO_PID" || fail "coordinator exited non-zero on SIGTERM"
-kill -TERM "$S0_PID"
-wait "$S0_PID" || fail "shard 0 exited non-zero on SIGTERM"
 PIDS=()
 
 echo "cluster-smoke: OK"

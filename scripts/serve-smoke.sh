@@ -75,6 +75,41 @@ grep -q '"edges_accepted":8' <<<"$stats" || fail "stats: $stats"
 grep -q '"snapshots_saved":1' <<<"$stats" || fail "stats: $stats"
 
 # ---------------------------------------------------------------------------
+# Observability surface: /metrics is Prometheus text exposition derived
+# from the same registry as /stats, and /readyz tracks state swaps.
+
+curl -sf "$BASE/readyz" >/dev/null || fail "readyz not 200 on an idle server"
+metrics=$(curl -sf "$BASE/metrics")
+grep -q '^# HELP gsketch_edges_accepted_total ' <<<"$metrics" || fail "metrics missing HELP: $metrics"
+grep -q '^# TYPE gsketch_edges_accepted_total counter' <<<"$metrics" || fail "metrics missing TYPE"
+grep -q '^gsketch_edges_accepted_total 8$' <<<"$metrics" || fail "metrics counter disagrees with /stats"
+grep -q '^# TYPE gsketch_http_request_duration_seconds histogram' <<<"$metrics" || fail "metrics missing route histogram"
+grep -q 'gsketch_http_request_duration_seconds_bucket{route="POST /ingest",le="+Inf"}' <<<"$metrics" \
+  || fail "route histogram missing +Inf terminal bucket"
+grep -q '^gsketch_ready 1$' <<<"$metrics" || fail "gsketch_ready gauge not 1"
+
+# Readiness flips during a restore: stream the snapshot body through a
+# FIFO so the swap window stays open while we poll /readyz.
+mkfifo "$TMP/slow-restore"
+curl -s -o "$TMP/restore-reply" -X POST -T "$TMP/slow-restore" \
+  -H 'Content-Type: application/octet-stream' "$BASE/snapshot/restore" &
+CURL_PID=$!
+exec 9>"$TMP/slow-restore" # hold the writer open, send nothing yet
+flipped=""
+for _ in $(seq 1 100); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+  if [[ "$code" == "503" ]]; then flipped=1; break; fi
+  sleep 0.05
+done
+[[ -n "$flipped" ]] || fail "readyz never flipped to 503 during a streaming restore"
+curl -sf "$BASE/healthz" >/dev/null || fail "healthz must stay 200 during restore"
+cat "$TMP/state.gsk" >&9
+exec 9>&-
+wait "$CURL_PID" || fail "streaming restore failed: $(cat "$TMP/restore-reply")"
+grep -q '"stream_total":8' "$TMP/restore-reply" || fail "streaming restore reply: $(cat "$TMP/restore-reply")"
+curl -sf "$BASE/readyz" >/dev/null || fail "readyz not back to 200 after restore"
+
+# ---------------------------------------------------------------------------
 # Binary wire protocol against the same server: ingest two more copies of
 # (1,101) and one of (2,102) over TCP, query them back, snapshot the mixed
 # state and restore it.
