@@ -10,6 +10,7 @@
 //	gsketch-bench -serve [-serve-proto json|wire|both] [-serve-json path]
 //	gsketch-bench -scaling [-cores 1,4,16] [-scaling-json path]
 //	gsketch-bench -cluster [-nodes 1,2,4] [-cluster-json path]
+//	gsketch-bench -tenants 1,8,64 [-tenant-edges n] [-tenant-queries n] [-tenant-json path]
 //
 // Examples:
 //
@@ -35,7 +36,12 @@
 // The -cluster mode stands a scatter-gather coordinator over 1, 2 and 4
 // in-process shard engines (see internal/cluster), drives the same wire
 // phases through it against a direct single-engine baseline, and writes
-// BENCH_cluster.json.
+// BENCH_cluster.json. The -tenants mode sweeps the multi-tenant registry
+// (see internal/tenant) over the listed tenant counts: every tenant
+// drives its own /t/{name}/... HTTP client concurrently (aggregate
+// throughput plus per-tenant p50/p99 spread), and a resident-capped
+// churn pass measures the snapshot-evict and reopen-from-snapshot
+// latencies; the report lands in BENCH_tenant.json.
 package main
 
 import (
@@ -92,6 +98,13 @@ func main() {
 		adaptAlpha    = flag.Float64("adapt-alpha", 1.1, "zipf skew of the pivot stream for -adapt")
 		adaptJSON     = flag.String("adapt-json", "BENCH_adapt.json", "machine-readable adapt report path")
 
+		tenantsSpec   = flag.String("tenants", "", "comma-separated tenant counts (e.g. 1,8,64): run the multi-tenant serving bench")
+		tenantEdges   = flag.Int("tenant-edges", 512_000, "total edges split across all tenants per sweep point for -tenants")
+		tenantQueries = flag.Int("tenant-queries", 256_000, "total queries split across all tenants per sweep point for -tenants")
+		tenantChunk   = flag.Int("tenant-chunk", 2048, "edges per NDJSON ingest request for -tenants")
+		tenantBatch   = flag.Int("tenant-batch", 512, "queries per /query request for -tenants")
+		tenantJSON    = flag.String("tenant-json", "BENCH_tenant.json", "machine-readable tenant report path")
+
 		queryMode       = flag.Bool("query", false, "run the query throughput benchmark instead of experiments")
 		queryCount      = flag.Int("query-count", 4_000_000, "number of queries per mode for -query")
 		queryBatch      = flag.Int("query-batch", 8192, "batch size for the batched query modes")
@@ -120,6 +133,14 @@ func main() {
 	if *clusterMode {
 		if err := runClusterBench(*clusterNodes, *clusterEdges, *clusterQueries, *clusterChunk, *clusterBatch, *clusterJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tenantsSpec != "" {
+		if err := runTenantBench(*tenantsSpec, *tenantEdges, *tenantQueries, *tenantChunk, *tenantBatch, *tenantJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: tenants: %v\n", err)
 			os.Exit(1)
 		}
 		return

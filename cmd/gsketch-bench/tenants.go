@@ -1,0 +1,362 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/core"
+	"github.com/graphstream/gsketch/internal/server"
+	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/tenant"
+)
+
+// tenantLat is one tenant's client-side request latency quantiles during
+// the mixed-tenant phases.
+type tenantLat struct {
+	Name        string  `json:"name"`
+	IngestP50Ms float64 `json:"ingest_p50_ms"`
+	IngestP99Ms float64 `json:"ingest_p99_ms"`
+	QueryP50Ms  float64 `json:"query_p50_ms"`
+	QueryP99Ms  float64 `json:"query_p99_ms"`
+}
+
+// tenantPoint is one tenant-count sweep point: every tenant drives its
+// own HTTP client against /t/{name}/... concurrently, so the aggregate
+// columns measure the registry under mixed-tenant load while the
+// per-tenant quantiles expose noisy-neighbour spread. The eviction
+// columns come from a separate churn pass over a resident-capped
+// registry (cap 1), where every round-robin access pays one
+// snapshot-evict plus one reopen-from-snapshot.
+type tenantPoint struct {
+	Tenants          int `json:"tenants"`
+	EdgesPerTenant   int `json:"edges_per_tenant"`
+	QueriesPerTenant int `json:"queries_per_tenant"`
+
+	IngestSeconds    float64 `json:"ingest_seconds"`
+	AggEdgesPerSec   float64 `json:"agg_ingest_edges_per_sec"`
+	IngestP50Ms      float64 `json:"ingest_p50_ms"`
+	IngestP99Ms      float64 `json:"ingest_p99_ms"`
+	QuerySeconds     float64 `json:"query_seconds"`
+	AggQueriesPerSec float64 `json:"agg_queries_per_sec"`
+	QueryP50Ms       float64 `json:"query_p50_ms"`
+	QueryP99Ms       float64 `json:"query_p99_ms"`
+
+	PerTenant []tenantLat `json:"per_tenant"`
+
+	Evictions   int     `json:"evictions"`
+	Reopens     int     `json:"reopens"`
+	EvictP50Ms  float64 `json:"evict_p50_ms"`
+	EvictP99Ms  float64 `json:"evict_p99_ms"`
+	ReopenP50Ms float64 `json:"reopen_p50_ms"`
+	ReopenP99Ms float64 `json:"reopen_p99_ms"`
+}
+
+// tenantReport is the BENCH_tenant.json payload.
+type tenantReport struct {
+	Schema       int   `json:"schema"`
+	TenantCounts []int `json:"tenant_counts"`
+	EdgesTotal   int   `json:"edges_total"`
+	QueriesTotal int   `json:"queries_total"`
+	IngestChunk  int   `json:"ingest_chunk"`
+	QueryBatch   int   `json:"query_batch"`
+	GoMaxProcs   int   `json:"gomaxprocs"`
+	NumCPU       int   `json:"num_cpu"`
+
+	Points []tenantPoint `json:"points"`
+}
+
+// tenantStream derives a per-tenant edge stream from the shared mixed
+// key population, shifted so tenants do not collide on identical keys.
+func tenantStream(n int, tenantIdx int) []stream.Edge {
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		v := uint64(i)*0x9e3779b97f4a7c15 + uint64(tenantIdx)*0xbf58476d1ce4e5b9 + 0x7f4a7c15
+		edges[i] = stream.Edge{
+			Src:    (v >> 16) % 16384,
+			Dst:    v % 65536,
+			Weight: 1,
+		}
+	}
+	return edges
+}
+
+// runTenantBench sweeps the multi-tenant server over the comma-separated
+// tenant counts of spec and writes BENCH_tenant.json.
+func runTenantBench(spec string, nEdges, nQueries, chunk, batch int, jsonPath string) error {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad tenant count %q in -tenants", f)
+		}
+		counts = append(counts, n)
+	}
+	rep := tenantReport{
+		Schema:       1,
+		TenantCounts: counts,
+		EdgesTotal:   nEdges,
+		QueriesTotal: nQueries,
+		IngestChunk:  chunk,
+		QueryBatch:   batch,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+	}
+	for _, n := range counts {
+		pt, err := runTenantPoint(n, nEdges/n, nQueries/n, chunk, batch)
+		if err != nil {
+			return fmt.Errorf("%d tenants: %w", n, err)
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("# tenant bench: %d tenants, %d edges + %d queries each\n",
+			n, pt.EdgesPerTenant, pt.QueriesPerTenant)
+		fmt.Printf("ingest  %12.0f edges/s aggregate   (p50 %.2fms p99 %.2fms)\n",
+			pt.AggEdgesPerSec, pt.IngestP50Ms, pt.IngestP99Ms)
+		fmt.Printf("query   %12.0f queries/s aggregate (p50 %.2fms p99 %.2fms)\n",
+			pt.AggQueriesPerSec, pt.QueryP50Ms, pt.QueryP99Ms)
+		if pt.Reopens > 0 {
+			fmt.Printf("churn   evict p50 %.2fms p99 %.2fms, reopen p50 %.2fms p99 %.2fms (%d evictions, %d reopens)\n",
+				pt.EvictP50Ms, pt.EvictP99Ms, pt.ReopenP50Ms, pt.ReopenP99Ms, pt.Evictions, pt.Reopens)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// runTenantPoint measures one tenant count: the mixed HTTP load phases
+// against an uncapped registry, then the eviction churn pass.
+func runTenantPoint(n, edgesPer, queriesPer, chunk, batch int) (tenantPoint, error) {
+	pt := tenantPoint{Tenants: n, EdgesPerTenant: edgesPer, QueriesPerTenant: queriesPer}
+	if edgesPer < chunk {
+		chunk = edgesPer
+	}
+	if queriesPer < batch {
+		batch = queriesPer
+	}
+	if chunk < 1 || batch < 1 {
+		return pt, fmt.Errorf("need at least one edge and one query per tenant (got %d, %d)", edgesPer, queriesPer)
+	}
+
+	dir, err := os.MkdirTemp("", "gsketch-bench-tenants-*")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := tenant.New(tenant.Config{
+		Dir:    dir,
+		Sketch: gsketch.Config{TotalBytes: 1 << 20, Seed: 42},
+		Ingest: gsketch.IngestConfig{BatchSize: 4096},
+	})
+	if err != nil {
+		return pt, err
+	}
+	srv, err := server.New(server.Config{Tenants: reg})
+	if err != nil {
+		return pt, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: n + 1}}
+
+	names := make([]string, n)
+	streams := make([][]stream.Edge, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%03d", i)
+		streams[i] = tenantStream(edgesPer, i)
+		if _, err := reg.Create(names[i], tenant.Overrides{}); err != nil {
+			return pt, err
+		}
+	}
+
+	// Mixed ingest phase: every tenant pushes its stream concurrently
+	// through its own /t/{name}/ingest route.
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	ilats := make([][]float64, n)
+	t0 := time.Now()
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &jsonWorker{d: &jsonDriver{base: base + "/t/" + names[i], client: client}}
+			part := streams[i]
+			for len(part) > 0 {
+				m := chunk
+				if m > len(part) {
+					m = len(part)
+				}
+				r0 := time.Now()
+				_, err := w.ingestChunk(part[:m])
+				ilats[i] = append(ilats[i], time.Since(r0).Seconds()*1e3)
+				if err != nil {
+					errs <- fmt.Errorf("tenant %s ingest: %w", names[i], err)
+					return
+				}
+				part = part[m:]
+			}
+			if err := w.flush(); err != nil {
+				errs <- fmt.Errorf("tenant %s flush: %w", names[i], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return pt, err
+	default:
+	}
+	pt.IngestSeconds = time.Since(t0).Seconds()
+	pt.AggEdgesPerSec = float64(n*edgesPer) / pt.IngestSeconds
+	pt.IngestP50Ms, pt.IngestP99Ms = percentiles(ilats)
+
+	// Mixed query phase over each tenant's own key population.
+	batches := queriesPer / batch
+	if batches < 1 {
+		batches = 1
+	}
+	qlats := make([][]float64, n)
+	t1 := time.Now()
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &jsonWorker{d: &jsonDriver{base: base + "/t/" + names[i], client: client}}
+			qs := make([]core.EdgeQuery, batch)
+			for b := 0; b < batches; b++ {
+				for j := range qs {
+					e := streams[i][(b*batch+j)%len(streams[i])]
+					qs[j] = core.EdgeQuery{Src: e.Src, Dst: e.Dst}
+				}
+				r0 := time.Now()
+				err := w.queryChunk(qs)
+				qlats[i] = append(qlats[i], time.Since(r0).Seconds()*1e3)
+				if err != nil {
+					errs <- fmt.Errorf("tenant %s query: %w", names[i], err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return pt, err
+	default:
+	}
+	pt.QuerySeconds = time.Since(t1).Seconds()
+	pt.AggQueriesPerSec = float64(n*batches*batch) / pt.QuerySeconds
+	pt.QueryP50Ms, pt.QueryP99Ms = percentiles(qlats)
+
+	pt.PerTenant = make([]tenantLat, n)
+	for i := range names {
+		pt.PerTenant[i] = tenantLat{Name: names[i]}
+		pt.PerTenant[i].IngestP50Ms, pt.PerTenant[i].IngestP99Ms = percentiles(ilats[i : i+1])
+		pt.PerTenant[i].QueryP50Ms, pt.PerTenant[i].QueryP99Ms = percentiles(qlats[i : i+1])
+	}
+	sort.Slice(pt.PerTenant, func(a, b int) bool { return pt.PerTenant[a].Name < pt.PerTenant[b].Name })
+
+	if n > 1 {
+		if err := runTenantChurn(&pt, n); err != nil {
+			return pt, err
+		}
+	}
+	return pt, nil
+}
+
+// runTenantChurn measures the lifecycle cost directly: a registry capped
+// at one resident engine, n tenants accessed round-robin, so every
+// access after the first evicts the previous tenant (snapshot to disk)
+// and reopens the next from its snapshot. The observer-fed durations
+// are the evict/reopen latency columns of the report.
+func runTenantChurn(pt *tenantPoint, n int) error {
+	dir, err := os.MkdirTemp("", "gsketch-bench-tenant-churn-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := tenant.New(tenant.Config{
+		Dir:         dir,
+		MaxResident: 1,
+		Sketch:      gsketch.Config{TotalBytes: 1 << 20, Seed: 42},
+		Ingest:      gsketch.IngestConfig{BatchSize: 4096},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	var mu sync.Mutex
+	var reopenMs, evictMs []float64
+	reg.AddObservers(
+		func(d time.Duration) { mu.Lock(); reopenMs = append(reopenMs, d.Seconds()*1e3); mu.Unlock() },
+		func(d time.Duration) { mu.Lock(); evictMs = append(evictMs, d.Seconds()*1e3); mu.Unlock() },
+	)
+
+	const bootstrapEdges = 2000
+	handles := make([]*tenant.Handle, n)
+	qs := make([]core.EdgeQuery, 0, 64)
+	for i := range handles {
+		name := fmt.Sprintf("t%03d", i)
+		if _, err := reg.Create(name, tenant.Overrides{}); err != nil {
+			return err
+		}
+		h, err := reg.Tenant(name)
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+		edges := tenantStream(bootstrapEdges, i)
+		for lo := 0; lo < len(edges); {
+			m, err := h.TryIngest(edges[lo:])
+			lo += m
+			if err != nil {
+				return fmt.Errorf("churn bootstrap %s: %w", name, err)
+			}
+		}
+		if i == 0 {
+			for j := 0; j < 64; j++ {
+				qs = append(qs, core.EdgeQuery{Src: edges[j].Src, Dst: edges[j].Dst})
+			}
+		}
+	}
+
+	const rounds = 8
+	for r := 0; r < rounds; r++ {
+		for _, h := range handles {
+			if _, err := h.QueryBatch(qs); err != nil {
+				return fmt.Errorf("churn query: %w", err)
+			}
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	st := reg.RegistryStats()
+	pt.Evictions = int(st.Evictions)
+	pt.Reopens = int(st.Reopens)
+	pt.EvictP50Ms, pt.EvictP99Ms = percentiles([][]float64{evictMs})
+	pt.ReopenP50Ms, pt.ReopenP99Ms = percentiles([][]float64{reopenMs})
+	return nil
+}

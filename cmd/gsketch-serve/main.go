@@ -59,6 +59,19 @@
 // -snapshot names the local topology manifest; each shard persists to its
 // own -snapshot path.
 //
+// With -tenants the process serves many isolated sketches from one
+// registry (see internal/tenant): the data path moves under
+// /t/{tenant}/... and an admin API (PUT|DELETE|GET /t/{tenant}, GET /t)
+// manages the tenant set. Each tenant is an independent engine with its
+// own quotas (-tenant-max-edges-per-sec / -tenant-burst registry-wide,
+// overridable per tenant in the PUT body); -tenant-max-resident caps how
+// many engines stay live — cold tenants are snapshotted into -tenant-dir
+// and transparently reopened on access. On the wire listener, clients
+// bind a connection to a tenant with a tenant-select frame (gsketch-wire
+// -tenant). Engine-only flags (-restore, -global, -adapt, -window-span,
+// -cluster) are refused; -sample optionally seeds every tenant's
+// partitioning.
+//
 // SIGINT/SIGTERM shut down gracefully: the listener stops, the ingest
 // queue drains, and (with -snapshot-on-exit) a final snapshot lands at
 // -snapshot.
@@ -86,6 +99,7 @@ import (
 	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/server"
 	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/tenant"
 )
 
 // fatal logs at error level and exits; the slog replacement for
@@ -129,6 +143,12 @@ func main() {
 		adaptDrift    = flag.Float64("adapt-drift", 0.5, "workload-divergence threshold for auto repartitioning")
 		adaptOutlier  = flag.Float64("adapt-outlier", 0.25, "outlier-share threshold for auto repartitioning")
 
+		tenantsOn     = flag.Bool("tenants", false, "serve a multi-tenant registry: data path under /t/{tenant}/..., admin API at /t")
+		tenantDir     = flag.String("tenant-dir", "tenants", "tenant registry root: manifest plus one snapshot dir per tenant (with -tenants)")
+		tenantMaxRes  = flag.Int("tenant-max-resident", 0, "max tenants with a live engine; LRU-evict to disk past it (0 = unlimited)")
+		tenantMaxRate = flag.Float64("tenant-max-edges-per-sec", 0, "default per-tenant ingest rate cap (0 = unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "default per-tenant token-bucket burst (0 = one second of rate)")
+
 		clusterAddrs = flag.String("cluster", "", "comma-separated shard wire addresses; run as a scatter-gather coordinator (needs -sample)")
 		clusterBatch = flag.Int("cluster-batch", 0, "coordinator per-shard ingest batch in edges (0 = default)")
 		clusterQueue = flag.Int("cluster-queue", 0, "coordinator per-shard queue depth in batches (0 = default)")
@@ -169,6 +189,28 @@ func main() {
 		MaxPartitions: *partitions,
 	}
 
+	if *tenantsOn {
+		runTenants(logger, root, tenantFlags{
+			addr:        *addr,
+			wireAddr:    *wireAddr,
+			dir:         *tenantDir,
+			maxResident: *tenantMaxRes,
+			maxRate:     *tenantMaxRate,
+			burst:       *tenantBurst,
+			sketch:      cfg,
+			samplePath:  *samplePath,
+			sampleCap:   *sampleCap,
+			ingest:      gsketch.IngestConfig{Workers: *workers, BatchSize: *batchSize, QueueDepth: *queue},
+			shutdown:    *shutdownTimeout,
+
+			restore:    *restorePath != "",
+			global:     *global,
+			adapt:      *adaptOn,
+			windowSpan: *windowSpan,
+			cluster:    *clusterAddrs != "",
+		})
+		return
+	}
 	if *clusterAddrs != "" {
 		runCoordinator(logger, root, coordinatorFlags{
 			addr:           *addr,
@@ -300,6 +342,75 @@ func serveUntilSignal(logger *slog.Logger, srv *server.Server, addr, wireAddr st
 			fatal(logger, "listener failed", "error", err)
 		}
 	}
+}
+
+// tenantFlags is the -tenants slice of the flag set, plus the
+// incompatible modes tenant mode must refuse.
+type tenantFlags struct {
+	addr, wireAddr string
+	dir            string
+	maxResident    int
+	maxRate        float64
+	burst          int
+	sketch         gsketch.Config
+	samplePath     string
+	sampleCap      int
+	ingest         gsketch.IngestConfig
+	shutdown       time.Duration
+
+	restore    bool
+	global     bool
+	adapt      bool
+	windowSpan int64
+	cluster    bool
+}
+
+// runTenants opens (or resumes) the tenant registry and serves the
+// tenant-scoped surface until a signal.
+func runTenants(logger, root *slog.Logger, f tenantFlags) {
+	switch {
+	case f.cluster:
+		fatal(logger, "-tenants and -cluster are mutually exclusive; shard tenants behind a coordinator per tenant set instead")
+	case f.restore:
+		fatal(logger, "-tenants restores each tenant from its own snapshot directory; -restore is engine-only")
+	case f.global:
+		fatal(logger, "-tenants engines must snapshot for eviction; -global is engine-only")
+	case f.adapt:
+		fatal(logger, "-adapt is engine-only")
+	case f.windowSpan != 0:
+		fatal(logger, "-window-span is engine-only")
+	}
+	var sample []stream.Edge
+	if f.samplePath != "" {
+		var err error
+		if sample, err = readEdgeFile(f.samplePath); err != nil {
+			fatal(logger, "sample read failed", "path", f.samplePath, "error", err)
+		}
+		if len(sample) > f.sampleCap {
+			sample = sample[:f.sampleCap]
+		}
+	}
+	reg, err := tenant.New(tenant.Config{
+		Dir:         f.dir,
+		MaxResident: f.maxResident,
+		Sketch:      f.sketch,
+		Sample:      sample,
+		Ingest:      f.ingest,
+		Quotas:      tenant.Quotas{MaxEdgesPerSec: f.maxRate, Burst: f.burst},
+	})
+	if err != nil {
+		fatal(logger, "tenant registry open failed", "dir", f.dir, "error", err)
+	}
+	logger.Info("tenant registry up",
+		"dir", f.dir,
+		"tenants", reg.RegistryStats().Tenants,
+		"max_resident", f.maxResident)
+
+	srv, err := server.New(server.Config{Tenants: reg, Logger: root})
+	if err != nil {
+		fatal(logger, "server init failed", "error", err)
+	}
+	serveUntilSignal(logger, srv, f.addr, f.wireAddr, f.shutdown)
 }
 
 // coordinatorFlags is the -cluster slice of the flag set, plus the

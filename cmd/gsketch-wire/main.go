@@ -11,6 +11,10 @@
 //	gsketch-wire -addr host:port flush               drain the ingest pipeline
 //	gsketch-wire -addr host:port ping                health probe with RTT
 //
+// Against a multi-tenant server (gsketch-serve -tenants), -tenant NAME
+// sends a tenant-select frame before the subcommand, binding the
+// connection to that tenant's engine.
+//
 // Ingest reads the text edge format ("src dst [weight [time]]" per line,
 // '#' comments) or the GSED binary format, sniffed by magic; "-" or no
 // argument reads stdin. Chunks shed by a saturated pipeline are retried
@@ -38,8 +42,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gsketch-wire: ")
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7072", "wire-protocol server address")
-		chunk = flag.Int("chunk", 8192, "edges per ingest frame")
+		addr   = flag.String("addr", "127.0.0.1:7072", "wire-protocol server address")
+		chunk  = flag.Int("chunk", 8192, "edges per ingest frame")
+		tenant = flag.String("tenant", "", "bind the connection to this tenant first (multi-tenant servers)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -51,6 +56,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if *tenant != "" {
+		if err := c.SelectTenant(*tenant); err != nil {
+			log.Fatalf("select tenant %q: %v", *tenant, err)
+		}
+	}
 
 	switch cmd := flag.Arg(0); cmd {
 	case "ingest":

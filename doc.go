@@ -192,6 +192,19 @@
 // bound across shards. See the README's Cluster section and the
 // internal/cluster package documentation.
 //
+// # Multi-tenant serving
+//
+// The inverse consolidation: internal/tenant packs many isolated
+// sketches into one process (cmd/gsketch-serve -tenants). A registry of
+// named engines scopes the whole serving surface under /t/{tenant}/...
+// with an admin API for the tenant set, per-tenant token-bucket ingest
+// quotas shedding with the same accepted-prefix 429 semantics as a full
+// pipeline, and a lazy lifecycle: an LRU resident cap snapshots cold
+// tenants to disk and transparently reopens them on next access with
+// byte-identical answers. Wire connections bind to a tenant with a
+// tenant-select frame. See the README's Multi-tenancy section and the
+// internal/tenant package documentation.
+//
 // # Observability
 //
 // Serving processes are first-class scrape targets: internal/obs is a

@@ -169,6 +169,16 @@ func (k metricKind) String() string {
 	}
 }
 
+// SetSample is one dynamically labeled value, produced at scrape time
+// by a GaugeSet/CounterSet collector — the shape for series that come
+// and go at runtime (per-tenant gauges, say), where registering a
+// static child per label set would leak series after the labeled thing
+// is deleted.
+type SetSample struct {
+	Labels []Label
+	Value  float64
+}
+
 // series is one labeled child of a family.
 type series struct {
 	labels []Label
@@ -178,6 +188,7 @@ type series struct {
 	gauge       *Gauge
 	gaugeFunc   func() float64
 	hist        *Histogram
+	setFunc     func() []SetSample
 }
 
 // family groups same-named series under one HELP/TYPE header.
@@ -279,6 +290,21 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+// GaugeSet registers a gauge family whose entire series set is produced
+// by fn at scrape time — for label sets that change at runtime. The
+// family owns its name: mixing a set with static series panics like any
+// duplicate registration.
+func (r *Registry) GaugeSet(name, help string, fn func() []SetSample) {
+	r.register(name, help, kindGauge, &series{setFunc: fn})
+}
+
+// CounterSet is GaugeSet for counters. fn must return monotonically
+// non-decreasing values per label set for the exposition to be a valid
+// counter.
+func (r *Registry) CounterSet(name, help string, fn func() []SetSample) {
+	r.register(name, help, kindCounter, &series{setFunc: fn})
+}
+
 // WriteTo renders every family in registration order.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
@@ -317,6 +343,16 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 }
 
 func renderSeries(b *strings.Builder, f *family, s *series) {
+	if s.setFunc != nil {
+		for _, sm := range s.setFunc() {
+			if f.kind == kindCounter {
+				writeSample(b, f.name, sm.Labels, nil, strconv.FormatInt(int64(sm.Value), 10))
+			} else {
+				writeSample(b, f.name, sm.Labels, nil, formatFloat(sm.Value))
+			}
+		}
+		return
+	}
 	switch f.kind {
 	case kindCounter:
 		v := int64(0)

@@ -157,6 +157,51 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGaugeSetAndCounterSetRenderDynamicSeries(t *testing.T) {
+	r := NewRegistry()
+	resident := []string{"acme", "globex"}
+	r.GaugeSet("app_tenant_resident", "1 per resident tenant", func() []SetSample {
+		out := make([]SetSample, 0, len(resident))
+		for _, name := range resident {
+			out = append(out, SetSample{Labels: []Label{{"tenant", name}}, Value: 1})
+		}
+		return out
+	})
+	r.CounterSet("app_tenant_edges_total", "edges per tenant", func() []SetSample {
+		return []SetSample{{Labels: []Label{{"tenant", "acme"}}, Value: 99}}
+	})
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE app_tenant_resident gauge",
+		`app_tenant_resident{tenant="acme"} 1`,
+		`app_tenant_resident{tenant="globex"} 1`,
+		"# TYPE app_tenant_edges_total counter",
+		`app_tenant_edges_total{tenant="acme"} 99`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Series must follow deletions: drop a tenant, scrape again.
+	resident = resident[:1]
+	buf.Reset()
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "globex") {
+		t.Fatalf("deleted tenant still exposed:\n%s", buf.String())
+	}
+	if _, err := ParseFamilies(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("set exposition does not parse: %v\n%s", err, buf.String())
+	}
+}
+
 func TestPrepareHookRunsOncePerScrape(t *testing.T) {
 	r := NewRegistry()
 	calls := 0

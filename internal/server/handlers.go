@@ -15,6 +15,7 @@ import (
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/tenant"
 )
 
 // routes builds the method-routed mux (Go 1.22 pattern syntax). Every
@@ -35,13 +36,27 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /readyz", s.handleReadyz)
 	handle("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
-	handle("POST /ingest", s.handleIngest)
-	handle("POST /query", s.handleQuery)
-	handle("GET /snapshot", s.handleSnapshotGet)
-	handle("POST /snapshot/save", s.handleSnapshotSave)
-	handle("POST /snapshot/restore", s.handleSnapshotRestore)
-	// Engine-only surfaces; a cluster coordinator (s.eng == nil) serves
-	// the shared endpoints above, unchanged.
+	if s.tenants != nil {
+		// Multi-tenant mode: the data path is tenant-scoped (the handlers
+		// are the same functions — s.backend resolves the {tenant} wildcard
+		// into a Backend per request) and the admin API mounts beside it.
+		handle("POST /t/{tenant}/ingest", s.handleIngest)
+		handle("POST /t/{tenant}/query", s.handleQuery)
+		handle("POST /t/{tenant}/snapshot/save", s.handleSnapshotSave)
+		handle("POST /t/{tenant}/snapshot/restore", s.handleSnapshotRestore)
+		handle("PUT /t/{tenant}", s.handleTenantPut)
+		handle("DELETE /t/{tenant}", s.handleTenantDelete)
+		handle("GET /t/{tenant}", s.handleTenantGet)
+		handle("GET /t", s.handleTenantList)
+	} else {
+		handle("POST /ingest", s.handleIngest)
+		handle("POST /query", s.handleQuery)
+		handle("GET /snapshot", s.handleSnapshotGet)
+		handle("POST /snapshot/save", s.handleSnapshotSave)
+		handle("POST /snapshot/restore", s.handleSnapshotRestore)
+	}
+	// Engine-only surfaces; cluster and tenant backends (s.eng == nil)
+	// serve the shared endpoints above, unchanged.
 	if s.eng != nil && s.eng.RecordsWorkload() {
 		handle("GET /workload", s.handleWorkload)
 	}
@@ -51,7 +66,60 @@ func (s *Server) routes() *http.ServeMux {
 	if s.eng != nil && s.eng.Adaptive() {
 		handle("POST /repartition", s.handleRepartition)
 	}
+	// Unmatched routes get the same JSON error envelope as every other
+	// failure, not net/http's text 404. The catch-all also absorbs the
+	// mux's method-mismatch handling, so it re-probes the route table
+	// with the other methods to keep those replies 405 (with Allow).
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		var allowed []string
+		for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+			if m == r.Method {
+				continue
+			}
+			probe := r.Clone(r.Context())
+			probe.Method = m
+			if _, pattern := mux.Handler(probe); pattern != "" && pattern != "/" {
+				allowed = append(allowed, m)
+			}
+		}
+		if len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	})
 	return mux
+}
+
+// backend resolves the request's serving surface: the process-wide
+// backend, or — in tenant mode — the {tenant} wildcard's handle. It
+// writes the 404 itself when the tenant does not exist.
+func (s *Server) backend(w http.ResponseWriter, r *http.Request) (Backend, bool) {
+	if s.tenants == nil {
+		return s.be, true
+	}
+	name := r.PathValue("tenant")
+	h, err := s.tenants.Tenant(name)
+	if err != nil {
+		s.writeTenantError(w, name, err)
+		return nil, false
+	}
+	return h, true
+}
+
+// writeTenantError maps tenant registry errors onto HTTP statuses.
+func (s *Server) writeTenantError(w http.ResponseWriter, name string, err error) {
+	switch {
+	case errors.Is(err, tenant.ErrNotFound):
+		writeErrorCode(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", name)
+	case errors.Is(err, tenant.ErrBadName):
+		writeError(w, http.StatusBadRequest, "tenant: %v", err)
+	case errors.Is(err, tenant.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "tenant: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "tenant: %v", err)
+	}
 }
 
 // handleRepartition rebuilds the partitioning from the engine's live data
@@ -109,8 +177,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // shed. ?sync=1 additionally drains before replying (read-your-writes).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.ingestRequests.Add(1)
+	be, ok := s.backend(w, r)
+	if !ok {
+		return
+	}
 	if isWireRequest(r) {
-		s.handleWireIngestHTTP(w, r)
+		s.handleWireIngestHTTP(w, r, be)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -131,17 +203,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// concurrent snapshot restore cannot swap the pipeline between the ack
 	// and the enqueue — every 200-acked edge lands in the engine state
 	// that serves subsequent queries.
-	accepted, err := s.be.TryIngest(edges)
+	accepted, err := be.TryIngest(edges)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(edges) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		// The tenant was deleted between route resolution and the push.
+		writeErrorCode(w, http.StatusNotFound, "tenant_not_found", "ingest: %v", err)
+		return
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		// The accepted prefix (if any) was still taken by the pipeline;
 		// report it so a retrying client does not double-send it.
 		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
 			Accepted: accepted,
 			Rejected: rejected,
 			Error:    "ingest pipeline closed",
+			Code:     "unavailable",
 		})
 		return
 	case errors.Is(err, cluster.ErrShardDown):
@@ -153,6 +230,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Accepted: accepted,
 			Rejected: rejected,
 			Error:    err.Error(),
+			Code:     "unavailable",
+		})
+		return
+	case errors.Is(err, tenant.ErrRateLimited):
+		// The tenant's own quota, not server pressure — same 429 +
+		// accepted-prefix contract, distinct machine code.
+		s.stats.edgesRejected.Add(int64(rejected))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ingestResponse{
+			Accepted: accepted,
+			Rejected: rejected,
+			Error:    err.Error(),
+			Code:     "rate_limited",
 		})
 		return
 	case errors.Is(err, gsketch.ErrIngestQueueFull):
@@ -162,6 +252,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Accepted: accepted,
 			Rejected: rejected,
 			Error:    "ingest queue full",
+			Code:     "too_many_requests",
 		})
 		return
 	case err != nil:
@@ -169,7 +260,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("sync") != "" {
-		if err := s.drainBounded(r); err != nil {
+		if err := s.drainBounded(r, be); err != nil {
 			writeError(w, http.StatusServiceUnavailable, "ingest: flush: %v", err)
 			return
 		}
@@ -180,14 +271,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // drainBounded drains the engine pipeline with a deadline: the drain
 // condition is global, and under sustained ingest traffic it may not
 // quiesce — a handler must not hang on it indefinitely.
-func (s *Server) drainBounded(r *http.Request) error {
+func (s *Server) drainBounded(r *http.Request, be Backend) error {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FlushTimeout)
 	defer cancel()
-	err := s.be.Drain(ctx)
+	err := be.Drain(ctx)
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return errors.New("drain did not quiesce: " + err.Error())
 	}
-	if errors.Is(err, gsketch.ErrEngineClosed) || errors.Is(err, cluster.ErrClosed) {
+	if errors.Is(err, gsketch.ErrEngineClosed) || errors.Is(err, cluster.ErrClosed) || errors.Is(err, tenant.ErrClosed) {
 		return nil
 	}
 	return err
@@ -203,7 +294,11 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &pe):
 		code = http.StatusBadGateway
-	case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		// Tenant deleted between route resolution and the read.
+		writeErrorCode(w, http.StatusNotFound, "tenant_not_found", "query: %v", err)
+		return
+	case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, tenant.ErrClosed):
 		code = http.StatusServiceUnavailable
 	}
 	writeError(w, code, "query: %v", err)
@@ -214,8 +309,12 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 // reservoir.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.queryRequests.Add(1)
+	be, ok := s.backend(w, r)
+	if !ok {
+		return
+	}
 	if isWireRequest(r) {
-		s.handleWireQueryHTTP(w, r)
+		s.handleWireQueryHTTP(w, r, be)
 		return
 	}
 	var req queryRequest
@@ -229,7 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Sync {
-		if err := s.drainBounded(r); err != nil {
+		if err := s.drainBounded(r, be); err != nil {
 			writeError(w, http.StatusServiceUnavailable, "query: flush: %v", err)
 			return
 		}
@@ -238,7 +337,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer putQueryBuf(qbuf)
 	qs := appendEdgeQueries(*qbuf, req.Queries)
 	*qbuf = qs[:0]
-	results, err := s.be.QueryBatch(qs)
+	results, err := be.QueryBatch(qs)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -316,16 +415,26 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 // handleSnapshotSave persists a snapshot to disk. The target path comes
 // from the JSON body or falls back to the engine's configured path.
 func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
-	path, ok := s.snapshotPath(w, r)
+	be, ok := s.backend(w, r)
 	if !ok {
 		return
 	}
-	n, err := s.be.SaveSnapshot(path)
+	path, ok := s.snapshotPath(w, r, be)
+	if !ok {
+		return
+	}
+	n, err := be.SaveSnapshot(path)
 	if err != nil {
 		code := http.StatusInternalServerError
+		switch {
 		// A shard the coordinator cannot reach is an upstream fault.
-		if errors.Is(err, cluster.ErrShardDown) || isShardFailure(err) {
+		case errors.Is(err, cluster.ErrShardDown), isShardFailure(err):
 			code = http.StatusBadGateway
+		case errors.Is(err, tenant.ErrNotFound):
+			writeErrorCode(w, http.StatusNotFound, "tenant_not_found", "snapshot save: %v", err)
+			return
+		case errors.Is(err, tenant.ErrClosed):
+			code = http.StatusServiceUnavailable
 		}
 		writeError(w, code, "snapshot save: %v", err)
 		return
@@ -349,6 +458,10 @@ func isShardFailure(err error) bool {
 // engine refuses multi-generation snapshots; a windowed engine refuses all
 // restores (snapshots carry no window state).
 func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
+	if s.tenants != nil {
+		s.handleTenantRestore(w, r)
+		return
+	}
 	if s.eng == nil {
 		s.handleClusterRestore(w, r)
 		return
@@ -359,7 +472,7 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 		src = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		from = "request body"
 	} else {
-		path, ok := s.snapshotPath(w, r)
+		path, ok := s.snapshotPath(w, r, s.be)
 		if !ok {
 			return
 		}
@@ -407,6 +520,50 @@ func (s *Server) handleSnapshotRestore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTenantRestore swaps one tenant's state in from a snapshot path.
+// Like the cluster path, raw octet-stream bodies are refused — tenant
+// snapshots live under the registry tree, and the path restriction in
+// snapshotPath confines requests to the tenant's own directory.
+func (s *Server) handleTenantRestore(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		writeError(w, http.StatusNotImplemented, "snapshot restore: raw snapshot bodies are unsupported in tenant mode (pass {\"path\": ...})")
+		return
+	}
+	be, ok := s.backend(w, r)
+	if !ok {
+		return
+	}
+	path, ok := s.snapshotPath(w, r, be)
+	if !ok {
+		return
+	}
+	if _, err := os.Stat(path); err != nil {
+		writeError(w, http.StatusNotFound, "snapshot restore: %v", err)
+		return
+	}
+	if err := be.RestoreSnapshot(path); err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, gsketch.ErrBadSnapshot):
+			code = http.StatusBadRequest
+		case errors.Is(err, tenant.ErrNotFound):
+			writeErrorCode(w, http.StatusNotFound, "tenant_not_found", "snapshot restore: %v", err)
+			return
+		case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, tenant.ErrClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "snapshot restore from %s: %v", path, err)
+		return
+	}
+	s.stats.snapshotsRestored.Add(1)
+	total, _, gens := be.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restored":     path,
+		"generations":  gens,
+		"stream_total": total,
+	})
+}
+
 // handleClusterRestore fans a snapshot restore out to every shard. Only
 // manifest paths are restorable — a raw snapshot body has no home on the
 // coordinator (state lives on shard disks), so octet-stream bodies are
@@ -416,7 +573,7 @@ func (s *Server) handleClusterRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "snapshot restore: %v", cluster.ErrNoStream)
 		return
 	}
-	path, ok := s.snapshotPath(w, r)
+	path, ok := s.snapshotPath(w, r, s.be)
 	if !ok {
 		return
 	}
@@ -455,14 +612,14 @@ func (s *Server) handleClusterRestore(w http.ResponseWriter, r *http.Request) {
 // snapshot path: without the restriction, any HTTP client could write
 // (save clobbers via rename) or probe (restore opens) arbitrary filesystem
 // paths the process can reach.
-func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request) (string, bool) {
+func (s *Server) snapshotPath(w http.ResponseWriter, r *http.Request, be Backend) (string, bool) {
 	var req snapshotRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "snapshot: %v", err)
 		return "", false
 	}
-	deflt := s.be.SnapshotPath()
+	deflt := be.SnapshotPath()
 	if req.Path == "" {
 		if deflt == "" {
 			writeError(w, http.StatusBadRequest, "snapshot: no path (configure a snapshot path or pass {\"path\": ...})")
@@ -499,6 +656,21 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 // depth/latency/health gauges for a cluster.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	now := s.cfg.Now()
+	if s.tenants != nil {
+		ts := s.tenants.RegistryStats()
+		stats := map[string]any{
+			"uptime_seconds":   now.Sub(s.start).Seconds(),
+			"tenants":          ts.Tenants,
+			"tenants_resident": ts.Resident,
+			"tenant_evictions": ts.Evictions,
+			"tenant_reopens":   ts.Reopens,
+		}
+		s.stats.vars.Do(func(kv expvar.KeyValue) {
+			stats[kv.Key] = json.RawMessage(kv.Value.String())
+		})
+		writeJSON(w, http.StatusOK, stats)
+		return
+	}
 	if s.coord != nil {
 		cs := s.coord.Stats()
 		_, depth, gens := s.coord.Health()

@@ -7,6 +7,7 @@ import (
 	gsketch "github.com/graphstream/gsketch"
 	"github.com/graphstream/gsketch/internal/cluster"
 	"github.com/graphstream/gsketch/internal/obs"
+	"github.com/graphstream/gsketch/internal/tenant"
 	"github.com/graphstream/gsketch/internal/wire"
 )
 
@@ -32,12 +33,13 @@ type serverMetrics struct {
 // wireTypeNames labels the wireApply children; only request types the
 // server applies are registered.
 var wireTypeNames = map[byte]string{
-	wire.TypeIngest:      "ingest",
-	wire.TypeQuery:       "query",
-	wire.TypeFlush:       "flush",
-	wire.TypePing:        "ping",
-	wire.TypeSnapSave:    "snap_save",
-	wire.TypeSnapRestore: "snap_restore",
+	wire.TypeIngest:       "ingest",
+	wire.TypeQuery:        "query",
+	wire.TypeFlush:        "flush",
+	wire.TypePing:         "ping",
+	wire.TypeSnapSave:     "snap_save",
+	wire.TypeSnapRestore:  "snap_restore",
+	wire.TypeTenantSelect: "tenant_select",
 }
 
 // newServerMetrics builds the registry skeleton shared by both
@@ -167,6 +169,71 @@ func (s *Server) registerEngineMetrics(eng *gsketch.Engine) {
 	// Feed the swap-duration histogram from the manager's observer hook,
 	// covering manual /repartition and the auto-trigger loop alike.
 	eng.SetSwapObserver(s.metrics.swap.ObserveDuration)
+}
+
+// registerTenantMetrics attaches the multi-tenant gauges: registry
+// aggregates, one labeled series set per tenant (tenants come and go,
+// so the per-tenant series are dynamic — GaugeSet/CounterSet produce
+// the whole set from the scrape-time snapshot), and the lifecycle
+// latency histograms fed by the registry's observer hooks. One
+// RegistryStats+List snapshot per scrape feeds every series.
+func (s *Server) registerTenantMetrics(tr *tenant.Registry) {
+	reg := s.metrics.reg
+	var stats atomic.Pointer[tenant.Stats]
+	var infos atomic.Pointer[[]tenant.Info]
+	stats.Store(&tenant.Stats{})
+	infos.Store(&[]tenant.Info{})
+	reg.AddPrepare(func() {
+		st := tr.RegistryStats()
+		stats.Store(&st)
+		in := tr.List()
+		infos.Store(&in)
+	})
+	reg.GaugeFunc("gsketch_tenants", "Registered tenants.",
+		func() float64 { return float64(stats.Load().Tenants) })
+	reg.GaugeFunc("gsketch_tenants_resident", "Tenants with a live engine.",
+		func() float64 { return float64(stats.Load().Resident) })
+	reg.CounterFunc("gsketch_tenant_evictions_total",
+		"Cold tenants snapshotted to disk and closed under the LRU cap.",
+		func() int64 { return stats.Load().Evictions })
+	reg.CounterFunc("gsketch_tenant_reopens_total",
+		"Evicted tenants reopened from snapshot on access.",
+		func() int64 { return stats.Load().Reopens })
+
+	tenantSet := func(f func(*tenant.Info) float64) func() []obs.SetSample {
+		return func() []obs.SetSample {
+			in := *infos.Load()
+			out := make([]obs.SetSample, len(in))
+			for i := range in {
+				out[i] = obs.SetSample{
+					Labels: []obs.Label{{Key: "tenant", Value: in[i].Name}},
+					Value:  f(&in[i]),
+				}
+			}
+			return out
+		}
+	}
+	reg.GaugeSet("gsketch_tenant_resident", "1 when the tenant's engine is live, 0 while evicted.",
+		tenantSet(func(in *tenant.Info) float64 {
+			if in.Resident {
+				return 1
+			}
+			return 0
+		}))
+	reg.GaugeSet("gsketch_tenant_stream_total", "Tenant stream volume (0 while evicted; state is on disk).",
+		tenantSet(func(in *tenant.Info) float64 { return float64(in.StreamTotal) }))
+	reg.CounterSet("gsketch_tenant_edges_accepted_total", "Edges accepted into the tenant's pipeline.",
+		tenantSet(func(in *tenant.Info) float64 { return float64(in.EdgesAccepted) }))
+	reg.CounterSet("gsketch_tenant_queries_total", "Edge queries answered for the tenant.",
+		tenantSet(func(in *tenant.Info) float64 { return float64(in.Queries) }))
+	reg.CounterSet("gsketch_tenant_rate_limited_total", "Ingests cut short by the tenant's token bucket.",
+		tenantSet(func(in *tenant.Info) float64 { return float64(in.RateLimited) }))
+
+	reopenHist := reg.Histogram("gsketch_tenant_reopen_duration_seconds",
+		"Engine open-on-access latency for evicted tenants.", nil)
+	evictHist := reg.Histogram("gsketch_tenant_evict_duration_seconds",
+		"Snapshot-to-disk eviction latency.", nil)
+	tr.AddObservers(reopenHist.ObserveDuration, evictHist.ObserveDuration)
 }
 
 // registerClusterMetrics attaches the coordinator gauges: cluster

@@ -75,6 +75,7 @@ type ingestResponse struct {
 	Accepted int    `json:"accepted"`
 	Rejected int    `json:"rejected,omitempty"`
 	Error    string `json:"error,omitempty"`
+	Code     string `json:"code,omitempty"`
 }
 
 // snapshotRequest parameterizes POST /snapshot/save and /snapshot/restore.

@@ -57,6 +57,7 @@ import (
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/obs"
+	"github.com/graphstream/gsketch/internal/tenant"
 	"github.com/graphstream/gsketch/internal/window"
 )
 
@@ -75,6 +76,14 @@ type Config struct {
 	// Engine-only endpoints (/workload, /query/window, /repartition,
 	// GET /snapshot streaming) are not mounted.
 	Cluster *cluster.Coordinator
+
+	// Tenants serves a multi-tenant registry instead of a single backend:
+	// the data path moves under /t/{tenant}/... (plus the wire protocol's
+	// tenant-select frame) and the admin API (PUT|DELETE|GET /t/{tenant},
+	// GET /t) mounts beside it. Mutually exclusive with Engine, Cluster
+	// and the deprecated estimator wiring. The server owns the registry
+	// lifecycle: Shutdown snapshots every resident tenant and closes it.
+	Tenants *tenant.Registry
 
 	// Estimator is the estimator to serve. A *core.Concurrent or
 	// *adapt.Chain is used as-is; anything else is wrapped so handlers
@@ -195,6 +204,7 @@ type Server struct {
 	be      Backend
 	eng     *gsketch.Engine
 	coord   *cluster.Coordinator
+	tenants *tenant.Registry
 	mux     *http.ServeMux
 	stats   *counters
 	metrics *serverMetrics
@@ -239,7 +249,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.metrics = s.newServerMetrics()
 	s.stats = newCounters(s.metrics.reg)
-	if cfg.Cluster != nil {
+	if cfg.Tenants != nil {
+		if cfg.Engine != nil || cfg.Cluster != nil || cfg.Estimator != nil {
+			return nil, errors.New("server: Config.Tenants is mutually exclusive with Engine/Cluster/Estimator")
+		}
+		// No process-wide backend: every request resolves its tenant's
+		// handle (s.backend), and wire connections bind one per session.
+		s.tenants = cfg.Tenants
+		s.registerTenantMetrics(cfg.Tenants)
+	} else if cfg.Cluster != nil {
 		if cfg.Engine != nil || cfg.Estimator != nil {
 			return nil, errors.New("server: Config.Cluster is mutually exclusive with Engine/Estimator")
 		}
@@ -354,26 +372,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// connections; an engine saves after Close (the closed engine's
 		// read path still serializes, and the close drain guarantees the
 		// snapshot covers every accepted edge).
-		saveFinal := func() {
-			if !s.cfg.SnapshotOnShutdown || s.be.SnapshotPath() == "" {
-				return
+		if s.tenants != nil {
+			// Registry close snapshots every resident tenant to its own
+			// directory; SnapshotOnShutdown adds nothing on top.
+			if err := s.tenants.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
 			}
-			if _, err := s.be.SaveSnapshot(""); err != nil {
-				if s.closeErr == nil {
-					s.closeErr = err
+		} else {
+			saveFinal := func() {
+				if !s.cfg.SnapshotOnShutdown || s.be.SnapshotPath() == "" {
+					return
 				}
-			} else {
-				s.stats.snapshotsSaved.Add(1)
+				if _, err := s.be.SaveSnapshot(""); err != nil {
+					if s.closeErr == nil {
+						s.closeErr = err
+					}
+				} else {
+					s.stats.snapshotsSaved.Add(1)
+				}
 			}
-		}
-		if s.coord != nil {
-			saveFinal()
-		}
-		if err := s.be.Close(); err != nil && s.closeErr == nil {
-			s.closeErr = err
-		}
-		if s.coord == nil {
-			saveFinal()
+			if s.coord != nil {
+				saveFinal()
+			}
+			if err := s.be.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+			if s.coord == nil {
+				saveFinal()
+			}
 		}
 		if s.closeErr != nil {
 			s.log.Error("shutdown finished", "error", s.closeErr)
@@ -395,13 +421,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorJSON is the error envelope of non-2xx replies.
+// errorJSON is the error envelope of every non-2xx JSON reply: a human
+// message plus a stable machine code, uniform across all handlers
+// (including 404s from unknown tenants and routes).
 type errorJSON struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+// codeSlug maps an HTTP status to the default machine code of its error
+// body. Handlers with a more specific cause use writeErrorCode instead.
+func codeSlug(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorCode(w, status, codeSlug(status), format, args...)
+}
+
+// writeErrorCode is writeError with an explicit machine code, for
+// statuses whose default slug is too coarse ("tenant_not_found" vs a
+// route-level "not_found", say).
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // Recorder re-exports the live workload recorder.

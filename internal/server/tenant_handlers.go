@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"github.com/graphstream/gsketch/internal/tenant"
+)
+
+// Tenant admin API, mounted only in multi-tenant mode:
+//
+//	PUT    /t/{tenant}   create (201) or update overrides (200)
+//	DELETE /t/{tenant}   drop the tenant and its on-disk state
+//	GET    /t/{tenant}   one tenant's Info
+//	GET    /t            every tenant's Info, sorted by name
+//
+// The data path (/t/{tenant}/ingest etc.) reuses the single-tenant
+// handlers through s.backend; these four are registry lifecycle only.
+
+// handleTenantPut creates a tenant, or updates an existing one's
+// overrides — the body is an optional tenant.Overrides JSON object.
+func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	var ov tenant.Overrides
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&ov); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "tenant create: %v", err)
+		return
+	}
+	created, err := s.tenants.Create(name, ov)
+	if err != nil {
+		s.writeTenantError(w, name, err)
+		return
+	}
+	info, err := s.tenants.Get(name)
+	if err != nil {
+		s.writeTenantError(w, name, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if err := s.tenants.Delete(name); err != nil {
+		s.writeTenantError(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleTenantGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	info, err := s.tenants.Get(name)
+	if err != nil {
+		s.writeTenantError(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	st := s.tenants.RegistryStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":   s.tenants.List(),
+		"resident":  st.Resident,
+		"evictions": st.Evictions,
+		"reopens":   st.Reopens,
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/obs"
 	"github.com/graphstream/gsketch/internal/stream"
+	"github.com/graphstream/gsketch/internal/tenant"
 	"github.com/graphstream/gsketch/internal/wire"
 )
 
@@ -35,13 +36,16 @@ const wirePipelineDepth = 4
 const wireIOBuf = 64 << 10
 
 // wireJob is one decoded frame travelling between the two pipeline
-// stages. Exactly one of edges/qs is set for work frames; a terminal job
-// carries err (io.EOF for a clean end of stream) and ends the connection.
+// stages. Exactly one of edges/qs is set for work frames; tenant carries
+// a TypeTenantSelect name (copied out of the decoder's buffer before
+// crossing the channel — the payload aliases it); a terminal job carries
+// err (io.EOF for a clean end of stream) and ends the connection.
 type wireJob struct {
-	typ   byte
-	edges *[]stream.Edge
-	qs    *[]core.EdgeQuery
-	err   error
+	typ    byte
+	edges  *[]stream.Edge
+	qs     *[]core.EdgeQuery
+	tenant string
+	err    error
 }
 
 // ServeWire accepts wire-protocol connections on ln until Shutdown, which
@@ -148,6 +152,11 @@ func (v varWriter) Write(p []byte) (int, error) {
 // goroutine) owns the write half: it scatters ingest batches into the
 // engine, answers queries, and streams replies through a buffered writer
 // flushed whenever the pipeline momentarily empties.
+//
+// In tenant mode the connection starts unbound: a TypeTenantSelect frame
+// binds the session backend (re-selecting switches it), and work frames
+// before any select are refused with CodeUnsupported — the connection
+// stays open, like every other error frame.
 func (s *Server) handleWireConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(varReader{r: conn, n: s.stats.wireBytesIn}, wireIOBuf)
@@ -156,6 +165,7 @@ func (s *Server) handleWireConn(conn net.Conn) {
 	jobs := make(chan wireJob, wirePipelineDepth)
 	go s.wireDecodeLoop(br, jobs)
 
+	be := s.be // nil in tenant mode until a TypeTenantSelect binds one
 	out := getFrameBuf()
 	defer putFrameBuf(out)
 	var werr error // first write failure; later jobs only recycle buffers
@@ -176,19 +186,27 @@ func (s *Server) handleWireConn(conn net.Conn) {
 		}
 		*out = (*out)[:0]
 		start := time.Now()
-		switch job.typ {
-		case wire.TypeIngest:
-			*out = s.applyWireIngest(*out, *job.edges)
-		case wire.TypeQuery:
-			*out = s.applyWireQuery(*out, *job.qs)
-		case wire.TypeFlush:
-			*out = s.applyWireFlush(*out)
-		case wire.TypePing:
-			*out = s.applyWirePing(*out)
-		case wire.TypeSnapSave:
-			*out = s.applyWireSnapSave(*out)
-		case wire.TypeSnapRestore:
-			*out = s.applyWireSnapRestore(*out)
+		switch {
+		case job.typ == wire.TypeTenantSelect:
+			be, *out = s.applyWireTenantSelect(*out, job.tenant, be)
+		case be == nil:
+			*out = wire.AppendError(*out, wire.CodeUnsupported,
+				"no tenant selected (send a tenant-select frame first)")
+		default:
+			switch job.typ {
+			case wire.TypeIngest:
+				*out = s.applyWireIngest(*out, be, *job.edges)
+			case wire.TypeQuery:
+				*out = s.applyWireQuery(*out, be, *job.qs)
+			case wire.TypeFlush:
+				*out = s.applyWireFlush(*out, be)
+			case wire.TypePing:
+				*out = s.applyWirePing(*out, be)
+			case wire.TypeSnapSave:
+				*out = s.applyWireSnapSave(*out, be)
+			case wire.TypeSnapRestore:
+				*out = s.applyWireSnapRestore(*out, be)
+			}
 		}
 		// The apply histogram child was resolved at registration; the
 		// observation is two clock reads and three atomic adds, keeping
@@ -252,6 +270,15 @@ func (s *Server) wireDecodeLoop(r io.Reader, jobs chan<- wireJob) {
 			}
 			s.metrics.wireDecode.ObserveSince(start)
 			jobs <- wireJob{typ: f.Type, qs: buf}
+		case wire.TypeTenantSelect:
+			// DecodeTenantSelect copies the name out of the decoder's
+			// buffer — the payload is invalid once the next frame is read.
+			name, err := wire.DecodeTenantSelect(f.Payload)
+			if err != nil {
+				jobs <- wireJob{err: err}
+				return
+			}
+			jobs <- wireJob{typ: f.Type, tenant: name}
 		case wire.TypeFlush, wire.TypePing, wire.TypeSnapSave, wire.TypeSnapRestore:
 			jobs <- wireJob{typ: f.Type}
 		default:
@@ -270,16 +297,39 @@ func (s *Server) recycleWireJob(job wireJob) {
 	}
 }
 
+// applyWireTenantSelect resolves a tenant-select frame against the
+// registry and returns the (possibly re-bound) session backend plus the
+// reply frame. On a non-tenant server, or for an unknown tenant, the
+// previous binding is kept and an error frame goes back.
+func (s *Server) applyWireTenantSelect(out []byte, name string, prev Backend) (Backend, []byte) {
+	if s.tenants == nil {
+		return prev, wire.AppendError(out, wire.CodeUnsupported, "tenant select: server is not in tenant mode")
+	}
+	h, err := s.tenants.Tenant(name)
+	switch {
+	case errors.Is(err, tenant.ErrNotFound):
+		return prev, wire.AppendError(out, wire.CodeNotFound, "tenant select: "+err.Error()+": "+name)
+	case errors.Is(err, tenant.ErrClosed):
+		return prev, wire.AppendError(out, wire.CodeClosed, "tenant select: "+err.Error())
+	case err != nil:
+		return prev, wire.AppendError(out, wire.CodeInternal, "tenant select: "+err.Error())
+	}
+	return h, wire.AppendTenantAck(out)
+}
+
 // applyWireIngest scatters one decoded edge batch into the engine and
 // appends the ack (or error) reply frame. Backpressure is expressed in
-// the ack itself: rejected > 0 tells the client to retry that suffix.
-func (s *Server) applyWireIngest(out []byte, edges []stream.Edge) []byte {
+// the ack itself: rejected > 0 tells the client to retry that suffix —
+// a tenant's token-bucket cut uses the same ack shape as queue-full.
+func (s *Server) applyWireIngest(out []byte, be Backend, edges []stream.Edge) []byte {
 	s.stats.ingestRequests.Add(1)
-	accepted, err := s.be.TryIngest(edges)
+	accepted, err := be.TryIngest(edges)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(edges) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		return wire.AppendError(out, wire.CodeNotFound, "ingest: "+err.Error())
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		return wire.AppendError(out, wire.CodeClosed, "ingest pipeline closed")
 	case errors.Is(err, cluster.ErrShardDown):
 		// Not an ack: an acked rejection invites an immediate retry, but
@@ -287,7 +337,7 @@ func (s *Server) applyWireIngest(out []byte, edges []stream.Edge) []byte {
 		// conversation instead.
 		s.stats.edgesRejected.Add(int64(rejected))
 		return wire.AppendError(out, wire.CodeDegraded, err.Error())
-	case errors.Is(err, gsketch.ErrIngestQueueFull):
+	case errors.Is(err, gsketch.ErrIngestQueueFull), errors.Is(err, tenant.ErrRateLimited):
 		s.stats.edgesRejected.Add(int64(rejected))
 		return wire.AppendAck(out, accepted, rejected)
 	case err != nil:
@@ -298,19 +348,22 @@ func (s *Server) applyWireIngest(out []byte, edges []stream.Edge) []byte {
 
 // applyWireQuery answers one decoded query batch and appends the results
 // frame.
-func (s *Server) applyWireQuery(out []byte, qs []core.EdgeQuery) []byte {
+func (s *Server) applyWireQuery(out []byte, be Backend, qs []core.EdgeQuery) []byte {
 	s.stats.queryRequests.Add(1)
 	if len(qs) == 0 {
 		return wire.AppendResults(out, nil)
 	}
-	results, err := s.be.QueryBatch(qs)
+	results, err := be.QueryBatch(qs)
 	if err != nil {
 		// Partial cluster answers are refused on the wire: the frame
 		// format has no partial-result channel, so degraded is an error.
 		code := uint16(wire.CodeInternal)
-		if isShardFailure(err) {
+		switch {
+		case isShardFailure(err):
 			code = wire.CodeDegraded
-		} else if errors.Is(err, cluster.ErrClosed) || errors.Is(err, gsketch.ErrEngineClosed) {
+		case errors.Is(err, tenant.ErrNotFound):
+			code = wire.CodeNotFound
+		case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, tenant.ErrClosed):
 			code = wire.CodeClosed
 		}
 		return wire.AppendError(out, code, err.Error())
@@ -321,13 +374,15 @@ func (s *Server) applyWireQuery(out []byte, qs []core.EdgeQuery) []byte {
 
 // applyWireFlush drains the ingest pipeline (bounded by FlushTimeout) and
 // appends the flush ack.
-func (s *Server) applyWireFlush(out []byte) []byte {
+func (s *Server) applyWireFlush(out []byte, be Backend) []byte {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FlushTimeout)
 	defer cancel()
-	err := s.be.Drain(ctx)
+	err := be.Drain(ctx)
 	switch {
-	case err == nil, errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case err == nil, errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		return wire.AppendFlushAck(out)
+	case errors.Is(err, tenant.ErrNotFound):
+		return wire.AppendError(out, wire.CodeNotFound, "flush: "+err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.AppendError(out, wire.CodeInternal, "flush: drain did not quiesce")
 	default:
@@ -338,8 +393,8 @@ func (s *Server) applyWireFlush(out []byte) []byte {
 // applyWirePing answers a health probe from the backend's non-blocking
 // gauges — the frame a cluster coordinator sends each shard every
 // PingInterval.
-func (s *Server) applyWirePing(out []byte) []byte {
-	total, depth, gens := s.be.Health()
+func (s *Server) applyWirePing(out []byte, be Backend) []byte {
+	total, depth, gens := be.Health()
 	return wire.AppendPong(out, wire.Pong{
 		StreamTotal: total,
 		QueueDepth:  uint32(depth),
@@ -349,12 +404,14 @@ func (s *Server) applyWirePing(out []byte) []byte {
 
 // applyWireSnapSave persists a snapshot to the backend's own configured
 // path — the receiving end of the coordinator's snapshot fan-out.
-func (s *Server) applyWireSnapSave(out []byte) []byte {
-	n, err := s.be.SaveSnapshot("")
+func (s *Server) applyWireSnapSave(out []byte, be Backend) []byte {
+	n, err := be.SaveSnapshot("")
 	switch {
 	case errors.Is(err, gsketch.ErrNoSnapshotPath), errors.Is(err, cluster.ErrNoSnapshotPath):
 		return wire.AppendError(out, wire.CodeUnsupported, "snapshot save: "+err.Error())
-	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		return wire.AppendError(out, wire.CodeNotFound, "snapshot save: "+err.Error())
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		return wire.AppendError(out, wire.CodeClosed, "snapshot save: "+err.Error())
 	case err != nil:
 		return wire.AppendError(out, wire.CodeInternal, "snapshot save: "+err.Error())
@@ -365,21 +422,23 @@ func (s *Server) applyWireSnapSave(out []byte) []byte {
 
 // applyWireSnapRestore swaps in the snapshot at the backend's own
 // configured path and acks with the post-swap gauges.
-func (s *Server) applyWireSnapRestore(out []byte) []byte {
+func (s *Server) applyWireSnapRestore(out []byte, be Backend) []byte {
 	done := s.beginSwap()
-	err := s.be.RestoreSnapshot("")
+	err := be.RestoreSnapshot("")
 	done()
 	switch {
 	case errors.Is(err, gsketch.ErrNoSnapshotPath), errors.Is(err, cluster.ErrNoSnapshotPath),
 		errors.Is(err, gsketch.ErrNotAdaptive), errors.Is(err, gsketch.ErrWindowMounted):
 		return wire.AppendError(out, wire.CodeUnsupported, "snapshot restore: "+err.Error())
-	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		return wire.AppendError(out, wire.CodeNotFound, "snapshot restore: "+err.Error())
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		return wire.AppendError(out, wire.CodeClosed, "snapshot restore: "+err.Error())
 	case err != nil:
 		return wire.AppendError(out, wire.CodeInternal, "snapshot restore: "+err.Error())
 	}
 	s.stats.snapshotsRestored.Add(1)
-	total, _, gens := s.be.Health()
+	total, _, gens := be.Health()
 	return wire.AppendSnapRestoreAck(out, total, gens)
 }
 
@@ -403,7 +462,7 @@ func (s *Server) writeWireFrame(w http.ResponseWriter, code int, frame []byte) {
 // batch, offered to the engine in one TryIngest, and acked with a wire
 // frame (HTTP 429 plus the ack when the pipeline shed a suffix, mirroring
 // the NDJSON path).
-func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request, be Backend) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	buf := getEdgeBuf()
 	defer putEdgeBuf(buf)
@@ -415,18 +474,21 @@ func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	out := getFrameBuf()
 	defer putFrameBuf(out)
-	accepted, err := s.be.TryIngest(*buf)
+	accepted, err := be.TryIngest(*buf)
 	s.stats.edgesAccepted.Add(int64(accepted))
 	rejected := len(*buf) - accepted
 	switch {
-	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed):
+	case errors.Is(err, tenant.ErrNotFound):
+		s.writeWireFrame(w, http.StatusNotFound, wire.AppendError((*out)[:0], wire.CodeNotFound, err.Error()))
+		return
+	case errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, tenant.ErrClosed):
 		s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeClosed, "ingest pipeline closed"))
 		return
 	case errors.Is(err, cluster.ErrShardDown):
 		s.stats.edgesRejected.Add(int64(rejected))
 		s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeDegraded, err.Error()))
 		return
-	case errors.Is(err, gsketch.ErrIngestQueueFull):
+	case errors.Is(err, gsketch.ErrIngestQueueFull), errors.Is(err, tenant.ErrRateLimited):
 		s.stats.edgesRejected.Add(int64(rejected))
 		w.Header().Set("Retry-After", "1")
 		s.writeWireFrame(w, http.StatusTooManyRequests, wire.AppendAck((*out)[:0], accepted, rejected))
@@ -436,7 +498,7 @@ func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("sync") != "" {
-		if err := s.drainBounded(r); err != nil {
+		if err := s.drainBounded(r, be); err != nil {
 			s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeInternal, err.Error()))
 			return
 		}
@@ -448,7 +510,7 @@ func (s *Server) handleWireIngestHTTP(w http.ResponseWriter, r *http.Request) {
 // format: the queries of every TypeQuery frame are answered in one
 // batched pass and returned as a single TypeResults frame. ?sync=1 drains
 // the pipeline first, like the JSON body's "sync" field.
-func (s *Server) handleWireQueryHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWireQueryHTTP(w http.ResponseWriter, r *http.Request, be Backend) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	buf := getQueryBuf()
 	defer putQueryBuf(buf)
@@ -465,19 +527,21 @@ func (s *Server) handleWireQueryHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("sync") != "" {
-		if err := s.drainBounded(r); err != nil {
+		if err := s.drainBounded(r, be); err != nil {
 			s.writeWireFrame(w, http.StatusServiceUnavailable, wire.AppendError((*out)[:0], wire.CodeInternal, err.Error()))
 			return
 		}
 	}
-	results, err := s.be.QueryBatch(*buf)
+	results, err := be.QueryBatch(*buf)
 	if err != nil {
 		status := http.StatusInternalServerError
 		code := uint16(wire.CodeInternal)
 		switch {
 		case isShardFailure(err):
 			status, code = http.StatusBadGateway, wire.CodeDegraded
-		case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed):
+		case errors.Is(err, tenant.ErrNotFound):
+			status, code = http.StatusNotFound, wire.CodeNotFound
+		case errors.Is(err, cluster.ErrClosed), errors.Is(err, gsketch.ErrEngineClosed), errors.Is(err, tenant.ErrClosed):
 			status, code = http.StatusServiceUnavailable, wire.CodeClosed
 		}
 		s.writeWireFrame(w, status, wire.AppendError((*out)[:0], code, err.Error()))

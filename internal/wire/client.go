@@ -193,6 +193,21 @@ func (c *Client) RestoreSnapshot() (streamTotal int64, generations int, err erro
 	return DecodeSnapRestoreAck(f.Payload)
 }
 
+// SelectTenant binds the connection to the named tenant on a
+// multi-tenant server: every later frame on this connection is scoped
+// to it. An unknown tenant surfaces as *RemoteError with CodeNotFound.
+func (c *Client) SelectTenant(name string) error {
+	c.buf = AppendTenantSelect(c.buf[:0], name)
+	f, err := c.roundTrip()
+	if err != nil {
+		return err
+	}
+	if f.Type != TypeTenantAck {
+		return fmt.Errorf("wire: tenant-select reply type 0x%02x, want tenant ack", f.Type)
+	}
+	return nil
+}
+
 // SetDeadline bounds the next round trip(s); the zero time clears it. A
 // coordinator uses it so a dead shard surfaces as a timeout instead of a
 // hung gather.

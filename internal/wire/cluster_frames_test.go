@@ -86,14 +86,42 @@ func TestClusterFramePayloadValidation(t *testing.T) {
 }
 
 // TestDecoderAcceptsNewTypes makes sure the decoder's type range covers
-// the highest cluster frame and still rejects the next value.
+// the highest registered frame and still rejects the next value.
 func TestDecoderAcceptsNewTypes(t *testing.T) {
-	frame := appendHeader(nil, TypeSnapRestoreAck, 0)
+	frame := appendHeader(nil, TypeTenantAck, 0)
 	if _, err := NewDecoder(bytes.NewReader(frame)).Next(); err != nil {
-		t.Fatalf("TypeSnapRestoreAck rejected: %v", err)
+		t.Fatalf("TypeTenantAck rejected: %v", err)
 	}
-	frame = appendHeader(nil, TypeSnapRestoreAck+1, 0)
+	frame = appendHeader(nil, TypeTenantAck+1, 0)
 	if _, err := NewDecoder(bytes.NewReader(frame)).Next(); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("unknown type accepted: %v", err)
+	}
+}
+
+// TestTenantFrameRoundTrips covers the multi-tenant select/ack pair.
+func TestTenantFrameRoundTrips(t *testing.T) {
+	var buf []byte
+	buf = AppendTenantSelect(buf, "acme-7")
+	buf = AppendTenantAck(buf)
+
+	dec := NewDecoder(bytes.NewReader(buf))
+	f, err := dec.Next()
+	if err != nil || f.Type != TypeTenantSelect {
+		t.Fatalf("select frame: type 0x%02x, err %v", f.Type, err)
+	}
+	name, err := DecodeTenantSelect(f.Payload)
+	if err != nil || name != "acme-7" {
+		t.Fatalf("tenant name round trip: %q, %v", name, err)
+	}
+	if f, err = dec.Next(); err != nil || f.Type != TypeTenantAck || len(f.Payload) != 0 {
+		t.Fatalf("ack frame: type 0x%02x len %d, err %v", f.Type, len(f.Payload), err)
+	}
+
+	if _, err := DecodeTenantSelect(nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("empty tenant name: %v", err)
+	}
+	long := make([]byte, MaxTenantNameLen+1)
+	if _, err := DecodeTenantSelect(long); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("oversized tenant name: %v", err)
 	}
 }

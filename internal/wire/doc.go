@@ -38,6 +38,9 @@
 //	                   server's own configured path)
 //	TypeSnapRestoreAck 16 bytes: stream_total i64, generations u32,
 //	                   4 pad bytes
+//	TypeTenantSelect   1..64 bytes: tenant name, UTF-8 (request: bind the
+//	                   connection to a tenant on a multi-tenant server)
+//	TypeTenantAck      empty (reply: tenant selected)
 //
 // The conversation is strictly request/reply in frame order: TypeIngest is
 // answered by TypeAck (rejected > 0 is the shed-load signal, the wire
@@ -50,6 +53,15 @@
 // bytes crossing the wire. A server that cannot parse or serve a frame
 // answers TypeError and closes the connection: framing errors are not
 // recoverable mid-stream.
+//
+// On a multi-tenant server (gsketch-serve -tenants), a connection starts
+// unbound: the client must send TypeTenantSelect (answered by
+// TypeTenantAck) before any work frame; an unknown tenant name is
+// answered with TypeError CodeNotFound, and work frames sent before a
+// select with TypeError CodeUnsupported. Re-selecting mid-connection
+// switches tenants. Tenant creation and deletion are not wire
+// operations — they go through the HTTP admin API (PUT/DELETE/GET
+// /t/{tenant}, GET /t), keeping the wire surface purely data-path.
 //
 // Decoding is defensive: unknown versions, unknown types, nonzero reserved
 // bytes, payloads above the decoder bound and lengths that are not a

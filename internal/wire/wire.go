@@ -37,6 +37,12 @@ const (
 	TypeSnapSaveAck    = 0x0B // snapshot persisted: byte count
 	TypeSnapRestore    = 0x0C // swap in the snapshot → TypeSnapRestoreAck
 	TypeSnapRestoreAck = 0x0D // snapshot restored: post-swap gauges
+
+	// Multi-tenant extension (PR 9). A connection to a tenant-mode server
+	// starts unbound; TenantSelect scopes every later frame on the
+	// connection to the named tenant. Re-selecting switches tenants.
+	TypeTenantSelect = 0x0E // bind the connection to a tenant → TypeTenantAck
+	TypeTenantAck    = 0x0F // tenant selected
 )
 
 // Record widths and header size, in bytes.
@@ -62,6 +68,7 @@ const (
 	CodeClosed      = 3 // server is shutting down
 	CodeInternal    = 4 // serving failure (drain timeout, ...)
 	CodeDegraded    = 5 // cluster shard(s) unreachable: partial answer refused
+	CodeNotFound    = 6 // named tenant does not exist
 )
 
 // Typed decode errors, matched with errors.Is. Truncated frames surface as
@@ -116,7 +123,7 @@ func (d *Decoder) Next() (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, d.hdr[0])
 	}
 	typ := d.hdr[1]
-	if typ < TypeIngest || typ > TypeSnapRestoreAck {
+	if typ < TypeIngest || typ > TypeTenantAck {
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, typ)
 	}
 	if d.hdr[2] != 0 || d.hdr[3] != 0 {
@@ -356,3 +363,26 @@ func DecodeSnapRestoreAck(payload []byte) (streamTotal int64, generations int, e
 	return int64(binary.LittleEndian.Uint64(payload[0:])),
 		int(binary.LittleEndian.Uint32(payload[8:])), nil
 }
+
+// MaxTenantNameLen bounds TenantSelect payloads; servers validate the
+// name against their own stricter charset rules.
+const MaxTenantNameLen = 64
+
+// AppendTenantSelect appends a TypeTenantSelect frame; the payload is
+// the tenant name as UTF-8 bytes.
+func AppendTenantSelect(dst []byte, name string) []byte {
+	dst = appendHeader(dst, TypeTenantSelect, len(name))
+	return append(dst, name...)
+}
+
+// DecodeTenantSelect unpacks a TypeTenantSelect payload. The returned
+// string is a copy, safe to retain past the next Decoder.Next call.
+func DecodeTenantSelect(payload []byte) (string, error) {
+	if len(payload) == 0 || len(payload) > MaxTenantNameLen {
+		return "", fmt.Errorf("%w: tenant name %d bytes, want 1..%d", ErrBadPayload, len(payload), MaxTenantNameLen)
+	}
+	return string(payload), nil
+}
+
+// AppendTenantAck appends a TypeTenantAck frame.
+func AppendTenantAck(dst []byte) []byte { return appendHeader(dst, TypeTenantAck, 0) }
