@@ -1,0 +1,28 @@
+# Build a minimal gsketch-serve image: static binary in a scratch runtime.
+#
+#   docker build -t gsketch-serve .
+#   docker run -p 7071:7071 -v $(pwd)/data:/data gsketch-serve \
+#     -sample /data/sample.txt -adapt -snapshot /data/state.gsk \
+#     -compact-max-gens 8 -tier-dir /data/tiers -tier-resident 4
+#
+# The module is dependency-free, so the build needs no module download
+# step and the runtime stage needs no libc, certificates or shell.
+
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+# Static binary: the serving stack is pure Go (net resolver included), so
+# CGO off yields a from-scratch-runnable executable.
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/gsketch-serve ./cmd/gsketch-serve
+
+FROM scratch
+COPY --from=build /out/gsketch-serve /gsketch-serve
+# Snapshot, tier spill and tenant state all default under /data; mount a
+# volume there to persist across container restarts.
+WORKDIR /data
+# 65534:65534 = nobody; the server needs no privileges beyond its ports
+# and the /data volume.
+USER 65534:65534
+EXPOSE 7071 7072
+ENTRYPOINT ["/gsketch-serve", "-addr", ":7071"]

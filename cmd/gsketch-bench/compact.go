@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/graphgen"
+	"github.com/graphstream/gsketch/internal/query"
+	"github.com/graphstream/gsketch/internal/stream"
+)
+
+// compactReport is the BENCH_compact.json payload: memory and query
+// latency of a generation chain driven through many workload pivots with
+// background compaction, against the same chain left to accumulate one
+// generation per pivot.
+type compactReport struct {
+	Schema   int     `json:"schema"`
+	Edges    int     `json:"edges"`
+	Vertices int     `json:"vertices"`
+	Alpha    float64 `json:"alpha"`
+	Pivots   int     `json:"pivots"`
+	Queries  int     `json:"queries"`
+
+	Compacted   compactSide `json:"compacted"`
+	Uncompacted compactSide `json:"uncompacted"`
+
+	// MemoryRatio is uncompacted/compacted final counter bytes — how much
+	// footprint the fold policy saved at equal stream volume.
+	MemoryRatio float64 `json:"memory_ratio"`
+}
+
+// compactSide is one engine's half of the comparison.
+type compactSide struct {
+	Generations   int   `json:"generations"`
+	Compactions   int64 `json:"compactions"`
+	CompactedFrom int   `json:"compacted_from"`
+	MemoryBytes   int   `json:"memory_bytes"`
+	// MemoryByPivot and GenerationsByPivot are the trajectories sampled
+	// after each repartition — the bounded-vs-linear growth evidence.
+	MemoryByPivot      []int `json:"memory_by_pivot"`
+	GenerationsByPivot []int `json:"generations_by_pivot"`
+
+	AvgRelErr  float64 `json:"avg_rel_err"`
+	Effective  int     `json:"effective"`
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP99Ms float64 `json:"query_p99_ms"`
+}
+
+// runCompactBench replays a popularity carousel — the zipf hot set rotates
+// at every phase boundary — repartitioning after each pivot. The compacted
+// engine runs a MaxGenerations fold policy (the chain compacts under cap
+// pressure instead of refusing rotations); the uncompacted engine keeps
+// every generation. Both answer the same final-phase query set against
+// exact truth, so the report shows what compaction costs in accuracy next
+// to what it saves in memory and tail latency.
+func runCompactBench(nEdges, vertices, nQueries, pivots int, alpha float64, jsonPath string) error {
+	if pivots < 1 {
+		return fmt.Errorf("need at least 1 pivot (got %d)", pivots)
+	}
+	phases := pivots + 1
+	car := graphgen.CarouselConfig{
+		Vertices:      vertices,
+		Destinations:  64,
+		Phases:        phases,
+		EdgesPerPhase: nEdges / phases,
+		Alpha:         alpha,
+		Seed:          42,
+	}
+	edges, err := graphgen.ZipfCarouselStream(car)
+	if err != nil {
+		return err
+	}
+
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+
+	// Evaluation queries: distinct final-phase edges in arrival order.
+	seen := make(map[[2]uint64]struct{})
+	var evalQs []query.EdgeQuery
+	for _, e := range edges[car.PhaseAt(phases-1):] {
+		k := [2]uint64{e.Src, e.Dst}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		evalQs = append(evalQs, query.EdgeQuery{Src: e.Src, Dst: e.Dst})
+		if len(evalQs) >= nQueries {
+			break
+		}
+	}
+
+	sketchCfg := gsketch.Config{TotalBytes: 1 << 20, Seed: 42}
+	baseline := car.PhaseQueries(0, 4096, 1)
+	prefixSample := edges[:car.EdgesPerPhase]
+	if len(prefixSample) > 1<<14 {
+		prefixSample = prefixSample[:1<<14]
+	}
+	workloadCap := 4096
+
+	// drive replays the carousel through one engine: ingest a phase, serve
+	// that phase's query traffic (feeding the workload recorder), then
+	// repartition at the boundary — one rotation per pivot.
+	drive := func(side *compactSide, extra ...gsketch.Option) (*gsketch.Engine, error) {
+		ctx := context.Background()
+		opts := append([]gsketch.Option{
+			gsketch.WithSample(prefixSample),
+			gsketch.WithWorkloadSample(baseline),
+			gsketch.WithWorkloadRecorder(workloadCap, 2),
+		}, extra...)
+		eng, err := gsketch.Open(sketchCfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < phases; p++ {
+			lo, hi := car.PhaseAt(p), car.PhaseAt(p+1)
+			if p == phases-1 {
+				hi = len(edges)
+			}
+			if err := eng.Ingest(ctx, edges[lo:hi]...); err != nil {
+				eng.Close()
+				return nil, err
+			}
+			phaseQs := make([]query.EdgeQuery, 0, 1024)
+			for _, e := range car.PhaseQueries(p, 1024, uint64(100+p)) {
+				phaseQs = append(phaseQs, query.EdgeQuery{Src: e.Src, Dst: e.Dst})
+			}
+			eng.QueryBatch(phaseQs)
+			if p == phases-1 {
+				break // final phase is served, not rotated past
+			}
+			if _, err := eng.Repartition(); err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("repartition after phase %d: %w", p, err)
+			}
+			st := eng.Stats()
+			side.MemoryByPivot = append(side.MemoryByPivot, st.MemoryBytes)
+			side.GenerationsByPivot = append(side.GenerationsByPivot, st.Adapt.Generations)
+		}
+		st := eng.Stats()
+		side.Generations = st.Adapt.Generations
+		side.Compactions = st.Adapt.Compactions
+		side.CompactedFrom = st.Adapt.CompactedFrom
+		side.MemoryBytes = st.MemoryBytes
+		acc := query.EvaluateEdgeQueries(eng.Estimator(), exact, evalQs, query.DefaultG0)
+		side.AvgRelErr = acc.AvgRelErr
+		side.Effective = acc.Effective
+		side.QueryP50Ms, side.QueryP99Ms = queryQuantiles(eng, evalQs)
+		return eng, nil
+	}
+
+	// Uncompacted: the chain keeps one generation per pivot; the cap sits
+	// above the pivot count so it never interferes.
+	var rep compactReport
+	unc, err := drive(&rep.Uncompacted, gsketch.WithAdaptive(
+		gsketch.ChainConfig{SampleSize: 8192, Seed: 7, MaxGenerations: phases + 2},
+		gsketch.AdaptConfig{Sketch: sketchCfg, Baseline: baseline},
+	))
+	if err != nil {
+		return fmt.Errorf("uncompacted: %w", err)
+	}
+	defer unc.Close()
+
+	// Compacted: the cap sits far below the pivot count; every rotation
+	// past it folds the two oldest frozen generations first, so the chain
+	// is driven well past its former hard limit and keeps accepting.
+	cap := 4
+	cmp, err := drive(&rep.Compacted,
+		gsketch.WithAdaptive(
+			gsketch.ChainConfig{SampleSize: 8192, Seed: 7, MaxGenerations: cap},
+			gsketch.AdaptConfig{Sketch: sketchCfg, Baseline: baseline},
+		),
+		gsketch.WithCompaction(gsketch.CompactionPolicy{
+			MaxGenerations: cap,
+			Fold:           2,
+			Interval:       time.Hour, // cap pressure drives the folds; the ticker stays out of the way
+		}, nil),
+	)
+	if err != nil {
+		return fmt.Errorf("compacted: %w", err)
+	}
+	defer cmp.Close()
+
+	rep.Schema = 1
+	rep.Edges = len(edges)
+	rep.Vertices = vertices
+	rep.Alpha = alpha
+	rep.Pivots = pivots
+	rep.Queries = len(evalQs)
+	if rep.Compacted.MemoryBytes > 0 {
+		rep.MemoryRatio = float64(rep.Uncompacted.MemoryBytes) / float64(rep.Compacted.MemoryBytes)
+	}
+
+	fmt.Printf("# compact bench: %d pivots over %d edges (%d vertices, alpha %.2f)\n\n",
+		pivots, len(edges), vertices, alpha)
+	fmt.Printf("%-12s %11s %11s %14s %12s %11s %11s\n",
+		"mode", "generations", "compactions", "memory-bytes", "avg-rel-err", "p50-ms", "p99-ms")
+	for _, row := range []struct {
+		name string
+		s    *compactSide
+	}{{"uncompacted", &rep.Uncompacted}, {"compacted", &rep.Compacted}} {
+		fmt.Printf("%-12s %11d %11d %14d %12.4f %11.4f %11.4f\n",
+			row.name, row.s.Generations, row.s.Compactions, row.s.MemoryBytes,
+			row.s.AvgRelErr, row.s.QueryP50Ms, row.s.QueryP99Ms)
+	}
+	fmt.Printf("\nmemory ratio: %.2fx (compacted chain holds %d generations for %d source builds)\n",
+		rep.MemoryRatio, rep.Compacted.Generations, rep.Compacted.CompactedFrom)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// queryQuantiles times single-edge queries through the full serving path
+// (chain gather included) and reports p50/p99 in milliseconds.
+func queryQuantiles(eng *gsketch.Engine, qs []query.EdgeQuery) (p50, p99 float64) {
+	if len(qs) == 0 {
+		return 0, 0
+	}
+	lat := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		t0 := time.Now()
+		eng.Query(q.Src, q.Dst)
+		lat[i] = time.Since(t0)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e6
+	}
+	return pick(0.50), pick(0.99)
+}

@@ -11,6 +11,7 @@
 //	gsketch-bench -scaling [-cores 1,4,16] [-scaling-json path]
 //	gsketch-bench -cluster [-nodes 1,2,4] [-cluster-json path]
 //	gsketch-bench -tenants 1,8,64 [-tenant-edges n] [-tenant-queries n] [-tenant-json path]
+//	gsketch-bench -compact [-compact-pivots n] [-compact-edges n] [-compact-json path]
 //
 // Examples:
 //
@@ -41,7 +42,12 @@
 // drives its own /t/{name}/... HTTP client concurrently (aggregate
 // throughput plus per-tenant p50/p99 spread), and a resident-capped
 // churn pass measures the snapshot-evict and reopen-from-snapshot
-// latencies; the report lands in BENCH_tenant.json.
+// latencies; the report lands in BENCH_tenant.json. The -compact mode
+// replays a popularity carousel (the zipf hot set rotates at every phase
+// boundary), repartitioning after each of its ≥8 pivots, and compares a
+// chain running a MaxGenerations fold policy against one that keeps every
+// generation — bounded memory and stable query tail latency versus linear
+// growth — writing BENCH_compact.json.
 package main
 
 import (
@@ -90,6 +96,14 @@ func main() {
 		scalingEdges   = flag.Int("scaling-edges", 500_000, "stream length per sweep point for -scaling")
 		scalingQueries = flag.Int("scaling-queries", 200_000, "queries per sweep point for -scaling")
 		scalingJSON    = flag.String("scaling-json", "BENCH_scaling.json", "machine-readable scaling report path")
+
+		compactMode     = flag.Bool("compact", false, "run the generation-lifecycle compaction benchmark instead of experiments")
+		compactEdges    = flag.Int("compact-edges", 360_000, "total carousel stream length for -compact")
+		compactVertices = flag.Int("compact-vertices", 4096, "source population for -compact")
+		compactQueries  = flag.Int("compact-queries", 2000, "final-phase evaluation queries for -compact")
+		compactPivots   = flag.Int("compact-pivots", 8, "workload pivots (phase boundaries) for -compact")
+		compactAlpha    = flag.Float64("compact-alpha", 1.1, "zipf skew of the carousel stream for -compact")
+		compactJSON     = flag.String("compact-json", "BENCH_compact.json", "machine-readable compact report path")
 
 		adaptMode     = flag.Bool("adapt", false, "run the adaptive repartitioning benchmark instead of experiments")
 		adaptEdges    = flag.Int("adapt-edges", 400_000, "two-phase pivot stream length for -adapt")
@@ -157,6 +171,14 @@ func main() {
 	if *queryMode {
 		if err := runQueryBench(*queryCount, *queryBatch, *queryReaders, *queryPartitions, *queryJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "gsketch-bench: query: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *compactMode {
+		if err := runCompactBench(*compactEdges, *compactVertices, *compactQueries, *compactPivots, *compactAlpha, *compactJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "gsketch-bench: compact: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -25,6 +25,7 @@
 //	POST /snapshot/restore  swap in a snapshot
 //	GET  /workload          recorded query-workload sample (text edges)
 //	POST /repartition       rebuild + hot-swap a new generation (-adapt)
+//	POST /compact           fold the oldest frozen generations (-adapt)
 //	GET  /healthz, /readyz  liveness / readiness (503 during state swaps)
 //	GET  /stats, /metrics   JSON counters / Prometheus text exposition
 //
@@ -45,6 +46,17 @@
 // and the recorded query workload and hot-swaps it in as a new generation;
 // queries keep answering over the whole stream with combined bounds, and
 // snapshots carry the full chain.
+//
+// The chain's generation lifecycle is managed with the compaction, tiering
+// and decay flags (all require -adapt). -compact-max-gens / -compact-age /
+// -compact-mem set the background fold triggers (checked every
+// -compact-interval; -compact-fold generations fold per pass, and the
+// repartition manager also folds on demand before a rotation that would
+// hit -adapt-max-gens, so the cap stops refusing). -tier-dir spills cold
+// frozen generations to disk past -tier-resident resident ones, reloading
+// them lazily on query. -decay-half-life down-weights frozen generations'
+// contributions by 2^(-age/halfLife) at query time. POST /compact folds on
+// demand.
 //
 // With -cluster the process runs as a scatter-gather coordinator instead
 // of an engine: each listed address is one shard — a plain gsketch-serve
@@ -142,6 +154,15 @@ func main() {
 		adaptInterval = flag.Duration("adapt-interval", 0, "auto-repartition check interval (0 = on-demand only)")
 		adaptDrift    = flag.Float64("adapt-drift", 0.5, "workload-divergence threshold for auto repartitioning")
 		adaptOutlier  = flag.Float64("adapt-outlier", 0.25, "outlier-share threshold for auto repartitioning")
+
+		compactMaxGens  = flag.Int("compact-max-gens", 0, "fold old generations when the chain exceeds this length (0 = disabled; with -adapt)")
+		compactAge      = flag.Duration("compact-age", 0, "fold when the oldest frozen generation exceeds this age (0 = disabled)")
+		compactMem      = flag.Int64("compact-mem", 0, "fold when the chain's resident counter bytes exceed this (0 = disabled)")
+		compactFold     = flag.Int("compact-fold", 0, "generations folded per compaction (0 = default 2)")
+		compactInterval = flag.Duration("compact-interval", 0, "background compaction check interval (0 = default 30s)")
+		tierDir         = flag.String("tier-dir", "", "spill cold frozen generations to files under this directory (with -adapt)")
+		tierResident    = flag.Int("tier-resident", 0, "max frozen generations kept resident in RAM with -tier-dir")
+		decayHalfLife   = flag.Duration("decay-half-life", 0, "age-decay half-life for frozen generations at query time (0 = disabled)")
 
 		tenantsOn     = flag.Bool("tenants", false, "serve a multi-tenant registry: data path under /t/{tenant}/..., admin API at /t")
 		tenantDir     = flag.String("tenant-dir", "tenants", "tenant registry root: manifest plus one snapshot dir per tenant (with -tenants)")
@@ -274,6 +295,23 @@ func main() {
 		opts = append(opts, gsketch.WithAutoRepartition(*adaptInterval, func(err error) {
 			logger.Warn("auto repartition failed", "error", err)
 		}))
+	}
+	if *compactMaxGens > 0 || *compactAge > 0 || *compactMem > 0 || *compactFold > 0 {
+		opts = append(opts, gsketch.WithCompaction(gsketch.CompactionPolicy{
+			MaxGenerations: *compactMaxGens,
+			MaxAge:         *compactAge,
+			MaxMemoryBytes: *compactMem,
+			Fold:           *compactFold,
+			Interval:       *compactInterval,
+		}, func(err error) {
+			logger.Warn("background compaction failed", "error", err)
+		}))
+	}
+	if *tierDir != "" {
+		opts = append(opts, gsketch.WithTiering(*tierDir, *tierResident))
+	}
+	if *decayHalfLife > 0 {
+		opts = append(opts, gsketch.WithDecay(*decayHalfLife))
 	}
 
 	eng, err := gsketch.Open(cfg, opts...)

@@ -181,6 +181,24 @@
 // in one container (Engine.Save on an adaptive engine); pre-chain
 // snapshots load unchanged as single-generation chains.
 //
+// # Generation lifecycle
+//
+// Left unmanaged, a long-lived chain accumulates a generation per
+// rotation until memory and the union-bound confidence degrade, then
+// hits ErrMaxGenerations. The lifecycle options (backed by
+// internal/compact) keep chains bounded: WithCompaction mounts a fold
+// policy — the oldest frozen generations merge cell-wise when they share
+// a hash layout (lossless; bounds combine to ε·ΣN_g) or re-partition
+// from their retained reservoirs otherwise, and the repartition manager
+// compacts before refusing a rotation at the cap — WithTiering spills
+// cold frozen generations to file-backed segments with lazy reload on
+// query, and WithDecay down-weights a frozen generation's estimates and
+// bounds together by 2^(-age/halfLife) at gather time. Engine.Compact
+// folds on demand (POST /compact when serving); chain snapshots carry
+// the per-generation lifecycle records and older snapshot versions still
+// load. See the README's Generation lifecycle section and the
+// internal/compact package documentation.
+//
 // # Scaling past one machine
 //
 // One engine is bounded by one process; internal/cluster shards the

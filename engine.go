@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/compact"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/query"
@@ -94,6 +95,19 @@ type Engine struct {
 	autoStop chan struct{} // stops the auto-repartition loop; nil when off
 	autoDone chan struct{} // closed when the loop goroutine has exited
 
+	cmgr        *compact.Manager // nil unless a compaction policy is mounted
+	compactStop chan struct{}    // stops the compaction loop; nil when off
+	compactDone chan struct{}    // closed when the loop goroutine has exited
+	compactions atomic.Int64     // completed folds, every trigger path
+
+	// rebuildCfg is the sketch configuration compaction re-ingest rebuilds
+	// use — the adaptive manager's rebuild config when one is mounted, the
+	// Open configuration otherwise.
+	rebuildCfg Config
+
+	compactObsMu sync.Mutex
+	compactObs   func(time.Duration)
+
 	snapPath  string
 	snapNanos atomic.Int64 // unix nanos of the last snapshot save/restore
 	saved     atomic.Int64 // completed snapshot saves
@@ -135,6 +149,16 @@ func Open(cfg Config, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.lifecycleConfigured() && chain == nil {
+		return nil, errors.New("gsketch: WithCompaction/WithTiering/WithDecay need a generation chain (WithAdaptive or an adopted *Chain)")
+	}
+	e.rebuildCfg = cfg
+	if o.adaptive && (o.managerCfg.Sketch.TotalBytes != 0 || o.managerCfg.Sketch.TotalWidth != 0) {
+		e.rebuildCfg = o.managerCfg.Sketch
+	}
+	if chain != nil {
+		e.applyLifecycle(chain)
+	}
 	st := &engineState{est: est, chain: chain}
 
 	if o.windowCfg != nil {
@@ -171,6 +195,18 @@ func Open(cfg Config, opts ...Option) (*Engine, error) {
 			mc.Baseline = o.workload
 		}
 		e.mgr = adapt.NewManager(chain, e.recordedWorkload, mc)
+		if o.compactPolicy != nil {
+			// Cap-pressure hook: the manager compacts instead of refusing a
+			// rotation at the generation cap.
+			fold := o.compactPolicy.WithDefaults().Fold
+			e.mgr.SetCompactor(func() error {
+				_, err := e.compactChain(fold)
+				if errors.Is(err, adapt.ErrNothingToCompact) {
+					return nil
+				}
+				return err
+			})
+		}
 		if o.autoInterval > 0 {
 			e.autoStop = make(chan struct{})
 			e.autoDone = make(chan struct{})
@@ -180,7 +216,83 @@ func Open(cfg Config, opts ...Option) (*Engine, error) {
 			}()
 		}
 	}
+	if chain != nil && o.compactPolicy != nil && o.compactPolicy.Enabled() {
+		e.cmgr = compact.NewManager(engineCompactTarget{e}, *o.compactPolicy, o.now, o.compactErr)
+		e.compactStop = make(chan struct{})
+		e.compactDone = make(chan struct{})
+		go func() {
+			defer close(e.compactDone)
+			e.cmgr.Run(e.compactStop)
+		}()
+	}
 	return e, nil
+}
+
+// applyLifecycle copies the Open-time lifecycle options onto a chain. It
+// runs before the chain is published (Open, Restore), so the chain's
+// plain-field setters are safe.
+func (e *Engine) applyLifecycle(c *adapt.Chain) {
+	if e.opts.decayHalfLife > 0 {
+		c.SetDecay(e.opts.decayHalfLife)
+	}
+	if e.opts.tierDir != "" {
+		c.SetTiering(e.opts.tierDir, e.opts.tierResident)
+	}
+	c.SetClock(e.opts.now)
+}
+
+// engineCompactTarget adapts the engine to the compaction policy loop. It
+// resolves the serving chain on every call, so the loop follows a snapshot
+// restore to the replacement chain automatically.
+type engineCompactTarget struct{ e *Engine }
+
+func (t engineCompactTarget) LifecycleState(now time.Time) compact.State {
+	st := t.e.state()
+	if st.chain == nil {
+		return compact.State{}
+	}
+	return st.chain.LifecycleState(now)
+}
+
+func (t engineCompactTarget) Compact(k int) (compact.Result, error) {
+	res, err := t.e.compactChain(k)
+	if errors.Is(err, adapt.ErrNothingToCompact) {
+		return res, nil
+	}
+	return res, err
+}
+
+func (t engineCompactTarget) EnforceResidency() (int, error) {
+	st := t.e.state()
+	if st.chain == nil {
+		return 0, nil
+	}
+	return st.chain.EnforceResidency()
+}
+
+// compactChain folds the oldest k frozen generations of the serving chain —
+// the single funnel of every compaction path (manual Compact, the policy
+// loop, rotation cap pressure), so the compaction counter and the duration
+// observer see them all.
+func (e *Engine) compactChain(k int) (compact.Result, error) {
+	st := e.state()
+	if st.chain == nil {
+		return compact.Result{}, ErrNotAdaptive
+	}
+	res, err := st.chain.Compact(k, e.rebuildCfg, e.recordedWorkload())
+	if err != nil {
+		return res, err
+	}
+	if res.Folded > 0 {
+		e.compactions.Add(1)
+		e.compactObsMu.Lock()
+		fn := e.compactObs
+		e.compactObsMu.Unlock()
+		if fn != nil {
+			fn(res.Duration)
+		}
+	}
+	return res, nil
 }
 
 // recordedWorkload is the repartition manager's live workload source: the
@@ -505,11 +617,11 @@ func (e *Engine) Restore(r io.Reader) error {
 	if e.win != nil {
 		return ErrWindowMounted
 	}
-	gens, err := core.ReadChain(r)
+	gens, metas, err := core.ReadChainMeta(r)
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
-	return e.restoreGenerations(gens)
+	return e.restoreGenerations(gens, metas)
 }
 
 // RestoreSnapshot is Restore from a file (or the configured default path
@@ -529,12 +641,13 @@ func (e *Engine) RestoreSnapshot(path string) error {
 	return e.Restore(f)
 }
 
-func (e *Engine) restoreGenerations(gens []*GSketch) error {
+func (e *Engine) restoreGenerations(gens []*GSketch, metas []core.GenerationMeta) error {
 	cur := e.state()
 	var est servingEstimator
 	var chain *adapt.Chain
 	if cur.chain != nil {
-		chain = adapt.NewChainFrom(gens, cur.chain.Config())
+		chain = adapt.NewChainFromMeta(gens, metas, cur.chain.Config())
+		e.applyLifecycle(chain)
 		est = chain
 	} else {
 		if len(gens) != 1 {
@@ -605,6 +718,39 @@ func (e *Engine) Repartition() (*RepartitionResult, error) {
 	return e.mgr.Repartition()
 }
 
+// Compact folds the oldest frozen generations of the serving chain into
+// one, on demand — the manual end of the generation-lifecycle loop (the
+// policy end is WithCompaction). The fold width is the mounted policy's
+// (default 2). A chain with fewer than two frozen generations returns a
+// zero-Folded result, not an error. It returns ErrNotAdaptive on an engine
+// without a generation chain.
+func (e *Engine) Compact() (*CompactionResult, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	k := 2
+	if p := e.opts.compactPolicy; p != nil {
+		k = p.WithDefaults().Fold
+	}
+	res, err := e.compactChain(k)
+	if errors.Is(err, adapt.ErrNothingToCompact) {
+		return &res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SetCompactObserver installs fn to be called with the duration of every
+// completed compaction fold, manual or policy-triggered (nil uninstalls) —
+// the hook a compaction-latency histogram hangs off.
+func (e *Engine) SetCompactObserver(fn func(time.Duration)) {
+	e.compactObsMu.Lock()
+	e.compactObs = fn
+	e.compactObsMu.Unlock()
+}
+
 // Drift evaluates the current drift signals — live-vs-baseline workload
 // divergence and the head's outlier read share — without acting on them.
 func (e *Engine) Drift() (Drift, error) {
@@ -650,6 +796,21 @@ type AdaptStats struct {
 	// swaps.
 	Generations  int
 	Repartitions int64
+	// Compactions counts completed generation folds across every trigger
+	// path (manual, policy loop, rotation cap pressure).
+	Compactions int64
+	// ResidentGenerations counts generations whose counters are in RAM;
+	// TieredGenerations counts frozen generations with a disk copy;
+	// TieredBytes is the counter footprint currently off-RAM.
+	ResidentGenerations int
+	TieredGenerations   int
+	TieredBytes         int64
+	// CompactedFrom is the total source generations the current chain
+	// represents — Generations plus everything compaction absorbed.
+	CompactedFrom int
+	// OldestFrozenAge is how long the oldest frozen generation has been
+	// frozen.
+	OldestFrozenAge time.Duration
 	// Drift is the current drift evaluation.
 	Drift Drift
 }
@@ -724,10 +885,17 @@ func (e *Engine) Stats() EngineStats {
 		s.ReadRoutes, s.WriteRoutes = &rr, &wr
 	}
 	if e.mgr != nil && st.chain != nil {
+		ls := st.chain.LifecycleStats()
 		s.Adapt = &AdaptStats{
-			Generations:  st.chain.Generations(),
-			Repartitions: e.mgr.Repartitions(),
-			Drift:        e.mgr.Drift(),
+			Generations:         ls.Generations,
+			Repartitions:        e.mgr.Repartitions(),
+			Compactions:         e.compactions.Load(),
+			ResidentGenerations: ls.Resident,
+			TieredGenerations:   ls.Tiered,
+			TieredBytes:         ls.TieredBytes,
+			CompactedFrom:       ls.CompactedFrom,
+			OldestFrozenAge:     ls.OldestFrozenAge,
+			Drift:               e.mgr.Drift(),
 		}
 	}
 	return s
@@ -750,15 +918,20 @@ func (e *Engine) Drain(ctx context.Context) error {
 	return err
 }
 
-// Close shuts the engine down in dependency order: the adaptive
-// auto-repartition loop is stopped first and awaited — so no rebuild can
-// race what follows — then the ingest pipeline is drained and closed (every
+// Close shuts the engine down in dependency order: the background
+// compaction and adaptive auto-repartition loops are stopped first and
+// awaited — so no fold or rebuild can race what follows — then the ingest
+// pipeline is drained and closed (every
 // accepted edge is applied), and finally, when WithSnapshotOnClose is set,
 // a snapshot is persisted to the configured path. Close is idempotent;
 // later calls return the first result. The read path stays usable on a
 // closed engine.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
+		if e.compactStop != nil {
+			close(e.compactStop)
+			<-e.compactDone
+		}
 		if e.autoStop != nil {
 			close(e.autoStop)
 			<-e.autoDone

@@ -188,6 +188,7 @@ func TestEngineChainMatchesShimChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	chain := gsketch.NewChain(g0, ccfg)
+	chain.SetClock(clock) // v4 snapshots carry build times; match the engine's
 	gsketch.Populate(chain, edges[:10_000])
 	// The workload the engine will record: the served queries, weight 1,
 	// timestamp 0 (the fixed clock).

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/compact"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/query"
@@ -169,8 +170,20 @@ type Drift = adapt.Drift
 // RepartitionResult reports one completed rebuild + hot swap.
 type RepartitionResult = adapt.RepartitionResult
 
+// CompactionPolicy parameterizes background generation compaction
+// (WithCompaction): the fold triggers — chain length, resident memory,
+// oldest-generation age — plus the fold width and check interval.
+type CompactionPolicy = compact.Policy
+
+// CompactionResult reports one completed generation fold: how many source
+// generations merged away, whether the merge was the lossless cell-wise
+// path, and the chain length and freed bytes after.
+type CompactionResult = compact.Result
+
 // ErrMaxGenerations reports a repartition refused because the chain is at
-// its configured generation cap.
+// its configured generation cap. Mount a CompactionPolicy (WithCompaction)
+// and the cap stops being reachable: the manager folds old generations
+// before refusing a rotation.
 var ErrMaxGenerations = adapt.ErrMaxGenerations
 
 // ErrEmptyReservoir reports a rebuild refused because no stream has been

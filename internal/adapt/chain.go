@@ -23,29 +23,42 @@
 // (total-variation divergence over source-vertex query frequencies), plus
 // the share of query traffic the outlier sketch absorbs, and triggers a
 // rebuild + rotate when either crosses its threshold — or on demand.
+//
+// Long-lived chains are lifecycle-managed by internal/compact: Compact
+// folds the oldest frozen generations into one (bounding chain length and
+// memory), tiering spills cold frozen generations to disk with lazy
+// reload, and optional age decay down-weights ancient generations at
+// gather time.
 package adapt
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"time"
 
+	"github.com/graphstream/gsketch/internal/compact"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/query"
 	"github.com/graphstream/gsketch/internal/stream"
 )
 
 // ErrMaxGenerations reports a rotation refused because the chain is at its
-// configured generation cap. Generations cannot be merged (their hash
-// layouts differ), so the cap bounds per-query gather cost; compact by
-// snapshotting and rebuilding offline if it is ever reached.
+// configured generation cap. The cap bounds per-query gather cost; a chain
+// under a compaction policy folds old generations before the cap is hit,
+// making this error unreachable in managed operation.
 var ErrMaxGenerations = errors.New("adapt: generation cap reached")
 
 // ErrEmptyReservoir reports a rebuild refused because no stream has been
 // sampled since the last swap — there is no data to partition from. The
 // retry-later signal: ingest more, then repartition.
 var ErrEmptyReservoir = errors.New("adapt: data reservoir is empty")
+
+// ErrNothingToCompact reports a compaction refused because the chain has
+// fewer than two frozen generations to fold.
+var ErrNothingToCompact = errors.New("adapt: nothing to compact")
 
 // ChainConfig parameterizes a Chain. The zero value selects the defaults.
 type ChainConfig struct {
@@ -71,30 +84,61 @@ func (c ChainConfig) withDefaults() ChainConfig {
 	return c
 }
 
-// generation pairs one sketch with its concurrency wrapper. The wrapper
-// stays attached for the generation's whole life: writers in flight during
-// a rotation may still land a final batch in a just-frozen generation
-// through its striped locks, and queries keep reading every generation.
-type generation struct {
-	g    *core.GSketch
-	conc *core.Concurrent
+// ChainLifecycleStats is the chain's generation-lifecycle snapshot.
+type ChainLifecycleStats struct {
+	// Generations is the chain length (head + frozen).
+	Generations int
+	// Resident counts generations whose counters are in RAM.
+	Resident int
+	// Tiered counts frozen generations with a disk copy.
+	Tiered int
+	// TieredBytes is the counter footprint currently off-RAM: the summed
+	// sketch bytes of tiered generations that are not resident.
+	TieredBytes int64
+	// OldestFrozenAge is how long the oldest frozen generation has been
+	// frozen (0 when none or unknown).
+	OldestFrozenAge time.Duration
+	// CompactedFrom sums the source generations folded into the current
+	// chain — Generations plus how many former generations compaction
+	// absorbed.
+	CompactedFrom int
 }
 
 // Chain is a generation-chained estimator: one live head sketch absorbing
 // the stream plus zero or more frozen prior generations still answering for
 // the segments they saw. It implements core.Estimator (updates to the head,
 // batched queries gathered and combined across all generations) and
-// io.WriterTo (the version-3 chain container). All methods are safe for
-// concurrent use; per-partition write parallelism inside the head is the
-// wrapped Concurrent's usual striped locking.
+// io.WriterTo (the version-4 chain container with per-generation lifecycle
+// records). All methods are safe for concurrent use; per-partition write
+// parallelism inside the head is the wrapped Concurrent's usual striped
+// locking.
+//
+// Frozen generations are immutable: updates run under the shared lock, so
+// a rotation's exclusive lock drains every in-flight writer before the
+// displaced head becomes frozen. That immutability is what makes
+// compaction (snapshot, merge offline, install) and tiering (spill, lazy
+// reload) race-free against concurrent ingest.
 type Chain struct {
 	cfg ChainConfig
 
 	mu   sync.RWMutex // guards gens; held shared across estimator calls
-	gens []*generation
+	gens []*compact.Segment
 
 	resMu sync.Mutex // guards res; independent of mu so sampling never blocks rotation
 	res   *stream.Reservoir
+
+	// compactMu serializes compactions (manual, policy-driven, and
+	// rotation-pressure) so only one fold mutates the frozen prefix at a
+	// time.
+	compactMu sync.Mutex
+
+	// Lifecycle configuration. Set via SetDecay/SetTiering/SetClock before
+	// the chain is shared across goroutines (the engine configures a chain
+	// fully before publishing it).
+	decayHalfLife time.Duration
+	tierDir       string
+	tierResident  int
+	now           func() time.Time
 }
 
 // NewChain starts a chain with g as its only (live) generation.
@@ -106,16 +150,42 @@ func NewChain(g *core.GSketch, cfg ChainConfig) *Chain {
 // first — the shape core.ReadChain returns. The last element becomes the
 // live head. It panics on an empty slice.
 func NewChainFrom(gens []*core.GSketch, cfg ChainConfig) *Chain {
+	return NewChainFromMeta(gens, nil, cfg)
+}
+
+// NewChainFromMeta is NewChainFrom carrying the per-generation lifecycle
+// records of a version-4 chain stream (core.ReadChainMeta). metas may be
+// nil (all records default) or must match gens element-wise. A frozen
+// generation's freeze time is inferred as its successor's build time.
+func NewChainFromMeta(gens []*core.GSketch, metas []core.GenerationMeta, cfg ChainConfig) *Chain {
 	if len(gens) == 0 {
 		panic("adapt: chain needs at least one generation")
+	}
+	if metas != nil && len(metas) != len(gens) {
+		panic(fmt.Sprintf("adapt: %d generations but %d metadata records", len(gens), len(metas)))
 	}
 	cfg = cfg.withDefaults()
 	c := &Chain{
 		cfg: cfg,
 		res: stream.NewReservoir(cfg.SampleSize, cfg.Seed),
+		now: time.Now,
 	}
-	for _, g := range gens {
-		c.gens = append(c.gens, &generation{g: g, conc: core.NewConcurrent(g)})
+	for i, g := range gens {
+		var m core.GenerationMeta
+		if metas != nil {
+			m = metas[i]
+		}
+		seg := compact.NewSegment(g, m)
+		if i < len(gens)-1 {
+			// Restored frozen generations carry no reservoir (samples are
+			// not serialized), so they compact via the exact path only.
+			frozenAt := int64(0)
+			if metas != nil {
+				frozenAt = metas[i+1].BuiltAt
+			}
+			seg.Freeze(frozenAt, nil, 0)
+		}
+		c.gens = append(c.gens, seg)
 	}
 	return c
 }
@@ -123,8 +193,36 @@ func NewChainFrom(gens []*core.GSketch, cfg ChainConfig) *Chain {
 // Config returns the chain's resolved configuration.
 func (c *Chain) Config() ChainConfig { return c.cfg }
 
+// SetDecay enables exponential age weighting at gather time: a frozen
+// generation frozen `age` ago contributes with weight 2^(-age/halfLife).
+// Zero disables decay. Set before the chain is shared.
+func (c *Chain) SetDecay(halfLife time.Duration) { c.decayHalfLife = halfLife }
+
+// DecayHalfLife returns the configured decay half-life (0 = disabled).
+func (c *Chain) DecayHalfLife() time.Duration { return c.decayHalfLife }
+
+// SetTiering configures disk tiering: frozen generations beyond the
+// maxResident most recently queried are spilled to files under dir and
+// reloaded lazily on query. maxResident counts frozen generations only —
+// the live head always stays in RAM. Zero/empty disables tiering. Set
+// before the chain is shared.
+func (c *Chain) SetTiering(dir string, maxResident int) {
+	c.tierDir = dir
+	c.tierResident = maxResident
+}
+
+// TierDir returns the configured spill directory ("" = tiering disabled).
+func (c *Chain) TierDir() string { return c.tierDir }
+
+// SetClock overrides the chain's clock, for tests.
+func (c *Chain) SetClock(now func() time.Time) {
+	if now != nil {
+		c.now = now
+	}
+}
+
 // head returns the live generation under the shared lock.
-func (c *Chain) head() *generation {
+func (c *Chain) head() *compact.Segment {
 	c.mu.RLock()
 	h := c.gens[len(c.gens)-1]
 	c.mu.RUnlock()
@@ -132,10 +230,13 @@ func (c *Chain) head() *generation {
 }
 
 // Update folds one edge arrival into the head and offers it to the data
-// reservoir. An update racing a rotation may land in the just-frozen
-// generation instead — harmless, since queries sum every generation.
+// reservoir. The shared lock is held across the head update so a rotation
+// or compaction install (exclusive lock) observes fully landed writes —
+// the invariant that makes frozen generations immutable.
 func (c *Chain) Update(e stream.Edge) {
-	c.head().conc.Update(e)
+	c.mu.RLock()
+	c.gens[len(c.gens)-1].Update(e)
+	c.mu.RUnlock()
 	c.resMu.Lock()
 	c.res.Observe(e)
 	c.resMu.Unlock()
@@ -147,21 +248,47 @@ func (c *Chain) UpdateBatch(edges []stream.Edge) {
 	if len(edges) == 0 {
 		return
 	}
-	c.head().conc.UpdateBatch(edges)
+	c.mu.RLock()
+	c.gens[len(c.gens)-1].UpdateBatch(edges)
+	c.mu.RUnlock()
 	c.resMu.Lock()
 	c.res.ObserveAll(edges)
 	c.resMu.Unlock()
 }
 
+// decayWeight returns the gather weight of a frozen segment: 1 without
+// decay, else 2^(-age/halfLife) anchored at the freeze time (falling back
+// to build time; unknown ages decay by nothing — the conservative choice).
+func (c *Chain) decayWeight(seg *compact.Segment, nowUnix int64) float64 {
+	if c.decayHalfLife <= 0 {
+		return 1
+	}
+	anchor := seg.FrozenAt()
+	if anchor == 0 {
+		anchor = seg.Meta().BuiltAt
+	}
+	if anchor == 0 || nowUnix <= anchor {
+		return 1
+	}
+	age := float64(nowUnix - anchor)
+	return math.Exp2(-age / c.decayHalfLife.Seconds())
+}
+
 // EstimateEdge answers an edge query as the sum of every generation's
 // estimate — each generation never underestimates its own stream segment,
-// so the sum never underestimates the whole stream.
+// so the sum never underestimates the whole stream. Decay, when enabled,
+// scales frozen generations' contributions.
 func (c *Chain) EstimateEdge(src, dst uint64) int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var sum int64
-	for _, gen := range c.gens {
-		sum += gen.conc.EstimateEdge(src, dst)
+	nowUnix := c.now().Unix()
+	sum := c.gens[len(c.gens)-1].EstimateEdge(src, dst)
+	for i := len(c.gens) - 2; i >= 0; i-- {
+		est := c.gens[i].EstimateEdge(src, dst)
+		if w := c.decayWeight(c.gens[i], nowUnix); w < 1 {
+			est = int64(math.Round(w * float64(est)))
+		}
+		sum += est
 	}
 	return sum
 }
@@ -171,40 +298,50 @@ func (c *Chain) EstimateEdge(src, dst uint64) int64 {
 // currently serving), then every frozen generation's answers fold in via
 // query.AccumulateResults — estimates sum, ε·N_i bounds add, confidence
 // combines by union bound, stream totals sum to the chain-wide volume.
+// With decay enabled, a frozen generation's estimates and bounds scale by
+// its age weight before folding (query.AccumulateResultsWeighted).
 func (c *Chain) EstimateBatch(qs []core.EdgeQuery) []core.Result {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := c.gens[len(c.gens)-1].conc.EstimateBatch(qs)
+	nowUnix := c.now().Unix()
+	out := c.gens[len(c.gens)-1].EstimateBatch(qs)
 	for i := len(c.gens) - 2; i >= 0; i-- {
-		query.AccumulateResults(out, c.gens[i].conc.EstimateBatch(qs))
+		gen := c.gens[i].EstimateBatch(qs)
+		if w := c.decayWeight(c.gens[i], nowUnix); w < 1 {
+			query.AccumulateResultsWeighted(out, gen, w)
+		} else {
+			query.AccumulateResults(out, gen)
+		}
 	}
 	return out
 }
 
-// Count returns the chain-wide stream volume: the sum over generations.
+// Count returns the chain-wide stream volume: the sum over generations
+// (spilled generations answer from their freeze-time cache).
 func (c *Chain) Count() int64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var sum int64
 	for _, gen := range c.gens {
-		sum += gen.conc.Count()
+		sum += gen.Count()
 	}
 	return sum
 }
 
-// MemoryBytes reports the summed counter footprint of all generations.
+// MemoryBytes reports the resident counter footprint of all generations —
+// spilled generations contribute zero, which is what tiering buys.
 func (c *Chain) MemoryBytes() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	total := 0
 	for _, gen := range c.gens {
-		total += gen.conc.MemoryBytes()
+		total += gen.MemoryBytes()
 	}
 	return total
 }
 
 // NumShards reports the head generation's independent writer domains.
-func (c *Chain) NumShards() int { return c.head().conc.NumShards() }
+func (c *Chain) NumShards() int { return c.head().NumShards() }
 
 // Generations returns the current chain length.
 func (c *Chain) Generations() int {
@@ -224,13 +361,13 @@ func (c *Chain) AtCap() bool {
 
 // Head returns the live generation's sketch, for callers reading layout or
 // routing statistics. The sketch is shared — treat it as read-only.
-func (c *Chain) Head() *core.GSketch { return c.head().g }
+func (c *Chain) Head() *core.GSketch { return c.head().Sketch() }
 
 // WriteRouteCounts forwards the head generation's routed write traffic.
-func (c *Chain) WriteRouteCounts() core.RouteCounts { return c.head().g.WriteRouteCounts() }
+func (c *Chain) WriteRouteCounts() core.RouteCounts { return c.head().Sketch().WriteRouteCounts() }
 
 // ReadRouteCounts forwards the head generation's routed query traffic.
-func (c *Chain) ReadRouteCounts() core.RouteCounts { return c.head().g.ReadRouteCounts() }
+func (c *Chain) ReadRouteCounts() core.RouteCounts { return c.head().Sketch().ReadRouteCounts() }
 
 // Sample returns a copy of the data reservoir — the fresh data sample a
 // rebuild partitions from.
@@ -252,36 +389,201 @@ func (c *Chain) SampleSize() int {
 
 // Rotate freezes the current head and installs g as the new live
 // generation, then resets the data reservoir so the next rebuild samples
-// only the stream after this swap. Updates racing the swap land in one
-// generation or the other, never nowhere; queries racing the swap see
-// either chain state, both of which cover the full stream.
+// only the stream after this swap. The displaced head keeps the reservoir
+// it was built over as its retained sample — the re-ingest source if a
+// later compaction cannot merge it cell-wise. Updates racing the swap land
+// in one generation or the other, never nowhere; queries racing the swap
+// see either chain state, both of which cover the full stream.
 func (c *Chain) Rotate(g *core.GSketch) error {
-	gen := &generation{g: g, conc: core.NewConcurrent(g)}
+	nowUnix := c.now().Unix()
+	seg := compact.NewSegment(g, core.GenerationMeta{BuiltAt: nowUnix, CompactedFrom: 1})
 	c.mu.Lock()
 	if len(c.gens) >= c.cfg.MaxGenerations {
+		n := len(c.gens)
 		c.mu.Unlock()
-		return fmt.Errorf("%w (%d generations)", ErrMaxGenerations, len(c.gens))
+		return fmt.Errorf("%w (%d generations)", ErrMaxGenerations, n)
 	}
-	c.gens = append(c.gens, gen)
+	old := c.gens[len(c.gens)-1]
+	c.gens = append(c.gens, seg)
 	c.mu.Unlock()
 	c.resMu.Lock()
+	s := c.res.Sample()
+	sample := make([]stream.Edge, len(s))
+	copy(sample, s)
+	seen := c.res.Seen()
 	c.res.Reset()
 	c.resMu.Unlock()
+	old.Freeze(nowUnix, sample, seen)
+	if _, err := c.EnforceResidency(); err != nil {
+		// Tiering is best-effort on the rotation path: a spill failure
+		// leaves the generation resident, costing memory, not correctness.
+		_ = err
+	}
 	return nil
 }
 
-// WriteTo serializes the whole chain as a version-3 container: every
-// generation's consistent snapshot (stripe read locks per generation),
-// oldest first. ReadChain + NewChainFrom restore it; a single-generation
-// pre-chain snapshot also restores via the same path.
+// Compact folds the oldest k frozen generations into one (see
+// compact.Fold): cell-wise when the layouts match, else by re-partitioning
+// from their retained reservoirs under cfg and workload. k is clamped to
+// the available frozen generations; fewer than two returns
+// ErrNothingToCompact with a zero Result. The fold runs off-lock against
+// immutable snapshots; only the final install takes the exclusive lock.
+func (c *Chain) Compact(k int, cfg core.Config, workload []stream.Edge) (compact.Result, error) {
+	start := time.Now()
+	c.compactMu.Lock()
+	defer c.compactMu.Unlock()
+
+	c.mu.RLock()
+	frozen := len(c.gens) - 1
+	if k > frozen {
+		k = frozen
+	}
+	if k < 2 {
+		n := len(c.gens)
+		c.mu.RUnlock()
+		return compact.Result{Generations: n}, ErrNothingToCompact
+	}
+	srcs := make([]*compact.Segment, k)
+	copy(srcs, c.gens[:k])
+	c.mu.RUnlock()
+
+	var srcBytes int64
+	for _, s := range srcs {
+		srcBytes += int64(s.SketchBytes())
+	}
+	merged, exact, err := compact.Fold(srcs, cfg, workload, c.cfg.SampleSize)
+	if err != nil {
+		return compact.Result{}, err
+	}
+
+	c.mu.Lock()
+	// compactMu means no other fold touched the prefix, and rotations only
+	// append — but verify the sources are still in place before splicing.
+	for i := range srcs {
+		if i >= len(c.gens) || c.gens[i] != srcs[i] {
+			c.mu.Unlock()
+			return compact.Result{}, errors.New("adapt: chain mutated during compaction")
+		}
+	}
+	c.gens = append([]*compact.Segment{merged}, c.gens[k:]...)
+	gens := len(c.gens)
+	c.mu.Unlock()
+
+	for _, s := range srcs {
+		s.Discard()
+	}
+	if _, err := c.EnforceResidency(); err != nil {
+		_ = err // best-effort, as on the rotation path
+	}
+	return compact.Result{
+		Folded:      k,
+		Exact:       exact,
+		Generations: gens,
+		FreedBytes:  srcBytes - int64(merged.SketchBytes()),
+		Duration:    time.Since(start),
+	}, nil
+}
+
+// EnforceResidency spills cold frozen generations past the configured
+// resident cap (least recently queried first), returning how many were
+// spilled. A no-op unless SetTiering configured a directory and cap.
+func (c *Chain) EnforceResidency() (int, error) {
+	if c.tierDir == "" || c.tierResident <= 0 {
+		return 0, nil
+	}
+	c.mu.RLock()
+	frozen := make([]*compact.Segment, len(c.gens)-1)
+	copy(frozen, c.gens[:len(c.gens)-1])
+	c.mu.RUnlock()
+
+	resident := frozen[:0]
+	for _, s := range frozen {
+		if s.Resident() {
+			resident = append(resident, s)
+		}
+	}
+	excess := len(resident) - c.tierResident
+	if excess <= 0 {
+		return 0, nil
+	}
+	// Oldest access first; untouched segments (access 0) go before any
+	// queried one, oldest generation first thanks to the stable order.
+	sortSegmentsByAccess(resident)
+	spilled := 0
+	for _, s := range resident[:excess] {
+		if err := s.Spill(c.tierDir); err != nil {
+			return spilled, err
+		}
+		spilled++
+	}
+	return spilled, nil
+}
+
+// sortSegmentsByAccess orders segments by last query touch ascending,
+// stably (insertion sort: the slice is at most MaxGenerations long).
+func sortSegmentsByAccess(segs []*compact.Segment) {
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].LastAccess() < segs[j-1].LastAccess(); j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}
+
+// LifecycleStats snapshots the chain's generation-lifecycle state.
+func (c *Chain) LifecycleStats() ChainLifecycleStats {
+	c.mu.RLock()
+	gens := make([]*compact.Segment, len(c.gens))
+	copy(gens, c.gens)
+	c.mu.RUnlock()
+	st := ChainLifecycleStats{Generations: len(gens)}
+	for i, s := range gens {
+		st.CompactedFrom += s.Meta().CompactedFrom
+		if s.Resident() {
+			st.Resident++
+		}
+		if i < len(gens)-1 && s.Tiered() {
+			st.Tiered++
+			if !s.Resident() {
+				st.TieredBytes += int64(s.SketchBytes())
+			}
+		}
+	}
+	if len(gens) > 1 {
+		if fa := gens[0].FrozenAt(); fa > 0 {
+			if age := c.now().Unix() - fa; age > 0 {
+				st.OldestFrozenAge = time.Duration(age) * time.Second
+			}
+		}
+	}
+	return st
+}
+
+// LifecycleState adapts the chain to the compaction policy's view.
+func (c *Chain) LifecycleState(now time.Time) compact.State {
+	st := c.LifecycleStats()
+	return compact.State{
+		Generations: st.Generations,
+		MemoryBytes: int64(c.MemoryBytes()),
+		OldestAge:   st.OldestFrozenAge,
+	}
+}
+
+// WriteTo serializes the whole chain as a version-4 container: every
+// generation's consistent snapshot (stripe read locks per generation;
+// spilled generations stream straight from their tier files), oldest
+// first, each preceded by its lifecycle record. ReadChainMeta +
+// NewChainFromMeta restore it; version-2 and version-3 snapshots restore
+// via the same path.
 func (c *Chain) WriteTo(w io.Writer) (int64, error) {
 	c.mu.RLock()
 	writers := make([]io.WriterTo, len(c.gens))
+	metas := make([]core.GenerationMeta, len(c.gens))
 	for i, gen := range c.gens {
-		writers[i] = gen.conc
+		writers[i] = gen
+		metas[i] = gen.Meta()
 	}
 	c.mu.RUnlock()
-	return core.WriteChain(w, writers)
+	return core.WriteChainMeta(w, writers, metas)
 }
 
 // Repartition builds a new generation from the chain's own data reservoir
@@ -313,4 +615,38 @@ var (
 	_ core.Estimator        = (*Chain)(nil)
 	_ core.RouteStatsSource = (*Chain)(nil)
 	_ io.WriterTo           = (*Chain)(nil)
+	_ compact.Target        = (*chainTarget)(nil)
 )
+
+// chainTarget adapts a Chain plus its build inputs to compact.Target, for
+// wiring a compact.Manager directly over a chain (the engine uses its own
+// adapter carrying live workload samples).
+type chainTarget struct {
+	c        *Chain
+	fold     int
+	cfg      core.Config
+	workload func() []stream.Edge
+}
+
+// NewCompactTarget adapts the chain to compact.Target: Compact folds with
+// the build config cfg and the live workload sampled from workload (nil ⇒
+// data-only rebuilds on the re-ingest path).
+func NewCompactTarget(c *Chain, cfg core.Config, workload func() []stream.Edge) compact.Target {
+	return &chainTarget{c: c, cfg: cfg, workload: workload}
+}
+
+func (t *chainTarget) LifecycleState(now time.Time) compact.State { return t.c.LifecycleState(now) }
+
+func (t *chainTarget) Compact(k int) (compact.Result, error) {
+	var wl []stream.Edge
+	if t.workload != nil {
+		wl = t.workload()
+	}
+	res, err := t.c.Compact(k, t.cfg, wl)
+	if errors.Is(err, ErrNothingToCompact) {
+		return res, nil
+	}
+	return res, err
+}
+
+func (t *chainTarget) EnforceResidency() (int, error) { return t.c.EnforceResidency() }

@@ -110,6 +110,12 @@ type Manager struct {
 	// swapObs, when set, observes every completed swap's build+rotate
 	// duration — the hook a metrics histogram hangs off.
 	swapObs func(time.Duration)
+	// compactor, when set, is invoked to fold old generations before a
+	// rotation that would otherwise refuse at the generation cap — the
+	// engine wires it to the chain's compaction when a lifecycle policy is
+	// configured. With it in place ErrMaxGenerations is unreachable from
+	// the manager's rebuild paths.
+	compactor func() error
 }
 
 // NewManager builds a manager over chain. workload supplies the live
@@ -150,6 +156,36 @@ func (m *Manager) Rebind(chain *Chain, baseline []stream.Edge, swap func()) {
 	m.chain = chain
 	m.baseline = sourceDistribution(baseline)
 	m.readsBase = chain.ReadRouteCounts()
+}
+
+// SetCompactor installs fn as the cap-pressure compaction hook (nil
+// uninstalls): Check and Repartition call it before a rebuild that finds
+// the chain at its generation cap, so a chain under a compaction policy
+// keeps rotating instead of refusing with ErrMaxGenerations.
+func (m *Manager) SetCompactor(fn func() error) {
+	m.mu.Lock()
+	m.compactor = fn
+	m.mu.Unlock()
+}
+
+// ensureHeadroom folds old generations when the chain is at its cap and a
+// compactor is installed. The caller holds rebuildMu. It reports whether
+// the chain has rotation headroom afterwards.
+func (m *Manager) ensureHeadroom() (bool, error) {
+	chain := m.Chain()
+	if !chain.AtCap() {
+		return true, nil
+	}
+	m.mu.Lock()
+	fn := m.compactor
+	m.mu.Unlock()
+	if fn == nil {
+		return false, nil
+	}
+	if err := fn(); err != nil {
+		return false, err
+	}
+	return !chain.AtCap(), nil
 }
 
 // SetSwapObserver installs fn to be called with the BuildDuration of
@@ -223,13 +259,17 @@ func (m *Manager) ShouldRepartition(d Drift) bool {
 
 // Check evaluates drift and repartitions if the thresholds are crossed. It
 // returns the swap result when one happened, nil otherwise — the auto-
-// trigger entry point. At the chain's generation cap Check is a cheap
-// no-op: drift cannot be acted on, so no rebuild is attempted (and none is
-// wasted).
+// trigger entry point. At the chain's generation cap Check first compacts
+// (when a compactor is installed) so drift can still be acted on; without
+// one it is a cheap no-op: no rebuild is attempted (and none is wasted).
 func (m *Manager) Check() (*RepartitionResult, error) {
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
-	if m.Chain().AtCap() {
+	ok, err := m.ensureHeadroom()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, nil
 	}
 	d, live := m.drift()
@@ -241,10 +281,15 @@ func (m *Manager) Check() (*RepartitionResult, error) {
 
 // Repartition rebuilds and hot-swaps unconditionally (on demand), gated
 // only on a non-empty data reservoir. The live workload sample — whatever
-// its size — steers the new partitioning when present.
+// its size — steers the new partitioning when present. At the generation
+// cap it compacts first when a compactor is installed; otherwise the
+// rebuild fails with ErrMaxGenerations as before.
 func (m *Manager) Repartition() (*RepartitionResult, error) {
 	m.rebuildMu.Lock()
 	defer m.rebuildMu.Unlock()
+	if _, err := m.ensureHeadroom(); err != nil {
+		return nil, err
+	}
 	d, live := m.drift()
 	return m.repartition(d, live)
 }

@@ -131,6 +131,114 @@ func TestReadChainRejectsCorruptContainers(t *testing.T) {
 	}
 }
 
+// The version-4 container round-trips the per-generation lifecycle
+// records — build times and compaction lineage — alongside the counters.
+func TestWriteChainMetaRoundTrip(t *testing.T) {
+	edges := testStream(9000, 29)
+	var gens []*GSketch
+	var writers []io.WriterTo
+	metas := []GenerationMeta{
+		{BuiltAt: 1_700_000_000, CompactedFrom: 3},
+		{BuiltAt: 1_700_000_600, CompactedFrom: 1},
+	}
+	for i := 0; i < 2; i++ {
+		g, err := BuildGSketch(Config{TotalBytes: 32 << 10, Seed: uint64(i + 1)}, edges[i*1000:(i+1)*1000], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Populate(g, edges[i*4000:(i+1)*4000])
+		gens = append(gens, g)
+		writers = append(writers, g)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteChainMeta(&buf, writers, metas); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); v != gskChainMetaVersion {
+		t.Fatalf("container version = %d, want %d", v, gskChainMetaVersion)
+	}
+
+	got, gotMetas, err := ReadChainMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(gotMetas) != 2 {
+		t.Fatalf("restored %d generations / %d metas, want 2 / 2", len(got), len(gotMetas))
+	}
+	for i := range gens {
+		if gotMetas[i] != metas[i] {
+			t.Fatalf("generation %d: meta %+v, want %+v", i, gotMetas[i], metas[i])
+		}
+		if got[i].Count() != gens[i].Count() {
+			t.Fatalf("generation %d: count %d, want %d", i, got[i].Count(), gens[i].Count())
+		}
+		for _, e := range edges[:200] {
+			if a, b := got[i].EstimateEdge(e.Src, e.Dst), gens[i].EstimateEdge(e.Src, e.Dst); a != b {
+				t.Fatalf("generation %d edge (%d,%d): %d != %d", i, e.Src, e.Dst, a, b)
+			}
+		}
+	}
+
+	// Mismatched meta count is a caller bug, not a silent truncation.
+	if _, err := WriteChainMeta(io.Discard, writers, metas[:1]); err == nil {
+		t.Fatal("WriteChainMeta accepted a meta/generation count mismatch")
+	}
+
+	// A truncated lifecycle record must not load.
+	raw := buf.Bytes()
+	if _, _, err := ReadChainMeta(bytes.NewReader(raw[:20])); err == nil {
+		t.Fatal("truncated v4 record loaded")
+	}
+}
+
+// A version-3 chain stream (the pre-lifecycle writer) must keep loading
+// through ReadChainMeta: zero-value lifecycle records, identical counters.
+// That is the back-compat contract for snapshots taken before this PR.
+func TestReadChainMetaLoadsVersion3Stream(t *testing.T) {
+	edges := testStream(8000, 37)
+	var gens []*GSketch
+	var writers []io.WriterTo
+	for i := 0; i < 3; i++ {
+		g, err := BuildGSketch(Config{TotalBytes: 16 << 10, Seed: uint64(i + 5)}, edges[i*800:(i+1)*800], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Populate(g, edges[i*2500:(i+1)*2500])
+		gens = append(gens, g)
+		writers = append(writers, g)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteChain(&buf, writers); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); v != gskChainVersion {
+		t.Fatalf("legacy writer produced version %d, want pinned %d", v, gskChainVersion)
+	}
+
+	got, metas, err := ReadChainMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadChainMeta on v3 stream: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("restored %d generations, want 3", len(got))
+	}
+	for i := range gens {
+		// Legacy streams carry no lifecycle data: unknown build time, and
+		// each generation normalized to a single source build.
+		if metas[i] != (GenerationMeta{CompactedFrom: 1}) {
+			t.Fatalf("generation %d: v3 meta %+v, want {BuiltAt:0 CompactedFrom:1}", i, metas[i])
+		}
+		if got[i].Count() != gens[i].Count() {
+			t.Fatalf("generation %d: count %d, want %d", i, got[i].Count(), gens[i].Count())
+		}
+		for _, e := range edges[:200] {
+			if a, b := got[i].EstimateEdge(e.Src, e.Dst), gens[i].EstimateEdge(e.Src, e.Dst); a != b {
+				t.Fatalf("generation %d edge (%d,%d): %d != %d", i, e.Src, e.Dst, a, b)
+			}
+		}
+	}
+}
+
 func TestRouteStats(t *testing.T) {
 	// Sample covers sources 0..9; everything else is outlier traffic.
 	var sample []stream.Edge

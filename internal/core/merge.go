@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/graphstream/gsketch/internal/sketch"
+)
+
+// Exact generation merge. Two gSketches built from the same configuration
+// and the same data sample lay out identically — BuildGSketch derives every
+// partition's hash family deterministically from the master seed, so equal
+// routers + equal widths + equal seeds mean every counter cell is addressed
+// by the same hash in both sketches. CountMin counters are then additive
+// cell-wise, and the merged sketch answers for the union stream with the
+// combined ε·(N_a+N_b) bound. The compaction subsystem uses this as its
+// lossless fast path and falls back to re-ingesting reservoirs when the
+// layouts differ.
+
+// ErrIncompatibleMerge reports a counter-wise merge refused because the two
+// sketches do not share a hash layout (different partitioning, widths,
+// depth, or seeds). Callers fall back to rebuild-and-reingest.
+var ErrIncompatibleMerge = fmt.Errorf("core: gSketch layouts are not counter-mergeable")
+
+// CanMerge reports whether other's counters can be folded into g cell-wise:
+// same depth, same partition layout (leaf widths and router contents), same
+// outlier width, and CountMin synopses with identical hash seeds on both
+// sides. A nil error means MergeFrom will succeed.
+func (g *GSketch) CanMerge(other *GSketch) error {
+	if g.cfg.Depth != other.cfg.Depth {
+		return fmt.Errorf("%w: depth %d vs %d", ErrIncompatibleMerge, g.cfg.Depth, other.cfg.Depth)
+	}
+	if len(g.parts) != len(other.parts) {
+		return fmt.Errorf("%w: %d vs %d partitions", ErrIncompatibleMerge, len(g.parts), len(other.parts))
+	}
+	if g.outlierWidth != other.outlierWidth {
+		return fmt.Errorf("%w: outlier width %d vs %d", ErrIncompatibleMerge, g.outlierWidth, other.outlierWidth)
+	}
+	for i := range g.parts {
+		if g.leaves[i].Width != other.leaves[i].Width {
+			return fmt.Errorf("%w: partition %d width %d vs %d", ErrIncompatibleMerge, i, g.leaves[i].Width, other.leaves[i].Width)
+		}
+		if _, _, err := mergeablePair(g.parts[i], other.parts[i]); err != nil {
+			return fmt.Errorf("%w: partition %d: %v", ErrIncompatibleMerge, i, err)
+		}
+	}
+	if (g.outlier == nil) != (other.outlier == nil) {
+		return fmt.Errorf("%w: outlier sketch present on one side only", ErrIncompatibleMerge)
+	}
+	if g.outlier != nil {
+		if _, _, err := mergeablePair(g.outlier, other.outlier); err != nil {
+			return fmt.Errorf("%w: outlier: %v", ErrIncompatibleMerge, err)
+		}
+	}
+	if g.router.Len() != other.router.Len() {
+		return fmt.Errorf("%w: router size %d vs %d", ErrIncompatibleMerge, g.router.Len(), other.router.Len())
+	}
+	routersEqual := true
+	other.router.Range(func(vertex uint64, part int32) bool {
+		p, ok := g.router.Get(vertex)
+		if !ok || p != part {
+			routersEqual = false
+			return false
+		}
+		return true
+	})
+	if !routersEqual {
+		return fmt.Errorf("%w: routers assign vertices differently", ErrIncompatibleMerge)
+	}
+	return nil
+}
+
+// mergeablePair checks one synopsis pair is CountMin-backed with identical
+// dimensions and seed — the preconditions of sketch.CountMin.Merge.
+func mergeablePair(a, b sketch.Synopsis) (*sketch.CountMin, *sketch.CountMin, error) {
+	ca, ok := a.(*sketch.CountMin)
+	if !ok {
+		return nil, nil, fmt.Errorf("synopsis %T is not CountMin", a)
+	}
+	cb, ok := b.(*sketch.CountMin)
+	if !ok {
+		return nil, nil, fmt.Errorf("synopsis %T is not CountMin", b)
+	}
+	if ca.Width() != cb.Width() || ca.Depth() != cb.Depth() || ca.Seed() != cb.Seed() {
+		return nil, nil, fmt.Errorf("hash families differ (%dx%d seed %d vs %dx%d seed %d)",
+			ca.Depth(), ca.Width(), ca.Seed(), cb.Depth(), cb.Width(), cb.Seed())
+	}
+	if ca.Conservative() || cb.Conservative() {
+		return nil, nil, fmt.Errorf("conservative-update sketches are not mergeable")
+	}
+	return ca, cb, nil
+}
+
+// MergeFrom folds other's counters into g cell-wise. On success g answers
+// for the concatenation of both streams: estimates stay overestimates of
+// the union stream and the additive bound becomes ε·(N_g+N_other) — exactly
+// the bound the generation chain would have reported for the two sketches
+// separately. other is not modified. On error g is unchanged.
+func (g *GSketch) MergeFrom(other *GSketch) error {
+	if err := g.CanMerge(other); err != nil {
+		return err
+	}
+	for i := range g.parts {
+		ca, cb, err := mergeablePair(g.parts[i], other.parts[i])
+		if err != nil {
+			return fmt.Errorf("%w: partition %d: %v", ErrIncompatibleMerge, i, err)
+		}
+		if err := ca.Merge(cb); err != nil {
+			return fmt.Errorf("core: merge partition %d: %w", i, err)
+		}
+	}
+	if g.outlier != nil {
+		ca, cb, err := mergeablePair(g.outlier, other.outlier)
+		if err != nil {
+			return fmt.Errorf("%w: outlier: %v", ErrIncompatibleMerge, err)
+		}
+		if err := ca.Merge(cb); err != nil {
+			return fmt.Errorf("core: merge outlier: %w", err)
+		}
+	}
+	// Sample statistics add: the merged sketch describes the union sample.
+	for i := range g.leaves {
+		g.leaves[i].SumF += other.leaves[i].SumF
+		g.leaves[i].SumD += other.leaves[i].SumD
+	}
+	g.total.Add(other.total.Load())
+	return nil
+}

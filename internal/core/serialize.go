@@ -44,7 +44,34 @@ const (
 	// the live head). ReadChain accepts both versions; ReadGSketch stays
 	// strict so callers that cannot answer from a chain fail loudly.
 	gskChainVersion = 3
+	// gskChainMetaVersion 4: the chain container with a per-generation
+	// lifecycle record — {builtAt i64 unix-seconds, compactedFrom u64,
+	// reserved u64} — preceding each version-2 stream. compactedFrom counts
+	// the source generations folded into this one by compaction (1 = never
+	// compacted), so a restored chain keeps honest generation accounting.
+	// Readers accept versions 2, 3 and 4; writers emit 4.
+	gskChainMetaVersion = 4
 )
+
+// GenerationMeta is the per-generation lifecycle record of a version-4
+// chain container.
+type GenerationMeta struct {
+	// BuiltAt is the generation's build time (unix seconds; 0 = unknown,
+	// e.g. a generation restored from a pre-version-4 stream).
+	BuiltAt int64
+	// CompactedFrom counts the source generations this one absorbed via
+	// compaction. 1 means the generation was built by a plain rotation and
+	// never compacted; k > 1 means k former generations were folded into it.
+	CompactedFrom int
+}
+
+// withDefaults normalizes a zero meta to the never-compacted shape.
+func (m GenerationMeta) withDefaults() GenerationMeta {
+	if m.CompactedFrom < 1 {
+		m.CompactedFrom = 1
+	}
+	return m
+}
 
 // WriteTo serializes the gSketch: layout, router and all counter state.
 func (g *GSketch) WriteTo(w io.Writer) (int64, error) {
@@ -150,6 +177,10 @@ func Save(est Estimator, w io.Writer) (int64, error) {
 // followed by every generation's full version-2 stream, oldest first. Each
 // gen is an io.WriterTo producing GSketch.WriteTo's format (a bare *GSketch
 // or a *Concurrent wrapper, which snapshots under its stripe read locks).
+//
+// Deprecated: WriteChainMeta writes the version-4 container carrying
+// per-generation lifecycle records. WriteChain stays as the version-3
+// writer so back-compat tests can produce genuine version-3 streams.
 func WriteChain(w io.Writer, gens []io.WriterTo) (int64, error) {
 	if len(gens) == 0 {
 		return 0, fmt.Errorf("core: empty generation chain")
@@ -173,52 +204,125 @@ func WriteChain(w io.Writer, gens []io.WriterTo) (int64, error) {
 	return n, nil
 }
 
-// ReadChain deserializes a generation chain written by WriteChain — or a
-// plain pre-chain gSketch stream written by WriteTo, which loads as a
-// single-generation chain. The returned slice is oldest-first; the last
-// element is the generation that was live when the snapshot was taken.
+// WriteChainMeta serializes a generation chain as a version-4 container: the
+// {magic, version, numGens} header, then for each generation (oldest first)
+// its 24-byte lifecycle record followed by its full version-2 stream. metas
+// must be nil (all defaults) or match gens element-wise.
+func WriteChainMeta(w io.Writer, gens []io.WriterTo, metas []GenerationMeta) (int64, error) {
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("core: empty generation chain")
+	}
+	if metas != nil && len(metas) != len(gens) {
+		return 0, fmt.Errorf("core: %d generations but %d metadata records", len(gens), len(metas))
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], gskMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], gskChainMetaVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(gens)))
+	k, err := w.Write(hdr[:])
+	n := int64(k)
+	if err != nil {
+		return n, err
+	}
+	for i, gen := range gens {
+		var m GenerationMeta
+		if metas != nil {
+			m = metas[i]
+		}
+		m = m.withDefaults()
+		var rec [24]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(m.BuiltAt))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(m.CompactedFrom))
+		// rec[16:24] is reserved (written zero, ignored on read).
+		k, err := w.Write(rec[:])
+		n += int64(k)
+		if err != nil {
+			return n, fmt.Errorf("core: chain generation %d meta: %w", i, err)
+		}
+		wk, err := gen.WriteTo(w)
+		n += wk
+		if err != nil {
+			return n, fmt.Errorf("core: chain generation %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadChain deserializes a generation chain written by WriteChain or
+// WriteChainMeta — or a plain pre-chain gSketch stream written by WriteTo,
+// which loads as a single-generation chain. The returned slice is
+// oldest-first; the last element is the generation that was live when the
+// snapshot was taken. Callers that also want the lifecycle records use
+// ReadChainMeta.
 func ReadChain(r io.Reader) ([]*GSketch, error) {
+	gens, _, err := ReadChainMeta(r)
+	return gens, err
+}
+
+// ReadChainMeta is ReadChain plus the per-generation lifecycle records.
+// Version-2 and version-3 streams carry no records, so their metas come
+// back defaulted (BuiltAt 0, CompactedFrom 1); version-4 streams return
+// what WriteChainMeta stored. len(metas) always equals len(gens).
+func ReadChainMeta(r io.Reader) ([]*GSketch, []GenerationMeta, error) {
 	br := bufio.NewReader(r)
 	hdr, err := br.Peek(8)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
 	}
 	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != gskMagic {
-		return nil, fmt.Errorf("%w: bad gSketch magic %#x", sketch.ErrCorrupt, magic)
+		return nil, nil, fmt.Errorf("%w: bad gSketch magic %#x", sketch.ErrCorrupt, magic)
 	}
-	switch version := binary.LittleEndian.Uint32(hdr[4:]); version {
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	switch version {
 	case gskVersion:
 		g, err := readGSketch(br)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return []*GSketch{g}, nil
-	case gskChainVersion:
+		return []*GSketch{g}, []GenerationMeta{{CompactedFrom: 1}}, nil
+	case gskChainVersion, gskChainMetaVersion:
 		if _, err := br.Discard(8); err != nil { // consume the peeked header
-			return nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: %v", sketch.ErrCorrupt, err)
 		}
 		var numGens uint64
 		if err := binary.Read(br, binary.LittleEndian, &numGens); err != nil {
-			return nil, fmt.Errorf("%w: chain header: %v", sketch.ErrCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: chain header: %v", sketch.ErrCorrupt, err)
 		}
 		const maxGens = 1 << 10
 		if numGens == 0 || numGens > maxGens {
-			return nil, fmt.Errorf("%w: implausible generation count %d", sketch.ErrCorrupt, numGens)
+			return nil, nil, fmt.Errorf("%w: implausible generation count %d", sketch.ErrCorrupt, numGens)
 		}
 		gens := make([]*GSketch, numGens)
+		metas := make([]GenerationMeta, numGens)
 		for i := range gens {
+			if version == gskChainMetaVersion {
+				var rec [24]byte
+				if _, err := io.ReadFull(br, rec[:]); err != nil {
+					return nil, nil, fmt.Errorf("%w: chain generation %d meta: %v", sketch.ErrCorrupt, i, err)
+				}
+				metas[i] = GenerationMeta{
+					BuiltAt:       int64(binary.LittleEndian.Uint64(rec[0:])),
+					CompactedFrom: int(binary.LittleEndian.Uint64(rec[8:])),
+				}
+				const maxCompactedFrom = 1 << 20
+				if metas[i].CompactedFrom < 1 || metas[i].CompactedFrom > maxCompactedFrom {
+					return nil, nil, fmt.Errorf("%w: chain generation %d: implausible compaction count %d", sketch.ErrCorrupt, i, metas[i].CompactedFrom)
+				}
+			} else {
+				metas[i] = GenerationMeta{CompactedFrom: 1}
+			}
 			// Every generation parse shares br: bufio.NewReader over an
 			// existing *bufio.Reader returns it unchanged, so no generation
 			// over-reads into the next one's bytes.
 			g, err := readGSketch(br)
 			if err != nil {
-				return nil, fmt.Errorf("chain generation %d: %w", i, err)
+				return nil, nil, fmt.Errorf("chain generation %d: %w", i, err)
 			}
 			gens[i] = g
 		}
-		return gens, nil
+		return gens, metas, nil
 	default:
-		return nil, fmt.Errorf("%w: unsupported gSketch version %d", sketch.ErrCorrupt, version)
+		return nil, nil, fmt.Errorf("%w: unsupported gSketch version %d", sketch.ErrCorrupt, version)
 	}
 }
 

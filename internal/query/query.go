@@ -195,6 +195,41 @@ func AccumulateResults(acc, gen []core.Result) {
 	}
 }
 
+// AccumulateResultsWeighted is AccumulateResults with an age-decay weight w
+// in (0, 1] applied to the incoming generation's contribution: estimates
+// and error bounds scale by w before folding, so ancient stream segments
+// stop dominating combined answers while the soundness shape is preserved
+// (a w-scaled overestimate with a w-scaled additive bound still brackets
+// the w-scaled true segment frequency). Confidence still combines by the
+// union bound — decay does not improve a generation's failure probability —
+// and StreamTotal stays the unweighted sum, reporting real stream volume
+// rather than decayed volume. w outside (0, 1] is clamped; w == 1 is
+// exactly AccumulateResults.
+func AccumulateResultsWeighted(acc, gen []core.Result, w float64) {
+	if w >= 1 {
+		AccumulateResults(acc, gen)
+		return
+	}
+	if len(gen) != len(acc) {
+		panic(fmt.Sprintf("query: generation answered %d results, want %d", len(gen), len(acc)))
+	}
+	if w < 0 {
+		w = 0
+	}
+	for i := range acc {
+		g := gen[i]
+		acc[i].Estimate += int64(math.Round(w * float64(g.Estimate)))
+		acc[i].ErrorBound += w * g.ErrorBound
+		deltas := (1 - acc[i].Confidence) + (1 - g.Confidence)
+		if deltas >= 1 {
+			acc[i].Confidence = 0
+		} else {
+			acc[i].Confidence = 1 - deltas
+		}
+		acc[i].StreamTotal += g.StreamTotal
+	}
+}
+
 // Answer resolves any Query against an estimator in one batched pass: the
 // query is decomposed into constituent edge queries, the estimator answers
 // them all with a single EstimateBatch call, and the aggregate plus the

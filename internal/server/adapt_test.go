@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -197,6 +198,118 @@ func TestNonAdaptiveServerRefusesChainSnapshot(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("repartition on non-adaptive server: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// POST /compact over HTTP: pivot twice, fold the two frozen generations
+// into one, keep answering soundly, then snapshot → restore with the
+// compacted chain (and its lifecycle gauges) intact.
+func TestCompactEndpointEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	edges := testStream(24000, 63)
+	// The reservoir holds every segment's whole slice (SampleSize ≥ 8000),
+	// so a layout-incompatible fold re-ingests losslessly and the ≥truth
+	// assertions below stay valid.
+	chain := adapt.NewChain(buildTestGSketch(t, edges[:1500]), adapt.ChainConfig{SampleSize: 16384, Seed: 7})
+	_, ts := newTestServer(t, Config{
+		Estimator:    chain,
+		SnapshotPath: filepath.Join(dir, "chain.gsk"),
+		Adapt:        adapt.ManagerConfig{Sketch: testSketchConfig()},
+	})
+
+	// Two pivots → three generations (two frozen, one live head).
+	ingestAll(t, ts.URL, edges[:8000])
+	postOK := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+	postOK("/repartition")
+	ingestAll(t, ts.URL, edges[8000:16000])
+	postOK("/repartition")
+	ingestAll(t, ts.URL, edges[16000:])
+
+	var qs []core.EdgeQuery
+	for _, e := range edges[:300] {
+		qs = append(qs, core.EdgeQuery{Src: e.Src, Dst: e.Dst})
+	}
+
+	body := postOK("/compact")
+	var res struct {
+		Folded      int `json:"folded"`
+		Generations int `json:"generations"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("compact reply %q: %v", body, err)
+	}
+	if res.Folded != 2 || res.Generations != 2 {
+		t.Fatalf("compact reply %s, want 2 folded into 2 generations", body)
+	}
+
+	// Answers must still cover the whole stream after the fold. (They may
+	// drop relative to the pre-compaction gather: a re-ingest rebuild can
+	// shed collision overcount — only exact merges never shrink.)
+	exact := stream.NewExactCounter()
+	exact.ObserveAll(edges)
+	after := queryBatch(t, ts.URL, qs)
+	for i, q := range qs {
+		truth := exact.EdgeFrequency(q.Src, q.Dst)
+		if after[i].Estimate < truth {
+			t.Fatalf("edge (%d,%d): post-compaction estimate %d < truth %d", q.Src, q.Dst, after[i].Estimate, truth)
+		}
+	}
+
+	// The lifecycle gauges land in /stats.
+	st := getStats(t, ts.URL)
+	if st["generations"].(float64) != 2 || st["compactions"].(float64) != 1 {
+		t.Fatalf("stats generations=%v compactions=%v, want 2 and 1", st["generations"], st["compactions"])
+	}
+	if st["compacted_from"].(float64) != 3 {
+		t.Fatalf("stats compacted_from = %v, want 3", st["compacted_from"])
+	}
+	for _, k := range []string{"resident_generations", "tiered_generations", "tiered_bytes"} {
+		if _, ok := st[k]; !ok {
+			t.Fatalf("stats missing %q: %v", k, st)
+		}
+	}
+
+	// A single frozen generation left: compacting again is a clean no-op.
+	var again struct {
+		Folded int `json:"folded"`
+	}
+	if err := json.Unmarshal(postOK("/compact"), &again); err != nil || again.Folded != 0 {
+		t.Fatalf("idle compact: folded=%d err=%v, want 0-fold success", again.Folded, err)
+	}
+
+	// Snapshot → restore keeps the compacted chain and its answers.
+	postOK("/snapshot/save")
+	if body := postOK("/snapshot/restore"); !bytes.Contains(body, []byte(`"generations":2`)) {
+		t.Fatalf("restore reply: %s", body)
+	}
+	restored := queryBatch(t, ts.URL, qs)
+	for i := range qs {
+		if restored[i].Estimate != after[i].Estimate {
+			t.Fatalf("query %d: restored estimate %d != live %d", i, restored[i].Estimate, after[i].Estimate)
+		}
+	}
+
+	// A non-adaptive server does not mount the route at all.
+	_, plainTS := newTestServer(t, Config{Estimator: buildTestGSketch(t, edges[:500])})
+	resp, err := http.Post(plainTS.URL+"/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("compact on non-adaptive server: status %d, want 404", resp.StatusCode)
 	}
 }
 

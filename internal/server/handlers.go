@@ -65,6 +65,7 @@ func (s *Server) routes() *http.ServeMux {
 	}
 	if s.eng != nil && s.eng.Adaptive() {
 		handle("POST /repartition", s.handleRepartition)
+		handle("POST /compact", s.handleCompact)
 	}
 	// Unmatched routes get the same JSON error envelope as every other
 	// failure, not net/http's text 404. The catch-all also absorbs the
@@ -132,14 +133,19 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	res, err := s.eng.Repartition()
 	done()
 	if err != nil {
-		code := http.StatusInternalServerError
-		// Both are client-retriable states, not server faults: the
-		// generation cap needs an operator decision, an empty reservoir
-		// just needs more stream before the next attempt.
-		if errors.Is(err, gsketch.ErrMaxGenerations) || errors.Is(err, gsketch.ErrEmptyReservoir) {
-			code = http.StatusConflict
+		// Both 409s are client-retriable states, not server faults: the
+		// generation cap needs an operator decision (compact, or mount a
+		// compaction policy), an empty reservoir just needs more stream
+		// before the next attempt. The machine-readable code tells the two
+		// apart without string-matching the message.
+		switch {
+		case errors.Is(err, gsketch.ErrMaxGenerations):
+			writeErrorCode(w, http.StatusConflict, "max_generations", "repartition: %v", err)
+		case errors.Is(err, gsketch.ErrEmptyReservoir):
+			writeErrorCode(w, http.StatusConflict, "empty_reservoir", "repartition: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "repartition: %v", err)
 		}
-		writeError(w, code, "repartition: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -147,6 +153,31 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 		"partitions":  res.Partitions,
 		"build_ms":    float64(res.BuildDuration.Microseconds()) / 1e3,
 		"drift":       res.Before,
+	})
+}
+
+// handleCompact folds the oldest frozen generations of the serving chain
+// into one, on demand — the manual end of the generation-lifecycle loop
+// (the policy end is the engine's WithCompaction). A chain with fewer than
+// two frozen generations answers 200 with folded=0: nothing to do is not
+// an error an operator script should have to special-case.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.stats.compactRequests.Add(1)
+	res, err := s.eng.Compact()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, gsketch.ErrEngineClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "compact: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"folded":      res.Folded,
+		"exact":       res.Exact,
+		"generations": res.Generations,
+		"freed_bytes": res.FreedBytes,
+		"duration_ms": float64(res.Duration.Microseconds()) / 1e3,
 	})
 }
 
@@ -726,6 +757,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if es.Adapt != nil {
 		stats["generations"] = es.Adapt.Generations
 		stats["repartitions"] = es.Adapt.Repartitions
+		stats["compactions"] = es.Adapt.Compactions
+		stats["resident_generations"] = es.Adapt.ResidentGenerations
+		stats["tiered_generations"] = es.Adapt.TieredGenerations
+		stats["tiered_bytes"] = es.Adapt.TieredBytes
+		stats["compacted_from"] = es.Adapt.CompactedFrom
 		stats["drift_workload_divergence"] = es.Adapt.Drift.WorkloadDivergence
 		stats["drift_outlier_share"] = es.Adapt.Drift.OutlierShare
 		stats["adapt_data_sample"] = es.Adapt.Drift.DataSample

@@ -26,8 +26,10 @@ type serverMetrics struct {
 	wireDecode *obs.Histogram
 	wireApply  [16]*obs.Histogram
 
-	// swap observes adapt repartition build+rotate durations.
-	swap *obs.Histogram
+	// swap observes adapt repartition build+rotate durations; compact
+	// observes generation-fold durations (manual and policy-triggered).
+	swap    *obs.Histogram
+	compact *obs.Histogram
 }
 
 // wireTypeNames labels the wireApply children; only request types the
@@ -55,6 +57,8 @@ func (s *Server) newServerMetrics() *serverMetrics {
 			"Time parsing one wire frame payload into records (network wait excluded).", nil),
 		swap: reg.Histogram("gsketch_adapt_swap_duration_seconds",
 			"Build+rotate duration of adaptive repartition swaps.", nil),
+		compact: reg.Histogram("gsketch_compact_duration_seconds",
+			"Generation-fold duration of chain compactions.", nil),
 	}
 	for typ, name := range wireTypeNames {
 		m.wireApply[typ] = reg.Histogram("gsketch_wire_frame_apply_duration_seconds",
@@ -166,9 +170,41 @@ func (s *Server) registerEngineMetrics(eng *gsketch.Engine) {
 			}
 			return 0
 		})
-	// Feed the swap-duration histogram from the manager's observer hook,
-	// covering manual /repartition and the auto-trigger loop alike.
+	// Generation-lifecycle gauges: chain residency and disk tiering. They
+	// read zero on non-adaptive engines, like the drift gauges above.
+	gauge("gsketch_engine_generations_resident", "Generations with counters in RAM.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt == nil {
+				return 1
+			}
+			return float64(st.Adapt.ResidentGenerations)
+		})
+	gauge("gsketch_engine_generations_tiered", "Frozen generations with a disk-tier copy.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt == nil {
+				return 0
+			}
+			return float64(st.Adapt.TieredGenerations)
+		})
+	gauge("gsketch_engine_tiered_bytes", "Counter footprint spilled off RAM to the disk tier.",
+		func(st *gsketch.EngineStats) float64 {
+			if st.Adapt == nil {
+				return 0
+			}
+			return float64(st.Adapt.TieredBytes)
+		})
+	reg.CounterFunc("gsketch_compactions_total",
+		"Completed generation folds (manual, policy loop, cap pressure).",
+		func() int64 {
+			if st := snap.Load(); st.Adapt != nil {
+				return st.Adapt.Compactions
+			}
+			return 0
+		})
+	// Feed the swap- and compact-duration histograms from the engine's
+	// observer hooks, covering manual requests and background loops alike.
 	eng.SetSwapObserver(s.metrics.swap.ObserveDuration)
+	eng.SetCompactObserver(s.metrics.compact.ObserveDuration)
 }
 
 // registerTenantMetrics attaches the multi-tenant gauges: registry

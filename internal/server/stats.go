@@ -26,6 +26,7 @@ type counters struct {
 	snapshotsSaved      *obs.Counter // successful snapshot saves
 	snapshotsRestored   *obs.Counter // successful snapshot restores
 	repartitionRequests *obs.Counter // POST /repartition requests handled
+	compactRequests     *obs.Counter // POST /compact requests handled
 
 	// Wire-protocol counters, covering the TCP listener and wire-framed
 	// HTTP bodies alike.
@@ -60,6 +61,8 @@ func newCounters(reg *obs.Registry) *counters {
 		"gsketch_snapshots_restored_total", "Successful snapshot restores.")
 	c.repartitionRequests = mk("repartition_requests",
 		"gsketch_repartition_requests_total", "Repartition requests handled.")
+	c.compactRequests = mk("compact_requests",
+		"gsketch_compact_requests_total", "Compaction requests handled.")
 	c.wireFrames = mk("wire_frames",
 		"gsketch_wire_frames_total", "Wire request frames decoded.")
 	c.wireDecodeErrors = mk("wire_decode_errors",

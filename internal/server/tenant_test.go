@@ -10,6 +10,7 @@ import (
 	"time"
 
 	gsketch "github.com/graphstream/gsketch"
+	"github.com/graphstream/gsketch/internal/adapt"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/stream"
 	"github.com/graphstream/gsketch/internal/tenant"
@@ -272,6 +273,17 @@ func TestErrorBodyShape(t *testing.T) {
 	_, plainTS := newTestServer(t, Config{Estimator: g})
 	plainURL := plainTS.URL
 
+	// Two adaptive servers pin the typed repartition refusals: one whose
+	// chain sits at its generation cap (no compaction policy to make room),
+	// one with headroom but an empty data reservoir.
+	edges := testStream(2000, 91)
+	capped := adapt.NewChain(buildTestGSketch(t, edges[:500]),
+		adapt.ChainConfig{SampleSize: 512, Seed: 3, MaxGenerations: 1})
+	_, cappedTS := newTestServer(t, Config{Estimator: capped, Adapt: adapt.ManagerConfig{Sketch: testSketchConfig()}})
+	starved := adapt.NewChain(buildTestGSketch(t, edges[:500]),
+		adapt.ChainConfig{SampleSize: 512, Seed: 3})
+	_, starvedTS := newTestServer(t, Config{Estimator: starved, Adapt: adapt.ManagerConfig{Sketch: testSketchConfig()}})
+
 	cases := []struct {
 		name     string
 		method   string
@@ -291,6 +303,8 @@ func TestErrorBodyShape(t *testing.T) {
 		{"empty query batch", http.MethodPost, tenantURL + "/t/acme/query", `{"queries":[]}`, http.StatusBadRequest, "bad_request"},
 		{"bad query body plain", http.MethodPost, plainURL + "/query", "{not json}", http.StatusBadRequest, "bad_request"},
 		{"unconfined snapshot path", http.MethodPost, plainURL + "/snapshot/save", `{"path":"/tmp/evil.gsk"}`, http.StatusForbidden, "forbidden"},
+		{"repartition at generation cap", http.MethodPost, cappedTS.URL + "/repartition", "", http.StatusConflict, "max_generations"},
+		{"repartition empty reservoir", http.MethodPost, starvedTS.URL + "/repartition", "", http.StatusConflict, "empty_reservoir"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

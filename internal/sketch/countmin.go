@@ -77,6 +77,12 @@ func NewCountMinFromMemory(bytes, depth int, seed uint64) (*CountMin, error) {
 // to keep estimates coherent.
 func (cm *CountMin) SetConservative(on bool) { cm.conservative = on }
 
+// Conservative reports whether conservative update is enabled. Conservative
+// sketches are not counter-mergeable (per-key lower bounds are not
+// additive), so merge planners check this before committing to a cell-wise
+// fold.
+func (cm *CountMin) Conservative() bool { return cm.conservative }
+
 // Width returns the number of counters per row.
 func (cm *CountMin) Width() int { return cm.width }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/graphstream/gsketch/internal/adapt"
+	"github.com/graphstream/gsketch/internal/compact"
 	"github.com/graphstream/gsketch/internal/core"
 	"github.com/graphstream/gsketch/internal/ingest"
 	"github.com/graphstream/gsketch/internal/window"
@@ -34,6 +35,12 @@ type engineOptions struct {
 	managerCfg   adapt.ManagerConfig
 	autoInterval time.Duration
 	autoErr      func(error)
+
+	compactPolicy *compact.Policy
+	compactErr    func(error)
+	tierDir       string
+	tierResident  int
+	decayHalfLife time.Duration
 
 	ingestCfg   *ingest.Config
 	windowCfg   *window.StoreConfig
@@ -119,6 +126,38 @@ func WithAutoRepartition(interval time.Duration, onErr func(error)) Option {
 	}
 }
 
+// WithCompaction mounts the generation-lifecycle compaction policy on an
+// adaptive engine: a background loop (period p.Interval) folds the oldest
+// p.Fold frozen generations into one whenever the chain length, resident
+// memory, or oldest-generation age crosses a configured trigger, and the
+// repartition manager compacts on demand before a rotation that would hit
+// the chain's generation cap — so ErrMaxGenerations becomes unreachable
+// under policy. Folding is lossless (cell-wise counter merge) when the
+// generations share a hash layout, else a re-partition from their retained
+// reservoirs. onErr receives background compaction failures (nil drops
+// them; a failed fold leaves the serving chain untouched). Requires
+// WithAdaptive (or an adopted *Chain estimator).
+func WithCompaction(p CompactionPolicy, onErr func(error)) Option {
+	return func(o *engineOptions) { pp := p; o.compactPolicy = &pp; o.compactErr = onErr }
+}
+
+// WithTiering spills cold frozen generations to files under dir, keeping at
+// most maxResident frozen generations' counters in RAM (the live head
+// always stays resident). Spilled generations reload lazily on query.
+// Requires WithAdaptive (or an adopted *Chain estimator).
+func WithTiering(dir string, maxResident int) Option {
+	return func(o *engineOptions) { o.tierDir = dir; o.tierResident = maxResident }
+}
+
+// WithDecay enables exponential age weighting at gather time: a frozen
+// generation frozen `age` ago contributes to chain answers with weight
+// 2^(-age/halfLife) — estimates and error bounds scale together, so bounds
+// stay sound for the decayed quantity. Requires WithAdaptive (or an adopted
+// *Chain estimator).
+func WithDecay(halfLife time.Duration) Option {
+	return func(o *engineOptions) { o.decayHalfLife = halfLife }
+}
+
 // WithIngest mounts the parallel batch-ingest pipeline between
 // Ingest/TryIngest and the estimator: a bounded multi-producer queue of
 // edge batches drained by N workers through the striped locks. The zero
@@ -202,10 +241,31 @@ func (o *engineOptions) validate() error {
 	if o.windowCfg != nil && o.windowStore != nil {
 		return errors.New("gsketch: WithWindows and WithWindowStore are mutually exclusive")
 	}
+	if o.decayHalfLife < 0 {
+		return errors.New("gsketch: negative decay half-life")
+	}
+	if o.tierResident < 0 {
+		return errors.New("gsketch: negative tiering residency cap")
+	}
+	if (o.tierDir == "") != (o.tierResident == 0) {
+		return errors.New("gsketch: WithTiering needs both a directory and a positive residency cap")
+	}
+	if o.compactPolicy != nil && o.compactPolicy.Interval < 0 {
+		return errors.New("gsketch: negative compaction interval")
+	}
+	if o.lifecycleConfigured() && !o.adaptive && o.estimator == nil {
+		return errors.New("gsketch: WithCompaction/WithTiering/WithDecay need a generation chain (WithAdaptive or an adopted *Chain)")
+	}
 	if o.snapshotOnClose && o.snapshotPath == "" {
 		return errors.New("gsketch: WithSnapshotOnClose needs a snapshot path (WithSnapshotDir or WithSnapshotFile)")
 	}
 	return nil
+}
+
+// lifecycleConfigured reports whether any generation-lifecycle option
+// (compaction, tiering, decay) was set.
+func (o *engineOptions) lifecycleConfigured() bool {
+	return o.compactPolicy != nil || o.tierDir != "" || o.decayHalfLife > 0
 }
 
 // buildEstimator resolves the bootstrap source into the serving estimator
@@ -251,12 +311,12 @@ func (o *engineOptions) buildEstimator(cfg Config) (servingEstimator, *adapt.Cha
 			defer f.Close()
 			src = f
 		}
-		gens, err := core.ReadChain(src)
+		gens, metas, err := core.ReadChainMeta(src)
 		if err != nil {
 			return nil, nil, fmt.Errorf("gsketch: restore: %w", err)
 		}
 		if o.adaptive {
-			c := adapt.NewChainFrom(gens, o.chainCfg)
+			c := adapt.NewChainFromMeta(gens, metas, o.chainCfg)
 			return c, c, nil
 		}
 		if len(gens) != 1 {

@@ -210,4 +210,72 @@ if ! wait "$PID"; then
 fi
 PID=""
 
+# ---------------------------------------------------------------------------
+# Generation lifecycle: pivot twice to a three-generation chain with cold
+# generations tiered to disk, fold the two oldest via POST /compact, and
+# verify answers, gauges and the snapshot round-trip. The compaction flags
+# mount the background manager; the long interval keeps its ticker idle so
+# the on-demand fold is the one observed.
+
+"$BIN" -addr "$ADDR" -adapt -sample "$TMP/sample.txt" -snapshot "$TMP/lifecycle.gsk" \
+  -compact-max-gens 8 -compact-interval 1h -tier-dir "$TMP/tiers" -tier-resident 1 \
+  -workers 2 -batch 64 &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$PID" 2>/dev/null || fail "lifecycle server exited during startup"
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "lifecycle server never became healthy"
+
+# Three phases split by two pivots; the same edge keeps arriving so the
+# folded chain must still sum every phase's contribution.
+for phase in 1 2 3; do
+  {
+    for _ in 1 2 3 4; do echo '{"src":1,"dst":101}'; done
+    echo "{\"src\":$((600 + phase)),\"dst\":9}"
+  } | curl -sf -X POST --data-binary @- "$BASE/ingest?sync=1" >/dev/null
+  if [[ "$phase" != "3" ]]; then
+    repart=$(curl -sf -X POST "$BASE/repartition")
+    grep -q "\"generations\":$((phase + 1))" <<<"$repart" || fail "lifecycle pivot $phase: $repart"
+  fi
+done
+
+# Under -tier-resident 1 the second frozen generation spills to disk.
+stats=$(curl -sf "$BASE/stats")
+grep -Eq '"tiered_generations":[1-9]' <<<"$stats" || fail "no tiered generations before compact: $stats"
+grep -Eq '"tiered_bytes":[1-9]' <<<"$stats" || fail "no tiered bytes before compact: $stats"
+
+# Fold the two oldest frozen generations: 3 -> 2.
+compact=$(curl -sf -X POST "$BASE/compact")
+grep -q '"folded":2' <<<"$compact" || fail "compact reply: $compact"
+grep -q '"generations":2' <<<"$compact" || fail "compact reply: $compact"
+
+# The folded chain still covers all three phases: (1,101) arrived 12 times.
+q='{"queries":[{"src":1,"dst":101}],"sync":true}'
+ans=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$q" "$BASE/query")
+est=$(grep -o '"estimate":[0-9]*' <<<"$ans" | head -1 | cut -d: -f2)
+[[ -n "$est" && "$est" -ge 12 ]] || fail "post-compact estimate for (1,101) = '$est', want >= 12 ($ans)"
+
+# Lifecycle gauges surface in /stats.
+stats=$(curl -sf "$BASE/stats")
+grep -q '"compactions":1' <<<"$stats" || fail "lifecycle stats: $stats"
+grep -q '"compacted_from":3' <<<"$stats" || fail "lifecycle stats: $stats"
+grep -q '"resident_generations"' <<<"$stats" || fail "lifecycle stats: $stats"
+
+# Snapshot the folded chain and restore it: lineage and answers survive.
+curl -sf -X POST "$BASE/snapshot/save" >/dev/null
+[[ -s "$TMP/lifecycle.gsk" ]] || fail "lifecycle snapshot missing after save"
+restore=$(curl -sf -X POST "$BASE/snapshot/restore")
+grep -q '"generations":2' <<<"$restore" || fail "lifecycle restore reply: $restore"
+ans2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$q" "$BASE/query")
+est2=$(grep -o '"estimate":[0-9]*' <<<"$ans2" | head -1 | cut -d: -f2)
+[[ "$est2" == "$est" ]] || fail "answers differ after lifecycle restore: $est vs $est2"
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  fail "lifecycle server exited non-zero on SIGTERM"
+fi
+PID=""
+
 echo "serve-smoke: OK"
